@@ -1,0 +1,271 @@
+// Command figures regenerates every figure of the paper's evaluation and
+// writes the rendered text plus CSV data.
+//
+// Usage:
+//
+//	figures [-fig all|2|3|4|5|6|7|8] [-out DIR] [-matmul-n N] [-quick]
+//
+// Figures 2, 3, 7 and 8 are analytical (instant); figures 4, 5 and 6
+// simulate baseline and accelerated programs in all four TCA modes on the
+// cycle-level core (seconds to minutes depending on -matmul-n).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: all, 2, 3, 4, 5, 6, 7, 8, e1, e2, e3, e4, e5, a1, a2")
+		out     = flag.String("out", "", "directory for CSV output (default: none, stdout only)")
+		matmulN = flag.Int("matmul-n", 64, "matrix edge for Fig 6 (paper: 512)")
+		quick   = flag.Bool("quick", false, "shrink simulated sweeps for a fast smoke run")
+	)
+	flag.Parse()
+
+	if err := run(*fig, *out, *matmulN, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, out string, matmulN int, quick bool) error {
+	want := func(id string) bool { return fig == "all" || fig == id }
+	saveCSV := func(name, data string) error {
+		if out == "" {
+			return nil
+		}
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(out, name), []byte(data), 0o644)
+	}
+	section := func(title string) {
+		fmt.Printf("\n%s\n%s\n\n", title, strings.Repeat("=", len(title)))
+	}
+
+	if want("2") {
+		section("Figure 2 — speedup vs accelerator granularity (analytical)")
+		res, err := experiments.Fig2(experiments.DefaultFig2())
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if err := saveCSV("fig2.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if want("3") {
+		section("Figure 3 — per-mode interval timelines (illustrative)")
+		p := core.HPCore().Apply(core.Params{
+			AcceleratableFrac: 0.3, InvocationFreq: 0.003, AccelFactor: 3,
+		})
+		txt, err := experiments.Fig3(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(txt)
+	}
+
+	if want("4") {
+		section("Figure 4 — model error on the synthetic microbenchmark (simulated)")
+		cfg := experiments.DefaultFig4()
+		if quick {
+			cfg.RegionCounts = []int{5, 40, 320}
+		}
+		res, err := experiments.Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("\nmax |error| across sweep: %.1f%%\n", 100*res.MaxAbsError())
+		if err := saveCSV("fig4.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if want("5") {
+		section("Figure 5 — heap manager TCA validation (simulated)")
+		cfg := experiments.DefaultFig5()
+		if quick {
+			cfg.Operations = 200
+			cfg.FillerCounts = []int{0, 20, 160}
+		}
+		res, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("\nmax |error| across sweep: %.1f%%\n", 100*res.MaxAbsError())
+		if err := saveCSV("fig5.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if want("6") {
+		section("Figure 6 — DGEMM TCA validation (simulated)")
+		cfg := experiments.DefaultFig6()
+		cfg.N = matmulN
+		if quick {
+			cfg.N = 32
+			cfg.Block = 16
+		}
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("\nmax |error| across tiles/modes: %.1f%%\n", 100*res.MaxAbsError())
+		if err := saveCSV("fig6.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if want("7") {
+		section("Figure 7 — design-space heatmaps (analytical)")
+		res, err := experiments.Fig7(experiments.DefaultFig7())
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if err := saveCSV("fig7.csv", res.CSV()); err != nil {
+			return err
+		}
+		// Spot-check the red/blue boundary on the simulator.
+		sv, err := experiments.Fig7Sim(experiments.DefaultFig7Sim())
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(sv.Render())
+	}
+
+	if want("8") {
+		section("Figure 8 — concurrency: speedup vs coverage (analytical)")
+		res, err := experiments.Fig8(experiments.DefaultFig8())
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if err := saveCSV("fig8.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if want("e1") {
+		section("Extension E1 — LogCA vs the TCA model (analytical)")
+		res, err := experiments.E1(experiments.DefaultE1())
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if err := saveCSV("e1.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if want("e2") {
+		section("Extension E2 — Pareto study of mode hardware costs (analytical)")
+		res, err := experiments.E2(core.HPCore(), []float64{30, 100, 300, 1e3, 1e4, 1e6})
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if err := saveCSV("e2.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if want("e3") {
+		section("Extension E3 — confidence-gated partial TCA speculation (simulated)")
+		cfg := experiments.DefaultE3()
+		if quick {
+			cfg.Iterations = 150
+			cfg.SkipEvery = []int{3, 8}
+		}
+		res, err := experiments.E3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if err := saveCSV("e3.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if want("e4") {
+		section("Extension E4 — hash-map and string-compare TCA validation (simulated)")
+		cfg := experiments.DefaultE4()
+		if quick {
+			cfg.Operations = 200
+			cfg.FillerCounts = []int{5, 80}
+		}
+		res, err := experiments.E4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("\nmax |error| across study: %.1f%%\n", 100*res.MaxAbsError())
+		if err := saveCSV("e4.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if want("e5") {
+		section("Extension E5 — heterogeneous multi-TCA complex (simulated)")
+		cfg := experiments.DefaultE5()
+		if quick {
+			cfg.Calls = 60
+			cfg.FillerCounts = []int{50, 800}
+		}
+		res, err := experiments.E5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("\nmax |error| across study: %.1f%%\n", 100*res.MaxAbsError())
+		if err := saveCSV("e5.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	if want("a1") || want("a2") {
+		section("Ablations — drain estimation (A1) and LSQ disambiguation (A2)")
+		w, err := workload.Heap(workload.HeapConfig{
+			Operations: 400, FillerPerCall: 40, Prefill: 512, Seed: 11,
+		})
+		if err != nil {
+			return err
+		}
+		if want("a1") {
+			res, err := experiments.MeasureWorkload(sim.HighPerfConfig(), w)
+			if err != nil {
+				return err
+			}
+			rows, err := experiments.DrainAblation(res)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderDrainAblation(rows))
+			fmt.Println()
+		}
+		if want("a2") {
+			ab, err := experiments.LoadOrdering(sim.HighPerfConfig(), w)
+			if err != nil {
+				return err
+			}
+			fmt.Print(ab.Render())
+		}
+	}
+	return nil
+}

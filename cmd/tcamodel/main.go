@@ -1,0 +1,101 @@
+// Command tcamodel evaluates the analytical TCA performance model at one
+// parameter point and prints the per-mode breakdown — the quickest way to
+// ask "what does mode choice cost for this accelerator on this core?".
+//
+// Usage:
+//
+//	tcamodel -a 0.3 -g 100 -A 3 [-core hp|lp|a72] [-ipc N] [-rob N]
+//	         [-width N] [-commit N] [-latency CYCLES] [-drain CYCLES]
+//
+// Either -g (granularity, instructions per invocation) or -v (invocation
+// frequency) selects the invocation rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		a       = flag.Float64("a", 0.3, "acceleratable fraction of dynamic instructions (0..1)")
+		g       = flag.Float64("g", 100, "granularity: baseline instructions per invocation")
+		v       = flag.Float64("v", 0, "invocation frequency (overrides -g when set)")
+		aFactor = flag.Float64("A", 3, "acceleration factor A")
+		latency = flag.Float64("latency", 0, "explicit accelerator latency in cycles (overrides -A)")
+		drain   = flag.Float64("drain", 0, "explicit window drain time in cycles")
+		coreSel = flag.String("core", "hp", "core preset: hp, lp, a72")
+		ipc     = flag.Float64("ipc", 0, "override baseline IPC")
+		rob     = flag.Int("rob", 0, "override ROB size")
+		width   = flag.Int("width", 0, "override issue width")
+		commit  = flag.Float64("commit", -1, "override commit stall cycles")
+	)
+	flag.Parse()
+
+	arch, err := preset(*coreSel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcamodel:", err)
+		os.Exit(2)
+	}
+	if *ipc > 0 {
+		arch.IPC = *ipc
+	}
+	if *rob > 0 {
+		arch.ROBSize = *rob
+	}
+	if *width > 0 {
+		arch.IssueWidth = *width
+	}
+	if *commit >= 0 {
+		arch.CommitStall = *commit
+	}
+
+	freq := *v
+	if freq == 0 {
+		freq = *a / *g
+	}
+	p := arch.Apply(core.Params{
+		AcceleratableFrac: *a,
+		InvocationFreq:    freq,
+		AccelFactor:       *aFactor,
+		AccelLatency:      *latency,
+		DrainTime:         *drain,
+	})
+	b, err := p.Evaluate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcamodel:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("core: IPC=%.2f ROB=%d width=%d t_commit=%.0f\n",
+		p.IPC, p.ROBSize, p.IssueWidth, p.CommitStall)
+	fmt.Printf("accel: a=%.3f v=%.3g (granularity %.1f instr), A_eff=%.2f\n",
+		p.AcceleratableFrac, p.InvocationFreq, p.Granularity(), p.EffectiveAccelFactor())
+	fmt.Printf("interval terms (cycles): baseline=%.1f non_accl=%.1f accl=%.1f drain=%.1f rob_fill=%.1f commit=%.1f\n\n",
+		b.TBaseline, b.TNonAccl, b.TAccl, b.TDrain, b.TROBFill, b.TCommit)
+	fmt.Printf("%-6s  %12s  %8s\n", "mode", "t/interval", "speedup")
+	for _, m := range accel.AllModes {
+		t := b.Times.Get(m)
+		fmt.Printf("%-6s  %12.1f  %8.3f\n", m, t, b.TBaseline/t)
+	}
+	fmt.Printf("\nL_T concurrency bound: A+1 = %.2f (peak at a* = %.3f)\n",
+		core.MaxConcurrentSpeedup(p.EffectiveAccelFactor()),
+		core.PeakAcceleratableFrac(p.EffectiveAccelFactor()))
+}
+
+func preset(name string) (core.CoreParams, error) {
+	switch name {
+	case "hp":
+		return core.HPCore(), nil
+	case "lp":
+		return core.LPCore(), nil
+	case "a72":
+		return core.A72Core(), nil
+	default:
+		return core.CoreParams{}, fmt.Errorf("unknown core preset %q (want hp, lp or a72)", name)
+	}
+}

@@ -1,0 +1,125 @@
+// Command tcasim runs one of the paper's workloads on the cycle-level
+// out-of-order simulator and prints pipeline statistics, for baseline and
+// any TCA integration mode.
+//
+// Usage:
+//
+//	tcasim -workload synthetic|heap|matmul [-mode L_T|NL_T|L_NT|NL_NT|baseline]
+//	       [-core hp|lp|a72] [workload flags...]
+//
+// Examples:
+//
+//	tcasim -workload heap -mode L_T -heap-filler 20
+//	tcasim -workload matmul -mode NL_NT -matmul-n 64 -matmul-tile 4
+//	tcasim -workload synthetic -mode baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "synthetic", "workload: synthetic, heap, matmul")
+		mode    = flag.String("mode", "L_T", "TCA mode (L_T, NL_T, L_NT, NL_NT) or 'baseline'")
+		coreSel = flag.String("core", "hp", "core preset: hp, lp, a72")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		trace   = flag.Int("trace", 0, "render a pipeline diagram for the first N committed instructions")
+
+		synUnits   = flag.Int("syn-units", 400, "synthetic: filler units")
+		synRegions = flag.Int("syn-regions", 40, "synthetic: acceleratable regions")
+		synLatency = flag.Int("syn-latency", 12, "synthetic: TCA latency")
+
+		heapOps    = flag.Int("heap-ops", 600, "heap: malloc/free operations")
+		heapFiller = flag.Int("heap-filler", 20, "heap: filler instructions per call")
+
+		matN    = flag.Int("matmul-n", 64, "matmul: matrix edge")
+		matBlk  = flag.Int("matmul-block", 32, "matmul: blocking factor")
+		matTile = flag.Int("matmul-tile", 4, "matmul: TCA tile (2, 4, 8)")
+	)
+	flag.Parse()
+
+	cfg, err := corePreset(*coreSel)
+	if err != nil {
+		fail(err)
+	}
+
+	var w *workload.Workload
+	switch *wl {
+	case "synthetic":
+		w, err = workload.Synthetic(workload.SyntheticConfig{
+			Units: *synUnits, UnitLen: 25, Regions: *synRegions, RegionLen: 60,
+			AccelLatency: *synLatency, Seed: *seed,
+		})
+	case "heap":
+		w, err = workload.Heap(workload.HeapConfig{
+			Operations: *heapOps, FillerPerCall: *heapFiller, Prefill: 512, Seed: *seed,
+		})
+	case "matmul":
+		w, err = workload.MatMul(workload.MatMulConfig{
+			N: *matN, Block: *matBlk, Tile: *matTile, Seed: *seed,
+		})
+	default:
+		err = fmt.Errorf("unknown workload %q", *wl)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	prog := w.Accelerated
+	var dev isa.AccelDevice
+	if *mode == "baseline" {
+		prog = w.Baseline
+	} else {
+		m, perr := accel.ParseMode(*mode)
+		if perr != nil {
+			fail(perr)
+		}
+		cfg.Mode = m
+		dev = w.NewDevice()
+	}
+
+	fmt.Printf("workload: %s — %s\n", w.Name, w.Description)
+	fmt.Printf("baseline accounting: %d instructions, a=%.3f, v=%.3g, granularity %.1f\n\n",
+		w.BaselineInstructions, w.CoverageFrac(), w.InvocationFreq(), w.Granularity())
+
+	cfg.PipeTraceLimit = *trace
+	c, err := sim.New(cfg, prog, dev)
+	if err != nil {
+		fail(err)
+	}
+	res, err := c.Run(1 << 40)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("core %s, mode %s:\n%s\nmemory: %s\n", cfg.Name, *mode, res.Stats, c.Hierarchy())
+	if *trace > 0 {
+		fmt.Println()
+		fmt.Print(sim.RenderPipeTrace(res.Stats.PipeTrace, 120))
+	}
+}
+
+func corePreset(name string) (sim.Config, error) {
+	switch name {
+	case "hp":
+		return sim.HighPerfConfig(), nil
+	case "lp":
+		return sim.LowPerfConfig(), nil
+	case "a72":
+		return sim.A72Config(), nil
+	default:
+		return sim.Config{}, fmt.Errorf("unknown core preset %q (want hp, lp or a72)", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tcasim:", err)
+	os.Exit(1)
+}

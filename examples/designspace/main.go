@@ -1,0 +1,84 @@
+// Designspace: explore where a planned accelerator lands on the paper's
+// Fig. 7 speedup/slowdown map, for a custom core.
+//
+// The scenario: an energy-motivated accelerator (A = 1.5, like GreenDroid)
+// is being considered for both a big and a little core of a mobile SoC.
+// The map shows where each (coverage, invocation-frequency) operating point
+// falls — red (speedup, rendered .:*#) or blue (slowdown, rendered ~-=) —
+// per integration mode, and places some candidate routines on it.
+//
+// Run with: go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.Fig7Config{
+		Cores: []core.CoreParams{
+			{IPC: 2.0, ROBSize: 320, IssueWidth: 6, CommitStall: 4}, // big core
+			{IPC: 0.8, ROBSize: 48, IssueWidth: 2, CommitStall: 2},  // little core
+		},
+		AccelFactor: 1.5,
+		VMin:        1e-5,
+		VMax:        0.5,
+		ASteps:      16,
+		VSteps:      56,
+	}
+	res, err := experiments.Fig7(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+
+	// Candidate routines for acceleration, with their sizes.
+	candidates := []struct {
+		name string
+		gran float64 // instructions per invocation
+		a    float64 // achievable coverage
+	}{
+		{"utf8 validation", 45, 0.12},
+		{"small memcpy", 25, 0.20},
+		{"json number parse", 180, 0.08},
+		{"crc32 block", 900, 0.15},
+	}
+	fmt.Println("candidate routines on the map (per mode: speedup on big core):")
+	for _, c := range candidates {
+		p := cfg.Cores[0].Apply(core.Params{
+			AcceleratableFrac: c.a,
+			InvocationFreq:    c.a / c.gran,
+			AccelFactor:       cfg.AccelFactor,
+		})
+		s, err := p.Speedups()
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "safe in all modes"
+		if s.NLNT < 1 {
+			verdict = "NEEDS L/T support: barrier-only design slows the program"
+		}
+		fmt.Printf("  %-18s g=%4.0f a=%.2f  L_T %.3f  NL_T %.3f  L_NT %.3f  NL_NT %.3f  -> %s\n",
+			c.name, c.gran, c.a, s.LT, s.NLT, s.LNT, s.NLNT, verdict)
+	}
+
+	// The slowdown-share summary quantifies the paper's "HP cores are
+	// more sensitive" observation for these two cores.
+	share := res.SlowdownShare()
+	fmt.Println("\nslowdown share of the map (fraction of operating points that LOSE performance):")
+	for _, c := range cfg.Cores {
+		fmt.Printf("  IPC %.1f core: NL_NT %5.1f%%   L_NT %5.1f%%   NL_T %5.1f%%   L_T %5.1f%%\n",
+			c.IPC,
+			100*share[key(c, accel.NLNT)], 100*share[key(c, accel.LNT)],
+			100*share[key(c, accel.NLT)], 100*share[key(c, accel.LT)])
+	}
+}
+
+func key(c core.CoreParams, m accel.Mode) string {
+	return fmt.Sprintf("ipc%.1f-%s", c.IPC, m)
+}

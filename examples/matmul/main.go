@@ -1,0 +1,50 @@
+// Matmul: the paper's high-memory-bandwidth case study end to end.
+//
+// This example runs the §V-C dense matrix multiplication (blocked DGEMM)
+// with tensor-core-style t×t multiply-accumulate TCAs that operate through
+// memory, comparing 2×2, 4×4 and 8×8 accelerators across all four
+// integration modes, and demonstrates the paper's amortization finding:
+// bigger tiles amortize drain/barrier penalties, so mode choice matters
+// most for the smallest accelerator.
+//
+// Run with: go run ./examples/matmul   (about a minute of simulation)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accel"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		n     = 64 // matrix edge; the paper uses 512 with the same blocking
+		block = 32 // 32x32 blocking: 24 KiB of tiles, L1-resident
+	)
+	fmt.Printf("%dx%d DGEMM through %dx%d L1-resident blocks\n\n", n, n, block, block)
+
+	for _, tile := range []int{2, 4, 8} {
+		w, err := workload.MatMul(workload.MatMulConfig{N: n, Block: block, Tile: tile, Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := experiments.MeasureWorkload(sim.HighPerfConfig(), w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%dx%d TCA: %d invocations, measured service latency %.1f cycles\n",
+			tile, tile, w.Invocations, res.MeasuredAccelLatency)
+		for _, m := range accel.AllModes {
+			mm := res.Mode(m)
+			fmt.Printf("  %-6s simulated %7.2fx   model %7.2fx\n", m, mm.SimSpeedup, mm.ModelSpeedup)
+		}
+		lt, nlnt := res.Mode(accel.LT).SimSpeedup, res.Mode(accel.NLNT).SimSpeedup
+		fmt.Printf("  mode gap (L_T vs NL_NT): %.1f%%\n\n", 100*(lt/nlnt-1))
+	}
+	fmt.Println("Note how the relative mode gap shrinks as the tile grows: coarse TCAs")
+	fmt.Println("amortize the drain and fill penalties that dominate fine-grained designs.")
+}

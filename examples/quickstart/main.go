@@ -1,0 +1,71 @@
+// Quickstart: evaluate the analytical TCA model for an accelerator you are
+// sketching, before writing any simulator code.
+//
+// Scenario: you want to accelerate a hash-table probe routine of about 40
+// instructions that makes up 25% of your program, and your accelerator
+// design should be ~4x faster than the core on that code. Is it worth
+// building rollback hardware (L modes)? Dependency-check hardware (T
+// modes)?
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+)
+
+func main() {
+	// Describe the target core. Presets exist for the paper's
+	// high-performance and low-performance cores plus an A72-like
+	// mid-range; or fill core.Params fields directly.
+	arch := core.HPCore()
+
+	// Describe the accelerator and workload: coverage a, invocation
+	// frequency v (one invocation per 40-instruction routine call), and
+	// the acceleration factor A.
+	p := arch.Apply(core.Params{
+		AcceleratableFrac: 0.25,
+		InvocationFreq:    0.25 / 40,
+		AccelFactor:       4,
+	})
+
+	b, err := p.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("hash-probe TCA on a high-performance core")
+	fmt.Printf("interval: baseline %.0f cycles, accel work %.1f cycles, drain %.1f cycles\n\n",
+		b.TBaseline, b.TAccl, b.TDrain)
+
+	fmt.Printf("%-6s %9s   %s\n", "mode", "speedup", "hardware required")
+	hardware := map[accel.Mode]string{
+		accel.LT:   "rollback + dependency checks (full OoO)",
+		accel.NLT:  "dependency checks only",
+		accel.LNT:  "rollback only",
+		accel.NLNT: "none (drain + dispatch barrier)",
+	}
+	for _, m := range accel.AllModes {
+		fmt.Printf("%-6s %9.3f   %s\n", m, b.TBaseline/b.Times.Get(m), hardware[m])
+	}
+
+	// The headline concurrency result: with full OoO support the program
+	// can beat the accelerator's own speedup factor, up to A+1.
+	fmt.Printf("\nupper bound with full OoO overlap: %.1fx at %.0f%% coverage\n",
+		core.MaxConcurrentSpeedup(p.AccelFactor),
+		100*core.PeakAcceleratableFrac(p.AccelFactor))
+
+	// A one-line view of where each mode spends the interval (Fig. 3).
+	fmt.Println("\ninterval timelines ('#' dispatching, '.' stalled):")
+	for _, m := range accel.AllModes {
+		tl, err := p.Timeline(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tl)
+	}
+}

@@ -1,0 +1,213 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/tcmalloc"
+)
+
+func TestModeFlags(t *testing.T) {
+	cases := []struct {
+		m                 Mode
+		leading, trailing bool
+		name              string
+	}{
+		{NLNT, false, false, "NL_NT"},
+		{LNT, true, false, "L_NT"},
+		{NLT, false, true, "NL_T"},
+		{LT, true, true, "L_T"},
+	}
+	for _, c := range cases {
+		if c.m.Leading() != c.leading || c.m.Trailing() != c.trailing {
+			t.Errorf("%s: (L,T) = (%v,%v), want (%v,%v)",
+				c.name, c.m.Leading(), c.m.Trailing(), c.leading, c.trailing)
+		}
+		if c.m.String() != c.name {
+			t.Errorf("String() = %q, want %q", c.m.String(), c.name)
+		}
+		m, err := ParseMode(c.name)
+		if err != nil || m != c.m {
+			t.Errorf("ParseMode(%q) = (%v, %v)", c.name, m, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode accepted bogus mode")
+	}
+	if len(AllModes) != 4 {
+		t.Errorf("AllModes has %d entries, want 4", len(AllModes))
+	}
+}
+
+func TestFixedLatency(t *testing.T) {
+	d := NewFixedLatency(7)
+	res := d.Invoke(isa.AccelCall{Args: [3]uint64{42, 0, 0}}, nil)
+	if res.Value != 42 || res.Latency != 7 || len(res.MemOps) != 0 {
+		t.Errorf("result = %+v, want value 42, latency 7, no mem ops", res)
+	}
+	if d.Invocations != 1 {
+		t.Errorf("invocations = %d, want 1", d.Invocations)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewFixedLatency(0) must panic")
+			}
+		}()
+		NewFixedLatency(0)
+	}()
+}
+
+func TestHeapTCAMallocFree(t *testing.T) {
+	a := tcmalloc.New(0x10000, 1<<20)
+	a.Refill(1, 2)
+	h := NewHeap(a)
+	res := h.Invoke(isa.AccelCall{Kind: HeapMalloc, Args: [3]uint64{48, 0, 0}}, nil)
+	if res.Value == 0 {
+		t.Fatal("malloc through TCA failed")
+	}
+	if res.Latency != 1 {
+		t.Errorf("latency = %d, want 1 (single-cycle accelerator)", res.Latency)
+	}
+	if len(res.MemOps) != 0 {
+		t.Error("heap TCA must not generate memory traffic")
+	}
+	freeRes := h.Invoke(isa.AccelCall{Kind: HeapFree, Args: [3]uint64{res.Value, 0, 0}}, nil)
+	if freeRes.Value != 1 {
+		t.Error("free through TCA failed")
+	}
+	if h.Misses != 0 {
+		t.Errorf("misses = %d, want 0", h.Misses)
+	}
+}
+
+func TestHeapTCAMissCounting(t *testing.T) {
+	a := tcmalloc.New(0x10000, 1<<20)
+	h := NewHeap(a)
+	h.Invoke(isa.AccelCall{Kind: HeapMalloc, Args: [3]uint64{8, 0, 0}}, nil) // empty list
+	h.Invoke(isa.AccelCall{Kind: HeapFree, Args: [3]uint64{0xbad, 0, 0}}, nil)
+	if h.Misses != 2 {
+		t.Errorf("misses = %d, want 2", h.Misses)
+	}
+}
+
+func TestHeapTCAJournalRollback(t *testing.T) {
+	a := tcmalloc.New(0x10000, 1<<20)
+	a.Refill(0, 4)
+	h := NewHeap(a)
+	mark := h.Mark()
+	res := h.Invoke(isa.AccelCall{Kind: HeapMalloc, Args: [3]uint64{8, 0, 0}}, nil)
+	if !a.Allocated(res.Value) {
+		t.Fatal("allocation not visible")
+	}
+	h.Rewind(mark)
+	if a.Allocated(res.Value) {
+		t.Error("speculative allocation survived rollback")
+	}
+	// Replay is deterministic.
+	res2 := h.Invoke(isa.AccelCall{Kind: HeapMalloc, Args: [3]uint64{8, 0, 0}}, nil)
+	if res2.Value != res.Value {
+		t.Errorf("replay returned %#x, want %#x", res2.Value, res.Value)
+	}
+}
+
+// tileMem builds a memory image with A, B, C matrices of size n×n (row
+// stride n*8) at the returned bases.
+func tileMem(n int) (m *isa.Memory, aBase, bBase, cBase uint64) {
+	m = isa.NewMemory()
+	aBase, bBase, cBase = 0x10000, 0x20000, 0x30000
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			off := uint64(i*n+j) * 8
+			m.StoreFloat(aBase+off, float64(i+1))
+			m.StoreFloat(bBase+off, float64(j+1))
+			m.StoreFloat(cBase+off, 1.0)
+		}
+	}
+	return m, aBase, bBase, cBase
+}
+
+func TestMatMulTCAFunctional(t *testing.T) {
+	for _, tile := range []int{2, 4, 8} {
+		m, aB, bB, cB := tileMem(tile)
+		d := NewMatMul(tile, uint64(tile*8))
+		res := d.Invoke(isa.AccelCall{Kind: MatMulMAC, Args: [3]uint64{aB, bB, cB}}, m)
+		isa.ApplyStores(m, d.PendingStores())
+
+		// A[i][k] = i+1, B[k][j] = j+1: C[i][j] = 1 + t*(i+1)*(j+1).
+		for i := 0; i < tile; i++ {
+			for j := 0; j < tile; j++ {
+				want := 1 + float64(tile)*float64(i+1)*float64(j+1)
+				got := m.LoadFloat(cB + uint64(i*tile+j)*8)
+				if got != want {
+					t.Fatalf("tile %d: C[%d][%d] = %v, want %v", tile, i, j, got, want)
+				}
+			}
+		}
+		// Memory trace: 3t reads + t writes, each t*8 bytes.
+		reads, writes := 0, 0
+		for _, op := range res.MemOps {
+			if op.Size != tile*8 {
+				t.Errorf("tile %d: mem op size %d, want %d", tile, op.Size, tile*8)
+			}
+			if op.Store {
+				writes++
+			} else {
+				reads++
+			}
+		}
+		if reads != 3*tile || writes != tile {
+			t.Errorf("tile %d: %d reads / %d writes, want %d/%d", tile, reads, writes, 3*tile, tile)
+		}
+		if res.Latency != 2*tile {
+			t.Errorf("tile %d: latency %d, want %d", tile, res.Latency, 2*tile)
+		}
+	}
+}
+
+func TestMatMulTCAStride(t *testing.T) {
+	// Tiles embedded in an 8×8 matrix (stride 64B), operating on the
+	// bottom-right 2×2 corner.
+	n := 8
+	m, aB, bB, cB := tileMem(n)
+	stride := uint64(n * 8)
+	d := NewMatMul(2, stride)
+	corner := uint64(6*n+6) * 8
+	d.Invoke(isa.AccelCall{Kind: MatMulMAC, Args: [3]uint64{aB + corner, bB + corner, cB + corner}}, m)
+	isa.ApplyStores(m, d.PendingStores())
+	// A[6..7][6..7] rows are 7,8; B cols are 7,8.
+	// C[0][0] (global [6][6]) = 1 + 7*7 + 7*7 = 99.
+	if got := m.LoadFloat(cB + corner); got != 99 {
+		t.Errorf("strided C[6][6] = %v, want 99", got)
+	}
+	// Untouched element outside the tile is unchanged.
+	if got := m.LoadFloat(cB); got != 1 {
+		t.Errorf("C[0][0] = %v, want 1 (outside tile)", got)
+	}
+}
+
+func TestMatMulValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMatMul(3, 64) },
+		func() { NewMatMul(2, 12) }, // unaligned stride
+		func() { NewMatMul(8, 32) }, // stride < tile row
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid matmul config")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Devices must satisfy the optional interfaces the simulator dispatches on.
+func TestInterfaceCompliance(t *testing.T) {
+	var _ isa.AccelDevice = (*FixedLatency)(nil)
+	var _ isa.AccelDevice = (*Heap)(nil)
+	var _ isa.AccelJournal = (*Heap)(nil)
+	var _ isa.AccelDevice = (*MatMul)(nil)
+	var _ isa.AccelStorer = (*MatMul)(nil)
+}

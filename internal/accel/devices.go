@@ -1,0 +1,212 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/tcmalloc"
+)
+
+// FixedLatency is a stateless TCA that models "a block of software replaced
+// by a hardware unit of known latency". It returns its first argument
+// unchanged (so workloads can thread a value through it) and generates no
+// memory traffic. It is the device behind the synthetic microbenchmark,
+// where the acceleratable region is pure compute.
+type FixedLatency struct {
+	// Latency is the execution time of one invocation in cycles.
+	Latency int
+	// Invocations counts calls (diagnostics).
+	Invocations uint64
+}
+
+// NewFixedLatency returns a device with the given per-invocation latency.
+func NewFixedLatency(latency int) *FixedLatency {
+	if latency < 1 {
+		panic(fmt.Sprintf("accel: latency %d must be >= 1", latency))
+	}
+	return &FixedLatency{Latency: latency}
+}
+
+// Name implements isa.AccelDevice.
+func (d *FixedLatency) Name() string { return fmt.Sprintf("fixed-%dcyc", d.Latency) }
+
+// Invoke implements isa.AccelDevice.
+func (d *FixedLatency) Invoke(call isa.AccelCall, _ isa.WordReader) isa.AccelResult {
+	d.Invocations++
+	return isa.AccelResult{Value: call.Args[0], Latency: d.Latency}
+}
+
+// Heap device operation kinds (the OpAccel immediate).
+const (
+	HeapMalloc int64 = iota // Args[0] = size in bytes; result = pointer
+	HeapFree                // Args[0] = pointer; result = 1 if freed
+)
+
+// Heap is the heap-manager TCA of §V-B: hardware tables holding a subset of
+// TCMalloc's free lists serve malloc and free in a single cycle. Requests
+// always hit (the benchmark's common-case constraint), so there is no
+// fallback path and no memory traffic — this is the paper's low-bandwidth
+// accelerator.
+//
+// Heap implements isa.AccelJournal so the L modes can roll back
+// speculatively performed allocations on misspeculation.
+type Heap struct {
+	Alloc *tcmalloc.Allocator
+	// Latency of one invocation; the paper's proposed accelerator is
+	// single-cycle.
+	Latency int
+
+	// Misses counts invocations that would need the software slow path
+	// (empty list or unknown pointer); the benchmark keeps this zero.
+	Misses uint64
+}
+
+// NewHeap wraps an allocator as a single-cycle TCA.
+func NewHeap(a *tcmalloc.Allocator) *Heap {
+	return &Heap{Alloc: a, Latency: 1}
+}
+
+// Name implements isa.AccelDevice.
+func (h *Heap) Name() string { return "heap-tca" }
+
+// Invoke implements isa.AccelDevice.
+func (h *Heap) Invoke(call isa.AccelCall, _ isa.WordReader) isa.AccelResult {
+	switch call.Kind {
+	case HeapMalloc:
+		ptr := h.Alloc.Malloc(call.Args[0])
+		if ptr == 0 {
+			h.Misses++
+		}
+		return isa.AccelResult{Value: ptr, Latency: h.Latency}
+	case HeapFree:
+		var v uint64
+		if h.Alloc.Free(call.Args[0]) {
+			v = 1
+		} else {
+			h.Misses++
+		}
+		return isa.AccelResult{Value: v, Latency: h.Latency}
+	default:
+		panic(fmt.Sprintf("accel: heap TCA kind %d unknown", call.Kind))
+	}
+}
+
+// Mark implements isa.AccelJournal.
+func (h *Heap) Mark() int { return h.Alloc.Mark() }
+
+// Rewind implements isa.AccelJournal.
+func (h *Heap) Rewind(mark int) { h.Alloc.Rewind(mark) }
+
+// MatMul is the matrix-multiplication TCA of §V-C: a t×t double-precision
+// multiply-accumulate (C += A·B) that operates through memory loads and
+// stores rather than dedicated matrix registers, as the paper's
+// implementation does. Each invocation loads the A, B and C tiles, performs
+// the MAC, and stores C back; every row of a tile is one contiguous request
+// of t×8 bytes (≤ 64B for t ≤ 8, the paper's maximum request width). This
+// is the paper's high-bandwidth accelerator.
+type MatMul struct {
+	// Tile is the edge length t (2, 4 or 8 in the paper).
+	Tile int
+	// StrideBytes is the row stride of the matrices the tiles live in.
+	StrideBytes uint64
+	// ComputeLatency is the pure compute time of the t×t MAC, excluding
+	// memory. Defaults to 2·t when zero (one column per cycle through a
+	// t-wide FMA array, two passes).
+	ComputeLatency int
+
+	Invocations uint64
+
+	pending []isa.AccelStore
+}
+
+// MatMul call kind.
+const MatMulMAC int64 = 0
+
+// NewMatMul returns a t×t multiply-accumulate TCA over matrices with the
+// given row stride in bytes.
+func NewMatMul(tile int, strideBytes uint64) *MatMul {
+	switch tile {
+	case 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("accel: tile %d not supported (want 2, 4 or 8)", tile))
+	}
+	if strideBytes%8 != 0 || strideBytes < uint64(tile)*8 {
+		panic(fmt.Sprintf("accel: stride %d invalid for tile %d", strideBytes, tile))
+	}
+	return &MatMul{Tile: tile, StrideBytes: strideBytes, ComputeLatency: 2 * tile}
+}
+
+// Name implements isa.AccelDevice.
+func (d *MatMul) Name() string { return fmt.Sprintf("matmul-%dx%d", d.Tile, d.Tile) }
+
+// Invoke implements isa.AccelDevice. Args[0], Args[1], Args[2] are the base
+// addresses of the A, B and C tiles (top-left element).
+func (d *MatMul) Invoke(call isa.AccelCall, mem isa.WordReader) isa.AccelResult {
+	if call.Kind != MatMulMAC {
+		panic(fmt.Sprintf("accel: matmul kind %d unknown", call.Kind))
+	}
+	d.Invocations++
+	t := d.Tile
+	aBase, bBase, cBase := call.Args[0], call.Args[1], call.Args[2]
+
+	// Functional: C += A·B over t×t float64 tiles.
+	a := d.loadTile(mem, aBase)
+	b := d.loadTile(mem, bBase)
+	c := d.loadTile(mem, cBase)
+	for i := 0; i < t; i++ {
+		for j := 0; j < t; j++ {
+			sum := c[i*t+j]
+			for k := 0; k < t; k++ {
+				sum += a[i*t+k] * b[k*t+j]
+			}
+			c[i*t+j] = sum
+		}
+	}
+
+	// Timing trace: one contiguous request per tile row, plus the C
+	// write-back rows; and the pending stores for the caller to apply.
+	rowBytes := t * 8
+	ops := make([]isa.AccelMemOp, 0, 4*t)
+	d.pending = d.pending[:0]
+	for _, base := range []uint64{aBase, bBase, cBase} {
+		for r := 0; r < t; r++ {
+			ops = append(ops, isa.AccelMemOp{Addr: base + uint64(r)*d.StrideBytes, Size: rowBytes})
+		}
+	}
+	for r := 0; r < t; r++ {
+		rowAddr := cBase + uint64(r)*d.StrideBytes
+		ops = append(ops, isa.AccelMemOp{Addr: rowAddr, Size: rowBytes, Store: true})
+		for j := 0; j < t; j++ {
+			d.pending = append(d.pending, isa.AccelStore{
+				Addr: rowAddr + uint64(j)*8,
+				Data: floatBits(c[r*t+j]),
+			})
+		}
+	}
+	lat := d.ComputeLatency
+	if lat <= 0 {
+		lat = 2 * t
+	}
+	return isa.AccelResult{Value: 0, Latency: lat, MemOps: ops}
+}
+
+// PendingStores implements isa.AccelStorer.
+func (d *MatMul) PendingStores() []isa.AccelStore { return d.pending }
+
+// UsesProgramMemory implements isa.AccelMemoryUser: the matmul TCA operates
+// through memory loads and stores.
+func (d *MatMul) UsesProgramMemory() bool { return true }
+
+func (d *MatMul) loadTile(mem isa.WordReader, base uint64) []float64 {
+	t := d.Tile
+	out := make([]float64, t*t)
+	for i := 0; i < t; i++ {
+		for j := 0; j < t; j++ {
+			out[i*t+j] = mem.LoadFloat(base + uint64(i)*d.StrideBytes + uint64(j)*8)
+		}
+	}
+	return out
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }

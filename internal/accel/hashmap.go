@@ -1,0 +1,169 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// HashMap is a hash-table probe TCA modeled on the hash-map accelerators
+// of the paper's reference [6] (architectural support for server-side PHP:
+// hash maps are one of the fine-grained Fig. 2 accelerators). The table
+// lives in program memory — open addressing with linear probing over
+// 16-byte {key, value} buckets — so the device is stateless: lookups read
+// through the speculation-safe overlay and inserts are deferred stores,
+// which makes the device safe in the L modes without a journal.
+//
+// Layout: bucket i occupies Base + i*16; word 0 is the key (0 = empty),
+// word 1 the value. Capacity is a power of two.
+type HashMap struct {
+	// Base is the table's address; Buckets its capacity (power of two).
+	Base    uint64
+	Buckets int
+	// KeyWords selects the keying scheme. Zero: Args[0] IS the key
+	// (integer keys, hashed multiplicatively). Positive: Args[0] points
+	// at KeyWords 8-byte words of key data that the device reads and
+	// folds into the hash — the string-keyed scheme of reference [6]'s
+	// PHP hash maps, which is what makes the software routine expensive
+	// enough to accelerate. Buckets then store the key pointer.
+	KeyWords int
+	// HashLatency is the fixed cost of hashing; ProbeLatency the
+	// per-bucket compute cost. Defaults 2 and 1. Key-data hashing adds
+	// one cycle per 64-byte chunk.
+	HashLatency  int
+	ProbeLatency int
+
+	Lookups uint64
+	Inserts uint64
+	Probes  uint64
+
+	pending []isa.AccelStore
+}
+
+// HashMap operation kinds (OpAccel immediates).
+const (
+	HashLookup int64 = iota // Args[0] = key; result = value (0 if absent)
+	HashInsert              // Args[0] = key, Args[1] = value; result = 1 on success
+)
+
+// hashMult is the multiplicative-hash constant (Fibonacci hashing), also
+// used by the software baseline so both probe identical sequences.
+const hashMult = 0x9E3779B97F4A7C15
+
+// NewHashMap returns an integer-keyed probe TCA over the table at base.
+func NewHashMap(base uint64, buckets int) *HashMap {
+	if buckets < 2 || buckets&(buckets-1) != 0 {
+		panic(fmt.Sprintf("accel: hashmap buckets %d must be a power of two >= 2", buckets))
+	}
+	if base%16 != 0 {
+		panic(fmt.Sprintf("accel: hashmap base %#x must be 16-byte aligned", base))
+	}
+	return &HashMap{Base: base, Buckets: buckets, HashLatency: 2, ProbeLatency: 1}
+}
+
+// NewStringKeyedHashMap returns a TCA that hashes keyWords words of key
+// data per invocation (reference [6]'s scheme).
+func NewStringKeyedHashMap(base uint64, buckets, keyWords int) *HashMap {
+	h := NewHashMap(base, buckets)
+	if keyWords < 1 {
+		panic(fmt.Sprintf("accel: key words %d must be >= 1", keyWords))
+	}
+	h.KeyWords = keyWords
+	return h
+}
+
+// FoldHash folds key-data words into a bucket index exactly as the device
+// does; the software baseline mirrors it instruction for instruction.
+func FoldHash(words []uint64, buckets int) int {
+	var h uint64
+	for _, w := range words {
+		h = (h ^ w) * hashMult
+	}
+	return int(h & uint64(buckets-1))
+}
+
+// Name implements isa.AccelDevice.
+func (h *HashMap) Name() string { return fmt.Sprintf("hashmap-%d", h.Buckets) }
+
+// UsesProgramMemory implements isa.AccelMemoryUser.
+func (h *HashMap) UsesProgramMemory() bool { return true }
+
+// PendingStores implements isa.AccelStorer.
+func (h *HashMap) PendingStores() []isa.AccelStore { return h.pending }
+
+// HashBucket returns the home bucket for a key.
+func (h *HashMap) HashBucket(key uint64) int {
+	return int((key * hashMult) & uint64(h.Buckets-1))
+}
+
+func (h *HashMap) bucketAddr(i int) uint64 { return h.Base + uint64(i)*16 }
+
+// Invoke implements isa.AccelDevice: hash (reading key data for
+// string-keyed tables), then probe until the key or an empty bucket, one
+// 16-byte memory request per probe.
+func (h *HashMap) Invoke(call isa.AccelCall, mem isa.WordReader) isa.AccelResult {
+	h.pending = h.pending[:0]
+	key := call.Args[0]
+	res := isa.AccelResult{Latency: h.HashLatency}
+	if key == 0 {
+		// Key 0 is the empty marker; reject without probing.
+		return res
+	}
+	var idx int
+	if h.KeyWords > 0 {
+		// Read and fold the key data: one contiguous request per
+		// 64-byte chunk, one extra hash cycle per chunk.
+		words := make([]uint64, h.KeyWords)
+		for w := range words {
+			words[w] = mem.Load(key + uint64(w)*8)
+		}
+		for off := 0; off < h.KeyWords; off += 8 {
+			n := h.KeyWords - off
+			if n > 8 {
+				n = 8
+			}
+			res.MemOps = append(res.MemOps, isa.AccelMemOp{Addr: key + uint64(off)*8, Size: n * 8})
+			res.Latency++
+		}
+		idx = FoldHash(words, h.Buckets)
+	} else {
+		idx = h.HashBucket(key)
+	}
+	for n := 0; n < h.Buckets; n++ {
+		addr := h.bucketAddr(idx)
+		res.MemOps = append(res.MemOps, isa.AccelMemOp{Addr: addr, Size: 16})
+		res.Latency += h.ProbeLatency
+		h.Probes++
+		stored := mem.Load(addr)
+		switch {
+		case stored == key:
+			if call.Kind == HashLookup {
+				h.Lookups++
+				res.Value = mem.Load(addr + 8)
+				return res
+			}
+			// Insert over an existing key updates the value.
+			h.Inserts++
+			h.pending = append(h.pending, isa.AccelStore{Addr: addr + 8, Data: call.Args[1]})
+			res.MemOps = append(res.MemOps, isa.AccelMemOp{Addr: addr + 8, Size: 8, Store: true})
+			res.Value = 1
+			return res
+		case stored == 0:
+			if call.Kind == HashLookup {
+				h.Lookups++
+				return res // absent: value 0
+			}
+			h.Inserts++
+			h.pending = append(h.pending,
+				isa.AccelStore{Addr: addr, Data: key},
+				isa.AccelStore{Addr: addr + 8, Data: call.Args[1]})
+			res.MemOps = append(res.MemOps, isa.AccelMemOp{Addr: addr, Size: 16, Store: true})
+			res.Value = 1
+			return res
+		}
+		idx = (idx + 1) & (h.Buckets - 1)
+	}
+	// Table full: fail (the workloads size tables to avoid this).
+	res.Value = 0
+	return res
+}

@@ -1,0 +1,186 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func newTable(t *testing.T, buckets int) (*HashMap, *isa.Memory) {
+	t.Helper()
+	return NewHashMap(0x40000, buckets), isa.NewMemory()
+}
+
+func invoke(h *HashMap, m *isa.Memory, kind int64, args ...uint64) isa.AccelResult {
+	var a [3]uint64
+	copy(a[:], args)
+	res := h.Invoke(isa.AccelCall{Kind: kind, Args: a}, m)
+	isa.ApplyStores(m, h.PendingStores())
+	return res
+}
+
+func TestHashMapInsertLookup(t *testing.T) {
+	h, m := newTable(t, 64)
+	if r := invoke(h, m, HashInsert, 42, 1000); r.Value != 1 {
+		t.Fatal("insert failed")
+	}
+	if r := invoke(h, m, HashLookup, 42); r.Value != 1000 {
+		t.Fatalf("lookup = %d, want 1000", r.Value)
+	}
+	if r := invoke(h, m, HashLookup, 43); r.Value != 0 {
+		t.Fatalf("absent lookup = %d, want 0", r.Value)
+	}
+	// Update in place.
+	if r := invoke(h, m, HashInsert, 42, 2000); r.Value != 1 {
+		t.Fatal("update failed")
+	}
+	if r := invoke(h, m, HashLookup, 42); r.Value != 2000 {
+		t.Fatalf("updated lookup = %d, want 2000", r.Value)
+	}
+}
+
+func TestHashMapCollisionProbing(t *testing.T) {
+	h, m := newTable(t, 8)
+	// Find two keys with the same home bucket.
+	k1 := uint64(1)
+	home := h.HashBucket(k1)
+	var k2 uint64
+	for k := uint64(2); ; k++ {
+		if h.HashBucket(k) == home {
+			k2 = k
+			break
+		}
+	}
+	invoke(h, m, HashInsert, k1, 11)
+	invoke(h, m, HashInsert, k2, 22)
+	if r := invoke(h, m, HashLookup, k2); r.Value != 22 {
+		t.Fatalf("collided lookup = %d, want 22", r.Value)
+	}
+	// The collided lookup needs at least two probes; the memory trace
+	// must show them.
+	r := invoke(h, m, HashLookup, k2)
+	if len(r.MemOps) < 2 {
+		t.Errorf("collided lookup issued %d mem ops, want >= 2", len(r.MemOps))
+	}
+	if r.Latency < h.HashLatency+2*h.ProbeLatency {
+		t.Errorf("latency %d does not reflect probing", r.Latency)
+	}
+}
+
+func TestHashMapZeroKeyRejected(t *testing.T) {
+	h, m := newTable(t, 8)
+	if r := invoke(h, m, HashInsert, 0, 5); r.Value != 0 {
+		t.Error("zero key (the empty marker) must be rejected")
+	}
+	if r := invoke(h, m, HashLookup, 0); r.Value != 0 || len(r.MemOps) != 0 {
+		t.Error("zero-key lookup must not probe")
+	}
+}
+
+func TestHashMapFullTable(t *testing.T) {
+	h, m := newTable(t, 4)
+	inserted := 0
+	for k := uint64(1); k <= 4; k++ {
+		if invoke(h, m, HashInsert, k, k).Value == 1 {
+			inserted++
+		}
+	}
+	if inserted != 4 {
+		t.Fatalf("inserted %d, want 4", inserted)
+	}
+	if r := invoke(h, m, HashInsert, 99, 1); r.Value != 0 {
+		t.Error("insert into a full table must fail")
+	}
+}
+
+func TestHashMapValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHashMap(0x40000, 3) },
+		func() { NewHashMap(0x40000, 0) },
+		func() { NewHashMap(0x40001, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHashMapInterfaces(t *testing.T) {
+	var _ isa.AccelDevice = (*HashMap)(nil)
+	var _ isa.AccelStorer = (*HashMap)(nil)
+	var _ isa.AccelMemoryUser = (*HashMap)(nil)
+}
+
+// --- StrCmp ---
+
+// storeString writes words terminated by a zero word.
+func storeString(m *isa.Memory, base uint64, words []uint64) {
+	for i, w := range words {
+		m.Store(base+uint64(i)*8, w)
+	}
+	m.Store(base+uint64(len(words))*8, 0)
+}
+
+func TestStrCmpBasics(t *testing.T) {
+	d := NewStrCmp()
+	m := isa.NewMemory()
+	storeString(m, 0x1000, []uint64{5, 6, 7})
+	storeString(m, 0x2000, []uint64{5, 6, 7})
+	storeString(m, 0x3000, []uint64{5, 6, 8})
+	storeString(m, 0x4000, []uint64{5, 6})
+
+	cases := []struct {
+		a, b uint64
+		want uint64
+	}{
+		{0x1000, 0x2000, StrEqual},
+		{0x1000, 0x3000, StrLess},    // 7 < 8
+		{0x3000, 0x1000, StrGreater}, // 8 > 7
+		{0x1000, 0x4000, StrGreater}, // longer wins
+		{0x4000, 0x1000, StrLess},
+	}
+	for _, c := range cases {
+		r := d.Invoke(isa.AccelCall{Kind: StrCompare, Args: [3]uint64{c.a, c.b}}, m)
+		if r.Value != c.want {
+			t.Errorf("cmp(%#x, %#x) = %d, want %d", c.a, c.b, r.Value, c.want)
+		}
+	}
+}
+
+func TestStrCmpTrafficScalesWithLength(t *testing.T) {
+	d := NewStrCmp()
+	m := isa.NewMemory()
+	long := make([]uint64, 40) // 5 chunks of 8 words
+	for i := range long {
+		long[i] = uint64(i + 1)
+	}
+	storeString(m, 0x1000, long)
+	storeString(m, 0x3000, long)
+	r := d.Invoke(isa.AccelCall{Kind: StrCompare, Args: [3]uint64{0x1000, 0x3000}}, m)
+	if r.Value != StrEqual {
+		t.Fatalf("long equal strings compared %d", r.Value)
+	}
+	// 41 words -> 6 chunks -> 12 requests of 64B.
+	if len(r.MemOps) != 12 {
+		t.Errorf("mem ops = %d, want 12", len(r.MemOps))
+	}
+	if r.Latency != d.SetupLatency+6*d.ChunkLatency {
+		t.Errorf("latency = %d, want %d", r.Latency, d.SetupLatency+6*d.ChunkLatency)
+	}
+	// Early mismatch stops traffic immediately.
+	m.Store(0x3000, 999)
+	r = d.Invoke(isa.AccelCall{Kind: StrCompare, Args: [3]uint64{0x1000, 0x3000}}, m)
+	if len(r.MemOps) != 2 {
+		t.Errorf("early-mismatch mem ops = %d, want 2", len(r.MemOps))
+	}
+}
+
+func TestStrCmpInterfaces(t *testing.T) {
+	var _ isa.AccelDevice = (*StrCmp)(nil)
+	var _ isa.AccelMemoryUser = (*StrCmp)(nil)
+}

@@ -1,0 +1,72 @@
+// Package accel defines the tightly-coupled accelerator (TCA) devices used
+// by the paper's evaluation and the four core-integration modes the
+// analytical model distinguishes.
+//
+// A mode states whether the TCA may overlap with leading (L) instructions —
+// i.e. execute speculatively before older instructions commit — and whether
+// trailing (T) instructions may dispatch and execute while the TCA is in
+// flight. Supporting either direction of concurrency costs hardware
+// (rollback, dependency checking); the paper's model quantifies what that
+// hardware buys.
+package accel
+
+import "fmt"
+
+// Mode is one of the paper's four TCA integration modes.
+type Mode uint8
+
+const (
+	// NLNT — Non-Leading & Non-Trailing: the TCA waits for the ROB to
+	// drain before executing, and dispatch stalls until the TCA commits.
+	// Simplest hardware: no rollback, no dependency checks.
+	NLNT Mode = iota
+	// LNT — Leading & Non-Trailing: the TCA executes speculatively, but
+	// dispatch stalls until it commits.
+	LNT
+	// NLT — Non-Leading & Trailing: the TCA waits for the ROB to drain,
+	// but trailing instructions dispatch immediately (dependency checks
+	// required).
+	NLT
+	// LT — Leading & Trailing: full out-of-order integration; best
+	// performance, most hardware.
+	LT
+
+	numModes
+)
+
+// AllModes lists the modes in the order the paper's figures use
+// (left to right: L_T, NL_T, L_NT, NL_NT).
+var AllModes = []Mode{LT, NLT, LNT, NLNT}
+
+// Leading reports whether the TCA may execute speculatively, overlapping
+// with leading instructions.
+func (m Mode) Leading() bool { return m == LNT || m == LT }
+
+// Trailing reports whether trailing instructions may dispatch while the TCA
+// is in flight.
+func (m Mode) Trailing() bool { return m == NLT || m == LT }
+
+// String returns the paper's name for the mode (e.g. "L_T").
+func (m Mode) String() string {
+	switch m {
+	case NLNT:
+		return "NL_NT"
+	case LNT:
+		return "L_NT"
+	case NLT:
+		return "NL_T"
+	case LT:
+		return "L_T"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode converts a paper-style mode name to a Mode.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range AllModes {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("accel: unknown mode %q (want one of L_T, NL_T, L_NT, NL_NT)", s)
+}

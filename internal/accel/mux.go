@@ -1,0 +1,117 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Mux routes invocations to one of several sub-devices, modeling a core
+// with multiple tightly-coupled accelerators (the GreenDroid scenario:
+// many specialized function units sharing the TCA interface). The OpAccel
+// immediate encodes both the target device and its operation:
+//
+//	kind = deviceIndex*KindStride + deviceKind
+//
+// Timing composes naturally: the simulator still sees one TCA "port"
+// (invocations serialize at the interface, as a shared accelerator complex
+// would), while functional behaviour and per-invocation latency come from
+// the routed sub-device.
+type Mux struct {
+	devices []isa.AccelDevice
+	// journal is the at-most-one journaled sub-device.
+	journal isa.AccelJournal
+	// lastStorer is the device that served the most recent invocation,
+	// for PendingStores delegation.
+	lastStorer isa.AccelStorer
+	usesMemory bool
+}
+
+// KindStride separates device kind spaces in the OpAccel immediate.
+const KindStride = 256
+
+// NewMux builds a multi-accelerator complex. At most one sub-device may
+// hold journaled internal state (speculative rollback delegates to it);
+// more would need a composite journal, which no workload here requires.
+func NewMux(devices ...isa.AccelDevice) (*Mux, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("accel: mux needs at least one device")
+	}
+	m := &Mux{devices: devices}
+	for _, d := range devices {
+		if j, ok := d.(isa.AccelJournal); ok {
+			if m.journal != nil {
+				return nil, fmt.Errorf("accel: mux supports at most one journaled device")
+			}
+			m.journal = j
+		}
+		if devUses(d) {
+			m.usesMemory = true
+		}
+	}
+	return m, nil
+}
+
+func devUses(d isa.AccelDevice) bool {
+	if u, ok := d.(isa.AccelMemoryUser); ok {
+		return u.UsesProgramMemory()
+	}
+	_, stores := d.(isa.AccelStorer)
+	return stores
+}
+
+// MuxKind encodes a (device index, sub-kind) pair for OpAccel.
+func MuxKind(device int, kind int64) int64 {
+	return int64(device)*KindStride + kind
+}
+
+// Name implements isa.AccelDevice.
+func (m *Mux) Name() string { return fmt.Sprintf("mux-%d", len(m.devices)) }
+
+// UsesProgramMemory implements isa.AccelMemoryUser.
+func (m *Mux) UsesProgramMemory() bool { return m.usesMemory }
+
+// Invoke implements isa.AccelDevice.
+func (m *Mux) Invoke(call isa.AccelCall, mem isa.WordReader) isa.AccelResult {
+	idx := int(call.Kind / KindStride)
+	if idx < 0 || idx >= len(m.devices) {
+		panic(fmt.Sprintf("accel: mux kind %d routes to device %d of %d", call.Kind, idx, len(m.devices)))
+	}
+	dev := m.devices[idx]
+	sub := call
+	sub.Kind = call.Kind % KindStride
+	res := dev.Invoke(sub, mem)
+	if s, ok := dev.(isa.AccelStorer); ok {
+		m.lastStorer = s
+	} else {
+		m.lastStorer = nil
+	}
+	return res
+}
+
+// PendingStores implements isa.AccelStorer, delegating to the device that
+// served the last invocation.
+func (m *Mux) PendingStores() []isa.AccelStore {
+	if m.lastStorer == nil {
+		return nil
+	}
+	return m.lastStorer.PendingStores()
+}
+
+// Mark implements isa.AccelJournal.
+func (m *Mux) Mark() int {
+	if m.journal == nil {
+		return 0
+	}
+	return m.journal.Mark()
+}
+
+// Rewind implements isa.AccelJournal.
+func (m *Mux) Rewind(mark int) {
+	if m.journal != nil {
+		m.journal.Rewind(mark)
+	}
+}
+
+// Device returns the i'th sub-device (stats inspection).
+func (m *Mux) Device(i int) isa.AccelDevice { return m.devices[i] }

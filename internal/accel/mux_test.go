@@ -1,0 +1,102 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/tcmalloc"
+)
+
+func TestMuxRouting(t *testing.T) {
+	d0 := NewFixedLatency(5)
+	d1 := NewFixedLatency(50)
+	m, err := NewMux(d0, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := m.Invoke(isa.AccelCall{Kind: MuxKind(0, 0), Args: [3]uint64{7}}, nil)
+	r1 := m.Invoke(isa.AccelCall{Kind: MuxKind(1, 0), Args: [3]uint64{9}}, nil)
+	if r0.Latency != 5 || r1.Latency != 50 {
+		t.Errorf("latencies = %d, %d; want 5, 50", r0.Latency, r1.Latency)
+	}
+	if r0.Value != 7 || r1.Value != 9 {
+		t.Errorf("values = %d, %d", r0.Value, r1.Value)
+	}
+	if d0.Invocations != 1 || d1.Invocations != 1 {
+		t.Error("routing did not reach both devices")
+	}
+}
+
+func TestMuxSubKindPassthrough(t *testing.T) {
+	alloc := tcmalloc.New(0x10000, 1<<20)
+	alloc.Refill(0, 8)
+	heap := NewHeap(alloc)
+	m, err := NewMux(NewFixedLatency(3), heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device 1 sub-kind HeapMalloc.
+	r := m.Invoke(isa.AccelCall{Kind: MuxKind(1, HeapMalloc), Args: [3]uint64{16}}, nil)
+	if r.Value == 0 {
+		t.Error("malloc through mux failed")
+	}
+	r = m.Invoke(isa.AccelCall{Kind: MuxKind(1, HeapFree), Args: [3]uint64{r.Value}}, nil)
+	if r.Value != 1 {
+		t.Error("free through mux failed")
+	}
+}
+
+func TestMuxJournalDelegation(t *testing.T) {
+	alloc := tcmalloc.New(0x10000, 1<<20)
+	alloc.Refill(0, 8)
+	heap := NewHeap(alloc)
+	m, err := NewMux(NewFixedLatency(3), heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mark := m.Mark()
+	r := m.Invoke(isa.AccelCall{Kind: MuxKind(1, HeapMalloc), Args: [3]uint64{16}}, nil)
+	if !alloc.Allocated(r.Value) {
+		t.Fatal("allocation missing")
+	}
+	m.Rewind(mark)
+	if alloc.Allocated(r.Value) {
+		t.Error("mux journal rewind did not reach the heap device")
+	}
+}
+
+func TestMuxRejectsTwoJournaledDevices(t *testing.T) {
+	a1 := tcmalloc.New(0x10000, 1<<20)
+	a2 := tcmalloc.New(0x20000, 1<<20)
+	if _, err := NewMux(NewHeap(a1), NewHeap(a2)); err == nil {
+		t.Error("two journaled devices accepted")
+	}
+	if _, err := NewMux(); err == nil {
+		t.Error("empty mux accepted")
+	}
+}
+
+func TestMuxMemoryUse(t *testing.T) {
+	m1, _ := NewMux(NewFixedLatency(1))
+	if m1.UsesProgramMemory() {
+		t.Error("pure-compute mux claims memory use")
+	}
+	m2, _ := NewMux(NewFixedLatency(1), NewStrCmp())
+	if !m2.UsesProgramMemory() {
+		t.Error("mux with strcmp must use memory")
+	}
+}
+
+func TestMuxPendingStoresDelegation(t *testing.T) {
+	mm := NewMatMul(2, 16)
+	m, _ := NewMux(NewFixedLatency(1), mm)
+	mem := isa.NewMemory()
+	m.Invoke(isa.AccelCall{Kind: MuxKind(1, MatMulMAC), Args: [3]uint64{0x100, 0x200, 0x300}}, mem)
+	if len(m.PendingStores()) == 0 {
+		t.Error("matmul stores not delegated through mux")
+	}
+	m.Invoke(isa.AccelCall{Kind: MuxKind(0, 0), Args: [3]uint64{1}}, mem)
+	if len(m.PendingStores()) != 0 {
+		t.Error("stale stores after a non-storing invocation")
+	}
+}

@@ -1,0 +1,94 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/redfa"
+)
+
+// Regex is a regular-expression matching TCA modeled on the regex
+// accelerators of the paper's reference [6] — the last of Fig. 2's
+// fine-grained markers. It walks a table-driven DFA held in program memory
+// (layout per redfa.Layout): one chunked read per 8 input symbols, plus
+// one *serial* table read per symbol (each transition's address depends on
+// the previous transition's result — the pointer-chasing behaviour that
+// makes software regex slow and hardware regex engines latency-bound).
+//
+// The device is stateless and speculation-safe: all state is in memory,
+// reads go through the overlay, and it writes nothing.
+type Regex struct {
+	// Layout locates the DFA tables.
+	Layout redfa.Layout
+	// StepLatency is the per-symbol compute cost; SetupLatency the fixed
+	// invocation cost. Defaults 1 and 2.
+	StepLatency  int
+	SetupLatency int
+	// ChunkWords is the input-read width in words (default 8 = 64B).
+	ChunkWords int
+
+	Invocations uint64
+	Symbols     uint64
+	Matches     uint64
+}
+
+// Regex operation kind (OpAccel immediate).
+const (
+	RegexMatch int64 = iota // Args[0] = input string base; result = 1 on match
+)
+
+// NewRegex returns a matcher TCA over the serialized DFA.
+func NewRegex(layout redfa.Layout) *Regex {
+	if layout.States < 1 || layout.Start == 0 {
+		panic(fmt.Sprintf("accel: invalid regex layout %+v", layout))
+	}
+	return &Regex{Layout: layout, StepLatency: 1, SetupLatency: 2, ChunkWords: 8}
+}
+
+// Name implements isa.AccelDevice.
+func (d *Regex) Name() string { return fmt.Sprintf("regex-%dstates", d.Layout.States) }
+
+// UsesProgramMemory implements isa.AccelMemoryUser.
+func (d *Regex) UsesProgramMemory() bool { return true }
+
+// Invoke implements isa.AccelDevice.
+func (d *Regex) Invoke(call isa.AccelCall, mem isa.WordReader) isa.AccelResult {
+	if call.Kind != RegexMatch {
+		panic(fmt.Sprintf("accel: regex kind %d unknown", call.Kind))
+	}
+	d.Invocations++
+	in := call.Args[0]
+	res := isa.AccelResult{Latency: d.SetupLatency}
+	state := uint64(d.Layout.Start)
+
+	for pos := 0; ; pos++ {
+		// One chunked input read per ChunkWords symbols.
+		if pos%d.ChunkWords == 0 {
+			res.MemOps = append(res.MemOps, isa.AccelMemOp{
+				Addr: in + uint64(pos)*8, Size: d.ChunkWords * 8,
+			})
+		}
+		sym := mem.Load(in + uint64(pos)*8)
+		if sym >= redfa.Terminator {
+			break
+		}
+		d.Symbols++
+		res.Latency += d.StepLatency
+		// Serial transition read: address depends on the current state.
+		tAddr := d.Layout.TableBase + (state*256+sym)*8
+		res.MemOps = append(res.MemOps, isa.AccelMemOp{Addr: tAddr, Size: 8, Serial: true})
+		state = mem.Load(tAddr)
+		if state == 0 {
+			res.Value = 0
+			return res
+		}
+	}
+	// Finality check.
+	fAddr := d.Layout.FinalBase + state*8
+	res.MemOps = append(res.MemOps, isa.AccelMemOp{Addr: fAddr, Size: 8, Serial: true})
+	res.Value = mem.Load(fAddr)
+	if res.Value != 0 {
+		d.Matches++
+	}
+	return res
+}

@@ -1,0 +1,215 @@
+// Package bpred provides branch direction predictors and a branch target
+// buffer for the out-of-order core in internal/sim.
+//
+// The paper's analytical model treats the front end as dispatching IPC
+// useful instructions per cycle except during TCA-induced stalls; branch
+// prediction quality is therefore part of the baseline IPC, not a separate
+// model term. The simulator still needs real predictors so baseline IPC —
+// one of the model's inputs — emerges from program behaviour the way it
+// does in gem5.
+package bpred
+
+// Predictor predicts the direction of conditional branches.
+//
+// PC values are instruction indices (the ISA addresses code in units of
+// instructions).
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint64, taken bool)
+	// Name identifies the predictor in statistics output.
+	Name() string
+}
+
+// ConfidenceEstimator is implemented by predictors that can qualify a
+// prediction with a confidence estimate. The simulator's partial-TCA-
+// speculation extension (the paper's §VIII future-work design point between
+// the L and NL modes) only lets an accelerator execute speculatively past
+// high-confidence branches.
+type ConfidenceEstimator interface {
+	// Confident reports whether the next Predict(pc) is high confidence.
+	Confident(pc uint64) bool
+}
+
+// Static predicts the same direction for every branch.
+type Static struct{ Taken bool }
+
+// Name implements Predictor.
+func (s *Static) Name() string {
+	if s.Taken {
+		return "static-taken"
+	}
+	return "static-not-taken"
+}
+
+// Predict implements Predictor.
+func (s *Static) Predict(uint64) bool { return s.Taken }
+
+// Update implements Predictor.
+func (s *Static) Update(uint64, bool) {}
+
+// counter is a 2-bit saturating counter; values 0-1 predict not taken,
+// 2-3 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a classic table of 2-bit saturating counters indexed by PC.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits counters, initialized
+// weakly taken (loops predict taken after one training).
+func NewBimodal(bits int) *Bimodal {
+	size := 1 << bits
+	t := make([]counter, size)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &Bimodal{table: t, mask: uint64(size - 1)}
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[pc&b.mask].taken() }
+
+// Confident implements ConfidenceEstimator: a saturated counter is high
+// confidence.
+func (b *Bimodal) Confident(pc uint64) bool {
+	c := b.table[pc&b.mask]
+	return c == 0 || c == 3
+}
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := pc & b.mask
+	b.table[i] = b.table[i].update(taken)
+}
+
+// GShare XORs a global history register with the PC to index the counter
+// table, capturing correlated branch behaviour.
+type GShare struct {
+	table   []counter
+	mask    uint64
+	history uint64
+	histLen uint
+}
+
+// NewGShare returns a gshare predictor with 2^bits counters and histBits of
+// global history.
+func NewGShare(bits, histBits int) *GShare {
+	size := 1 << bits
+	t := make([]counter, size)
+	for i := range t {
+		t[i] = 2
+	}
+	return &GShare{table: t, mask: uint64(size - 1), histLen: uint(histBits)}
+}
+
+// Name implements Predictor.
+func (g *GShare) Name() string { return "gshare" }
+
+func (g *GShare) index(pc uint64) uint64 { return (pc ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *GShare) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+
+// Confident implements ConfidenceEstimator: a saturated counter is high
+// confidence.
+func (g *GShare) Confident(pc uint64) bool {
+	c := g.table[g.index(pc)]
+	return c == 0 || c == 3
+}
+
+// Update implements Predictor. It trains the counter and shifts the resolved
+// direction into the global history.
+func (g *GShare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= (1 << g.histLen) - 1
+}
+
+// Perfect is an oracle used to isolate TCA effects from branch effects in
+// experiments: Predict consults the recorded outcome for the next dynamic
+// instance of each branch. It must be primed by the caller (the simulator
+// primes it with the functional resolution available at fetch).
+//
+// Perfect implements Predictor by always returning the direction installed
+// with Prime; Update clears the priming.
+type Perfect struct {
+	next map[uint64]bool
+}
+
+// NewPerfect returns an oracle predictor.
+func NewPerfect() *Perfect { return &Perfect{next: make(map[uint64]bool)} }
+
+// Name implements Predictor.
+func (p *Perfect) Name() string { return "perfect" }
+
+// Prime installs the direction the next Predict(pc) must return.
+func (p *Perfect) Prime(pc uint64, taken bool) { p.next[pc] = taken }
+
+// Predict implements Predictor.
+func (p *Perfect) Predict(pc uint64) bool { return p.next[pc] }
+
+// Update implements Predictor.
+func (p *Perfect) Update(pc uint64, taken bool) { p.next[pc] = taken }
+
+// BTB is a direct-mapped branch target buffer mapping branch PCs to their
+// most recent targets. The ISA has statically-known branch targets, but the
+// front end still uses a BTB so that target knowledge is learned the way
+// hardware learns it.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+	mask    uint64
+}
+
+// NewBTB returns a BTB with 2^bits entries.
+func NewBTB(bits int) *BTB {
+	size := 1 << bits
+	return &BTB{
+		tags:    make([]uint64, size),
+		targets: make([]uint64, size),
+		valid:   make([]bool, size),
+		mask:    uint64(size - 1),
+	}
+}
+
+// Lookup returns the predicted target for pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	i := pc & b.mask
+	if b.valid[i] && b.tags[i] == pc {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Insert records the target for pc.
+func (b *BTB) Insert(pc, target uint64) {
+	i := pc & b.mask
+	b.tags[i], b.targets[i], b.valid[i] = pc, target, true
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/accel"
+)
+
+// This file implements the paper's §VIII future-work proposal: "a
+// pareto-optimal curve of design implementations could show the trade-off
+// between hardware costs, performance, and which (if any) design
+// implementations fall outside of the curve and should not be considered."
+//
+// Costs are first-order relative estimates, like the performance model
+// itself: the baseline NL_NT integration is 1.0, and each concurrency
+// direction adds the hardware the paper's §III describes.
+
+// ModeCost is the relative hardware cost of one TCA integration mode.
+type ModeCost struct {
+	// Area and Power are relative to the NL_NT integration (1.0).
+	Area  float64
+	Power float64
+}
+
+// DefaultModeCosts returns documented first-order cost estimates:
+//
+//   - L support (speculative execution) needs misspeculation rollback:
+//     state checkpoints or an undo journal in the device, squash plumbing
+//     — estimated +15% area, +12% power over the bare integration.
+//   - T support (trailing overlap) needs register/memory dependency
+//     resolution against in-flight TCA outputs: LSQ CAM entries, rename
+//     hooks, forwarding — estimated +10% area, +8% power.
+//   - L_T needs both, plus their interaction (speculative forwarding):
+//     +28% area, +23% power.
+//
+// The absolute numbers are placeholders a real design team would replace;
+// the Pareto machinery only needs their ordering, which follows directly
+// from the hardware inventory in §III.
+func DefaultModeCosts() map[accel.Mode]ModeCost {
+	return map[accel.Mode]ModeCost{
+		accel.NLNT: {Area: 1.00, Power: 1.00},
+		accel.LNT:  {Area: 1.15, Power: 1.12},
+		accel.NLT:  {Area: 1.10, Power: 1.08},
+		accel.LT:   {Area: 1.28, Power: 1.23},
+	}
+}
+
+// DesignPoint is one candidate implementation on the cost/performance
+// plane.
+type DesignPoint struct {
+	Mode    accel.Mode
+	Speedup float64
+	Cost    ModeCost
+	// Dominated is set by ParetoAnalyze when another point is at least
+	// as fast and strictly cheaper (or as cheap and strictly faster).
+	Dominated bool
+	// DominatedBy names a dominating mode when Dominated is set.
+	DominatedBy accel.Mode
+}
+
+// EnergyEfficiency returns speedup per unit power — a proxy for the
+// energy argument of the paper's §VII (slowdown burns static energy).
+func (d DesignPoint) EnergyEfficiency() float64 { return d.Speedup / d.Cost.Power }
+
+// ParetoAnalyze evaluates the model at p, attaches costs, and marks
+// dominated designs. Points are returned sorted by area cost. A point
+// dominates another when its speedup is >= and its area is <= with at
+// least one strict; ties in both stay undominated.
+func ParetoAnalyze(p Params, costs map[accel.Mode]ModeCost) ([]DesignPoint, error) {
+	s, err := p.Speedups()
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]DesignPoint, 0, len(accel.AllModes))
+	for _, m := range accel.AllModes {
+		c, ok := costs[m]
+		if !ok {
+			return nil, fmt.Errorf("core: no cost for mode %s", m)
+		}
+		pts = append(pts, DesignPoint{Mode: m, Speedup: s.Get(m), Cost: c})
+	}
+	// Speedups within 0.1% are treated as equal: the first-order model
+	// does not resolve finer differences, and a design that costs more
+	// area for an unresolvable gain is exactly what the frontier should
+	// exclude.
+	const speedupEpsilon = 1e-3
+	for i := range pts {
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			a, b := &pts[i], pts[j]
+			fasterOrTied := b.Speedup >= a.Speedup*(1-speedupEpsilon)
+			strictlyFaster := b.Speedup > a.Speedup*(1+speedupEpsilon)
+			cheaperOrTied := b.Cost.Area <= a.Cost.Area
+			strictlyCheaper := b.Cost.Area < a.Cost.Area
+			if fasterOrTied && cheaperOrTied && (strictlyFaster || strictlyCheaper) {
+				a.Dominated = true
+				a.DominatedBy = b.Mode
+				break
+			}
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Cost.Area < pts[j].Cost.Area })
+	return pts, nil
+}
+
+// Frontier filters a ParetoAnalyze result down to the undominated curve.
+func Frontier(pts []DesignPoint) []DesignPoint {
+	out := make([]DesignPoint, 0, len(pts))
+	for _, p := range pts {
+		if !p.Dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+)
+
+func TestDefaultModeCostsOrdering(t *testing.T) {
+	c := DefaultModeCosts()
+	if len(c) != 4 {
+		t.Fatalf("costs for %d modes, want 4", len(c))
+	}
+	// Hardware inventory ordering: NL_NT < {NL_T, L_NT} < L_T.
+	if !(c[accel.NLNT].Area < c[accel.NLT].Area &&
+		c[accel.NLT].Area < c[accel.LNT].Area &&
+		c[accel.LNT].Area < c[accel.LT].Area) {
+		t.Errorf("area ordering broken: %+v", c)
+	}
+	for m, mc := range c {
+		if mc.Power < 1 || mc.Area < 1 {
+			t.Errorf("%s: costs below the NL_NT baseline: %+v", m, mc)
+		}
+	}
+}
+
+func TestParetoAnalyzeFineGrained(t *testing.T) {
+	// Fine-grained accelerator: big mode spread, so NL_NT (slowest) is
+	// on the frontier only by being cheapest, and every point that is
+	// both slower and dearer is dominated.
+	p := HPCore().Apply(Params{
+		AcceleratableFrac: 0.3,
+		InvocationFreq:    0.3 / 30,
+		AccelFactor:       3,
+	})
+	pts, err := ParetoAnalyze(p, DefaultModeCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Sorted by area.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cost.Area < pts[i-1].Cost.Area {
+			t.Error("points not sorted by area")
+		}
+	}
+	// The cheapest (NL_NT) and the fastest (L_T) are always undominated.
+	for _, pt := range pts {
+		if pt.Mode == accel.NLNT && pt.Dominated {
+			t.Error("cheapest design cannot be dominated (nothing is cheaper)")
+		}
+		if pt.Mode == accel.LT && pt.Dominated {
+			t.Error("fastest design cannot be dominated (nothing is faster)")
+		}
+	}
+	// With the default costs, L_NT costs more than NL_T; at fine
+	// granularity NL_T is also faster (trailing overlap beats
+	// speculation alone per the model), so L_NT must be dominated.
+	var lnt DesignPoint
+	for _, pt := range pts {
+		if pt.Mode == accel.LNT {
+			lnt = pt
+		}
+	}
+	if !lnt.Dominated || lnt.DominatedBy != accel.NLT {
+		t.Errorf("expected L_NT dominated by NL_T, got %+v", lnt)
+	}
+	fr := Frontier(pts)
+	if len(fr) == 0 || len(fr) >= 4 {
+		t.Errorf("frontier size %d, want 1..3", len(fr))
+	}
+	for _, pt := range fr {
+		if pt.Dominated {
+			t.Error("frontier contains dominated point")
+		}
+	}
+}
+
+func TestParetoCoarseGrainedCollapses(t *testing.T) {
+	// Coarse-grained: all modes have equal speedup, so only the cheapest
+	// (NL_NT) survives — the paper's "don't build L_T hardware for a
+	// coarse accelerator" takeaway.
+	p := HPCore().Apply(Params{
+		AcceleratableFrac: 0.3,
+		InvocationFreq:    0.3 / 1e8,
+		AccelFactor:       3,
+	})
+	pts, err := ParetoAnalyze(p, DefaultModeCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := Frontier(pts)
+	if len(fr) != 1 || fr[0].Mode != accel.NLNT {
+		t.Errorf("coarse-grained frontier = %+v, want only NL_NT", fr)
+	}
+}
+
+func TestParetoMissingCost(t *testing.T) {
+	p := HPCore().Apply(Params{AcceleratableFrac: 0.3, InvocationFreq: 0.003, AccelFactor: 3})
+	costs := DefaultModeCosts()
+	delete(costs, accel.LT)
+	if _, err := ParetoAnalyze(p, costs); err == nil {
+		t.Error("missing cost accepted")
+	}
+}
+
+func TestEnergyEfficiency(t *testing.T) {
+	d := DesignPoint{Speedup: 2, Cost: ModeCost{Power: 1.25}}
+	if got := d.EnergyEfficiency(); got != 1.6 {
+		t.Errorf("efficiency = %v, want 1.6", got)
+	}
+}

@@ -1,0 +1,309 @@
+// Package core implements the paper's contribution: a first-order
+// analytical model for the performance of tightly-coupled accelerators
+// (TCAs) integrated into an out-of-order core with four degrees of support
+// for concurrent execution (accel.Mode).
+//
+// The model follows the interval analysis of Eyerman et al.'s mechanistic
+// OoO model: the front end dispatches roughly IPC useful instructions per
+// cycle, dropping to zero during TCA-induced stalls. All quantities are
+// evaluated over the average inter-invocation interval of 1/v instructions
+// (equations (1)–(9) of the paper); whole-program speedup is the ratio of
+// baseline to accelerated interval time.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/accel"
+)
+
+// Params are the analytical model inputs — Table I of the paper, plus the
+// optional overrides the paper describes (explicit accelerator latency,
+// explicit window drain time).
+type Params struct {
+	// AcceleratableFrac is a, the fraction of baseline dynamic
+	// instructions covered by accelerated regions (0 ≤ a < 1).
+	AcceleratableFrac float64
+	// InvocationFreq is v, accelerator invocations per baseline
+	// instruction (0 < v ≤ a; each invocation replaces a/v instructions).
+	InvocationFreq float64
+	// IPC is the baseline program's average instructions per cycle.
+	IPC float64
+	// AccelFactor is A, the accelerator's speedup over the core on the
+	// acceleratable code: accelerated work executes at A·IPC.
+	AccelFactor float64
+	// ROBSize is s_ROB.
+	ROBSize int
+	// IssueWidth is w_issue, the dispatch/issue width.
+	IssueWidth int
+	// CommitStall is t_commit, the back-end cycles between the end of
+	// execution and commit.
+	CommitStall float64
+
+	// AccelLatency, when positive, is an explicit per-invocation
+	// accelerator execution time in cycles and overrides AccelFactor in
+	// equation (2) — "accelerator execution time can either be an
+	// explicitly provided latency inserted by the architect, or
+	// estimated".
+	AccelLatency float64
+
+	// DrainTime, when positive, is an explicit window drain time and
+	// overrides the power-law estimate.
+	DrainTime float64
+	// DrainBeta is the exponent of the Eyerman power law W = α·l^β
+	// relating window size to the critical-path length of the
+	// instructions in it. Zero selects the default of 2 (the average
+	// SPEC fit; critical path grows with the square root of window
+	// size).
+	DrainBeta float64
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case math.IsNaN(p.AcceleratableFrac) || p.AcceleratableFrac < 0 || p.AcceleratableFrac >= 1:
+		return fmt.Errorf("core: acceleratable fraction a=%v must be in [0,1)", p.AcceleratableFrac)
+	case p.AcceleratableFrac > 0 && p.InvocationFreq <= 0:
+		return fmt.Errorf("core: invocation frequency v=%v must be positive when a>0", p.InvocationFreq)
+	case p.InvocationFreq > p.AcceleratableFrac:
+		return fmt.Errorf("core: v=%v exceeds a=%v (an invocation must replace >= 1 instruction)",
+			p.InvocationFreq, p.AcceleratableFrac)
+	case p.IPC <= 0:
+		return fmt.Errorf("core: IPC=%v must be positive", p.IPC)
+	case p.AccelFactor <= 0 && p.AccelLatency <= 0:
+		return fmt.Errorf("core: need acceleration factor A>0 or explicit accelerator latency")
+	case p.ROBSize < 1:
+		return fmt.Errorf("core: ROB size %d must be >= 1", p.ROBSize)
+	case p.IssueWidth < 1:
+		return fmt.Errorf("core: issue width %d must be >= 1", p.IssueWidth)
+	case p.CommitStall < 0:
+		return fmt.Errorf("core: commit stall %v must be >= 0", p.CommitStall)
+	case p.DrainBeta < 0:
+		return fmt.Errorf("core: drain beta %v must be >= 0", p.DrainBeta)
+	}
+	return nil
+}
+
+// Granularity returns a/v, the average number of baseline instructions
+// replaced per invocation.
+func (p Params) Granularity() float64 {
+	if p.InvocationFreq == 0 {
+		return 0
+	}
+	return p.AcceleratableFrac / p.InvocationFreq
+}
+
+// EffectiveAccelFactor returns A as used by the evaluation: the explicit
+// latency converted to an acceleration factor when AccelLatency is set,
+// otherwise AccelFactor.
+func (p Params) EffectiveAccelFactor() float64 {
+	if p.AccelLatency > 0 {
+		// t_accl = a/(v·A·IPC) = AccelLatency  =>  A = a/(v·IPC·lat).
+		return p.AcceleratableFrac / (p.InvocationFreq * p.IPC * p.AccelLatency)
+	}
+	return p.AccelFactor
+}
+
+// Breakdown carries every intermediate term of one model evaluation, in
+// cycles per average interval (1/v instructions).
+type Breakdown struct {
+	// TBaseline is equation (1): 1/(v·IPC).
+	TBaseline float64
+	// TAccl is equation (2): the accelerator execution time.
+	TAccl float64
+	// TNonAccl is equation (3): core time for non-accelerated work.
+	TNonAccl float64
+	// TDrain is the window drain time used by the NL modes, after the
+	// t_non_accl cap of §III-A.
+	TDrain float64
+	// TROBFill is s_ROB/w_issue, the time to fill the ROB at full
+	// dispatch width.
+	TROBFill float64
+	// TCommit is the commit stall.
+	TCommit float64
+
+	// Mode times: equations (4), (5), (7) and (9).
+	Times ModeValues
+}
+
+// ModeValues holds one float per TCA mode.
+type ModeValues struct {
+	LT, NLT, LNT, NLNT float64
+}
+
+// Get returns the value for a mode.
+func (m ModeValues) Get(mode accel.Mode) float64 {
+	switch mode {
+	case accel.LT:
+		return m.LT
+	case accel.NLT:
+		return m.NLT
+	case accel.LNT:
+		return m.LNT
+	case accel.NLNT:
+		return m.NLNT
+	}
+	panic(fmt.Sprintf("core: unknown mode %v", mode))
+}
+
+// set stores the value for a mode.
+func (m *ModeValues) set(mode accel.Mode, v float64) {
+	switch mode {
+	case accel.LT:
+		m.LT = v
+	case accel.NLT:
+		m.NLT = v
+	case accel.LNT:
+		m.LNT = v
+	case accel.NLNT:
+		m.NLNT = v
+	}
+}
+
+// Evaluate computes the full model. It returns an error for invalid
+// parameters.
+func (p Params) Evaluate() (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	var b Breakdown
+	b.TCommit = p.CommitStall
+	b.TROBFill = float64(p.ROBSize) / float64(p.IssueWidth)
+
+	if p.AcceleratableFrac == 0 || p.InvocationFreq == 0 {
+		// No acceleration: every mode equals the baseline. Interval
+		// analysis needs v>0, so treat the whole program as one
+		// interval of unit length.
+		b.TBaseline = 1 / p.IPC
+		b.TNonAccl = b.TBaseline
+		b.Times = ModeValues{LT: b.TBaseline, NLT: b.TBaseline, LNT: b.TBaseline, NLNT: b.TBaseline}
+		return b, nil
+	}
+
+	a, v := p.AcceleratableFrac, p.InvocationFreq
+	b.TBaseline = 1 / (v * p.IPC) // (1)
+	if p.AccelLatency > 0 {
+		b.TAccl = p.AccelLatency
+	} else {
+		b.TAccl = a / (v * p.AccelFactor * p.IPC) // (2)
+	}
+	b.TNonAccl = (1 - a) / (v * p.IPC) // (3)
+
+	// Window drain estimate for the NL modes (§III-A): explicit if
+	// given, else the power law, capped by t_non_accl — the window
+	// cannot hold more work than one interval supplies.
+	drain := p.DrainTime
+	if drain <= 0 {
+		drain = p.drainPowerLaw()
+	}
+	if b.TNonAccl < drain {
+		drain = b.TNonAccl
+	}
+	b.TDrain = drain
+
+	// (4) NL_NT: drain, execute, and pay the back end twice.
+	b.Times.set(accel.NLNT, b.TNonAccl+b.TAccl+b.TDrain+2*b.TCommit)
+
+	// (5) L_NT: the accelerator overlaps leading work; dispatch stalls
+	// for its execution and commit.
+	b.Times.set(accel.LNT, b.TNonAccl+b.TAccl+b.TCommit)
+
+	// (6)+(7) NL_T: trailing dispatch continues until the ROB fills
+	// during the delayed accelerator execution.
+	nlROBFull := math.Max(0, b.TDrain+b.TAccl+b.TCommit-b.TROBFill)
+	b.Times.set(accel.NLT, math.Max(b.TNonAccl+nlROBFull, b.TAccl+b.TDrain+b.TCommit))
+
+	// (8)+(9) L_T: full overlap; only an ROB fill on very long
+	// accelerator executions stalls the front end.
+	robFull := math.Max(0, b.TAccl-b.TROBFill)
+	b.Times.set(accel.LT, math.Max(b.TNonAccl+robFull, b.TAccl))
+
+	return b, nil
+}
+
+// drainPowerLaw estimates the window drain time from the Eyerman power law
+// W = α·l^β. The coefficient α is calibrated from the sustained-rate
+// identity IPC = W/l at the configured ROB size, which pins the drain of a
+// full window to s_ROB/IPC; the exponent β (default 2) extrapolates to
+// other window sizes in sweeps that vary ROB size at fixed IPC.
+func (p Params) drainPowerLaw() float64 {
+	beta := p.DrainBeta
+	if beta == 0 {
+		beta = 2
+	}
+	w := float64(p.ROBSize)
+	lCal := w / p.IPC
+	alpha := w / math.Pow(lCal, beta)
+	return math.Pow(w/alpha, 1/beta)
+}
+
+// Speedups evaluates the model and returns per-mode whole-program speedup
+// (baseline time over mode time).
+func (p Params) Speedups() (ModeValues, error) {
+	b, err := p.Evaluate()
+	if err != nil {
+		return ModeValues{}, err
+	}
+	var s ModeValues
+	for _, m := range accel.AllModes {
+		s.set(m, b.TBaseline/b.Times.Get(m))
+	}
+	return s, nil
+}
+
+// Speedup evaluates a single mode.
+func (p Params) Speedup(m accel.Mode) (float64, error) {
+	s, err := p.Speedups()
+	if err != nil {
+		return 0, err
+	}
+	return s.Get(m), nil
+}
+
+// PeakAcceleratableFrac returns the coverage a* at which the L_T mode's
+// speedup peaks for acceleration factor A: work is balanced between core
+// and TCA when the TCA holds A/(A+1) of it (§VII — "for an accelerator
+// with A = 2, the peak overall speedup of 3 occurs when 67% of code is
+// acceleratable").
+func PeakAcceleratableFrac(a float64) float64 { return a / (a + 1) }
+
+// MaxConcurrentSpeedup returns the model's upper bound on L_T speedup for
+// acceleration factor A: A + 1, the paper's "new form of concurrency"
+// observation.
+func MaxConcurrentSpeedup(a float64) float64 { return a + 1 }
+
+// CoreParams bundles the architecture-dependent subset of Params.
+type CoreParams struct {
+	IPC         float64
+	ROBSize     int
+	IssueWidth  int
+	CommitStall float64
+}
+
+// Apply copies the architecture parameters into p and returns it.
+func (c CoreParams) Apply(p Params) Params {
+	p.IPC = c.IPC
+	p.ROBSize = c.ROBSize
+	p.IssueWidth = c.IssueWidth
+	p.CommitStall = c.CommitStall
+	return p
+}
+
+// HPCore is the paper's high-performance core point: 1.8 IPC, 256-entry
+// ROB, 4-issue.
+func HPCore() CoreParams {
+	return CoreParams{IPC: 1.8, ROBSize: 256, IssueWidth: 4, CommitStall: 3}
+}
+
+// LPCore is the paper's low-performance core point: 0.5 IPC, 64-entry ROB,
+// 2-issue.
+func LPCore() CoreParams {
+	return CoreParams{IPC: 0.5, ROBSize: 64, IssueWidth: 2, CommitStall: 2}
+}
+
+// A72Core approximates the ARM Cortex-A72 used for Fig. 2: 3-wide,
+// 128-entry window.
+func A72Core() CoreParams {
+	return CoreParams{IPC: 1.5, ROBSize: 128, IssueWidth: 3, CommitStall: 3}
+}

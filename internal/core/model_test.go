@@ -1,0 +1,407 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/accel"
+)
+
+// base returns a valid mid-range parameter point.
+func base() Params {
+	return HPCore().Apply(Params{
+		AcceleratableFrac: 0.3,
+		InvocationFreq:    0.3 / 100, // 100-instruction granularity
+		AccelFactor:       3,
+	})
+}
+
+func TestValidate(t *testing.T) {
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base params invalid: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.AcceleratableFrac = -0.1 },
+		func(p *Params) { p.AcceleratableFrac = 1.0 },
+		func(p *Params) { p.InvocationFreq = 0 },
+		func(p *Params) { p.InvocationFreq = 0.5 }, // v > a
+		func(p *Params) { p.IPC = 0 },
+		func(p *Params) { p.AccelFactor = 0 },
+		func(p *Params) { p.ROBSize = 0 },
+		func(p *Params) { p.IssueWidth = 0 },
+		func(p *Params) { p.CommitStall = -1 },
+		func(p *Params) { p.DrainBeta = -2 },
+	}
+	for i, mutate := range bad {
+		p := base()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+	// Explicit latency substitutes for A.
+	p := base()
+	p.AccelFactor = 0
+	p.AccelLatency = 10
+	if err := p.Validate(); err != nil {
+		t.Errorf("explicit latency rejected: %v", err)
+	}
+}
+
+func TestBaselineEquation(t *testing.T) {
+	p := base()
+	b, err := p.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1): t_baseline = 1/(v·IPC).
+	want := 1 / (p.InvocationFreq * p.IPC)
+	if !close(b.TBaseline, want) {
+		t.Errorf("TBaseline = %v, want %v", b.TBaseline, want)
+	}
+	// (2): t_accl = a/(v·A·IPC).
+	want = p.AcceleratableFrac / (p.InvocationFreq * p.AccelFactor * p.IPC)
+	if !close(b.TAccl, want) {
+		t.Errorf("TAccl = %v, want %v", b.TAccl, want)
+	}
+	// (3): t_non_accl = (1-a)/(v·IPC).
+	want = (1 - p.AcceleratableFrac) / (p.InvocationFreq * p.IPC)
+	if !close(b.TNonAccl, want) {
+		t.Errorf("TNonAccl = %v, want %v", b.TNonAccl, want)
+	}
+	// Interval identity: baseline = accelerated part at 1x + rest.
+	if !close(b.TBaseline, b.TNonAccl+p.AcceleratableFrac/(p.InvocationFreq*p.IPC)) {
+		t.Error("interval pieces do not sum to baseline")
+	}
+}
+
+func TestModeEquations(t *testing.T) {
+	p := base()
+	b, err := p.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (4)
+	if want := b.TNonAccl + b.TAccl + b.TDrain + 2*b.TCommit; !close(b.Times.NLNT, want) {
+		t.Errorf("NLNT = %v, want %v", b.Times.NLNT, want)
+	}
+	// (5)
+	if want := b.TNonAccl + b.TAccl + b.TCommit; !close(b.Times.LNT, want) {
+		t.Errorf("LNT = %v, want %v", b.Times.LNT, want)
+	}
+	// (6)+(7)
+	fill := math.Max(0, b.TDrain+b.TAccl+b.TCommit-b.TROBFill)
+	if want := math.Max(b.TNonAccl+fill, b.TAccl+b.TDrain+b.TCommit); !close(b.Times.NLT, want) {
+		t.Errorf("NLT = %v, want %v", b.Times.NLT, want)
+	}
+	// (8)+(9)
+	robFull := math.Max(0, b.TAccl-b.TROBFill)
+	if want := math.Max(b.TNonAccl+robFull, b.TAccl); !close(b.Times.LT, want) {
+		t.Errorf("LT = %v, want %v", b.Times.LT, want)
+	}
+	// ROB fill time.
+	if want := float64(p.ROBSize) / float64(p.IssueWidth); !close(b.TROBFill, want) {
+		t.Errorf("TROBFill = %v, want %v", b.TROBFill, want)
+	}
+}
+
+func TestDrainCappedByNonAccl(t *testing.T) {
+	// Very fine-grained invocations: the interval's non-accelerated work
+	// is tiny, so the drain estimate must cap at t_non_accl.
+	p := base()
+	p.InvocationFreq = p.AcceleratableFrac / 2 // 2-instruction granularity
+	b, err := p.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(b.TDrain, b.TNonAccl) {
+		t.Errorf("TDrain = %v, want capped at TNonAccl = %v", b.TDrain, b.TNonAccl)
+	}
+	// Coarse case: cap must not bind; drain equals s_ROB/IPC under the
+	// calibrated power law.
+	p = base()
+	p.InvocationFreq = p.AcceleratableFrac / 1e7
+	b, err = p.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(p.ROBSize) / p.IPC; !close(b.TDrain, want) {
+		t.Errorf("TDrain = %v, want %v (uncapped power law)", b.TDrain, want)
+	}
+}
+
+func TestExplicitDrainOverride(t *testing.T) {
+	p := base()
+	p.DrainTime = 7
+	b, err := p.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TDrain != 7 {
+		t.Errorf("TDrain = %v, want explicit 7", b.TDrain)
+	}
+}
+
+func TestExplicitAccelLatency(t *testing.T) {
+	p := base()
+	p.AccelLatency = 25
+	b, err := p.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TAccl != 25 {
+		t.Errorf("TAccl = %v, want explicit 25", b.TAccl)
+	}
+	// The implied acceleration factor inverts equation (2).
+	wantA := p.AcceleratableFrac / (p.InvocationFreq * p.IPC * 25)
+	if !close(p.EffectiveAccelFactor(), wantA) {
+		t.Errorf("EffectiveAccelFactor = %v, want %v", p.EffectiveAccelFactor(), wantA)
+	}
+}
+
+func TestZeroCoverageIsNeutral(t *testing.T) {
+	p := base()
+	p.AcceleratableFrac = 0
+	p.InvocationFreq = 0
+	s, err := p.Speedups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range accel.AllModes {
+		if !close(s.Get(m), 1) {
+			t.Errorf("%s: speedup = %v, want 1 with no acceleration", m, s.Get(m))
+		}
+	}
+}
+
+// Property: mode ordering — more concurrency support never hurts.
+// t_LT <= t_LNT <= t_NLNT and t_LT <= t_NLT <= t_NLNT.
+func TestModeOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		p := randomParams(rng)
+		b, err := p.Evaluate()
+		if err != nil {
+			t.Fatalf("random params invalid: %v (%+v)", err, p)
+		}
+		const eps = 1e-9
+		if b.Times.LT > b.Times.LNT+eps || b.Times.LNT > b.Times.NLNT+eps {
+			t.Fatalf("ordering violated (LT %v, LNT %v, NLNT %v) for %+v",
+				b.Times.LT, b.Times.LNT, b.Times.NLNT, p)
+		}
+		if b.Times.LT > b.Times.NLT+eps || b.Times.NLT > b.Times.NLNT+eps {
+			t.Fatalf("ordering violated (LT %v, NLT %v, NLNT %v) for %+v",
+				b.Times.LT, b.Times.NLT, b.Times.NLNT, p)
+		}
+	}
+}
+
+// Property: the L_T speedup never exceeds A+1, the paper's concurrency
+// bound, and equals it only near a = A/(A+1) with negligible penalties.
+func TestConcurrencyBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 3000; i++ {
+		p := randomParams(rng)
+		s, err := p.Speedups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := MaxConcurrentSpeedup(p.EffectiveAccelFactor())
+		if s.LT > bound+1e-9 {
+			t.Fatalf("L_T speedup %v exceeds A+1 = %v for %+v", s.LT, bound, p)
+		}
+	}
+}
+
+func TestPeakAtWorkBalance(t *testing.T) {
+	// A = 2 accelerator of 100 instructions: peak L_T speedup of 3 at
+	// 67% coverage (paper §VII / Fig. 8).
+	best, bestA := 0.0, 0.0
+	for a := 0.01; a < 0.995; a += 0.001 {
+		p := HPCore().Apply(Params{
+			AcceleratableFrac: a,
+			InvocationFreq:    a / 100,
+			AccelFactor:       2,
+		})
+		s, err := p.Speedups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.LT > best {
+			best, bestA = s.LT, a
+		}
+	}
+	if math.Abs(bestA-2.0/3.0) > 0.02 {
+		t.Errorf("peak at a = %v, want ~0.667", bestA)
+	}
+	if math.Abs(best-3.0) > 0.05 {
+		t.Errorf("peak speedup = %v, want ~3 (A+1)", best)
+	}
+	if got := PeakAcceleratableFrac(2); !close(got, 2.0/3.0) {
+		t.Errorf("PeakAcceleratableFrac(2) = %v, want 2/3", got)
+	}
+}
+
+// Property: in the NT modes, speedup decreases (or holds) as granularity
+// shrinks with everything else fixed — the per-invocation barrier penalty
+// amortizes worse. (No such monotonicity holds for the T modes: the ROB
+// fill credit s_ROB/w_issue is a constant per invocation, so when the
+// accelerator execution overflows the ROB, finer granularity amortizes the
+// credit better — observable in Fig. 2's NL_T curve.)
+func TestGranularityMonotonicityNTProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		p := randomParams(rng)
+		coarse := p
+		coarse.InvocationFreq = p.InvocationFreq / 4 // 4x coarser
+		sFine, err := p.Speedups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sCoarse, err := coarse.Speedups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []accel.Mode{accel.LNT, accel.NLNT} {
+			if sFine.Get(m) > sCoarse.Get(m)+1e-9 {
+				t.Fatalf("%s: finer granularity faster (%v > %v) for %+v",
+					m, sFine.Get(m), sCoarse.Get(m), p)
+			}
+		}
+	}
+}
+
+// Fine-grained accelerators with modest A in NT modes can slow the program
+// down — the motivating observation of the paper (Fig. 2 right edge).
+func TestFineGrainedSlowdown(t *testing.T) {
+	p := HPCore().Apply(Params{
+		AcceleratableFrac: 0.3,
+		InvocationFreq:    0.3 / 3, // 3-instruction granularity
+		AccelFactor:       3,
+	})
+	s, err := p.Speedups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NLNT >= 1 {
+		t.Errorf("NL_NT speedup = %v, want < 1 (slowdown) at fine granularity", s.NLNT)
+	}
+	if s.LT <= 1 {
+		t.Errorf("L_T speedup = %v, want > 1 even at fine granularity", s.LT)
+	}
+}
+
+// Coarse-grained accelerators are insensitive to the mode (Fig. 2 left).
+func TestCoarseGrainedModeInsensitive(t *testing.T) {
+	p := A72Core().Apply(Params{
+		AcceleratableFrac: 0.3,
+		InvocationFreq:    0.3 / 1e8,
+		AccelFactor:       3,
+	})
+	s, err := p.Speedups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := s.LT - s.NLNT
+	if spread/s.LT > 0.001 {
+		t.Errorf("mode spread %.4f%% at 1e8 granularity, want negligible", 100*spread/s.LT)
+	}
+}
+
+// HP cores are more mode-sensitive than LP cores (paper observation 1).
+func TestHPMoreSensitiveThanLP(t *testing.T) {
+	mk := func(c CoreParams) ModeValues {
+		p := c.Apply(Params{
+			AcceleratableFrac: 0.3,
+			InvocationFreq:    0.3 / 53, // heap-manager-like granularity
+			AccelLatency:      1,
+		})
+		s, err := p.Speedups()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	hp, lp := mk(HPCore()), mk(LPCore())
+	hpSpread := (hp.LT - hp.NLNT) / hp.LT
+	lpSpread := (lp.LT - lp.NLNT) / lp.LT
+	if hpSpread <= lpSpread {
+		t.Errorf("HP relative mode spread %.3f not greater than LP %.3f", hpSpread, lpSpread)
+	}
+}
+
+func TestGranularity(t *testing.T) {
+	p := base()
+	if g := p.Granularity(); !close(g, 100) {
+		t.Errorf("granularity = %v, want 100", g)
+	}
+	p.InvocationFreq = 0
+	if g := p.Granularity(); g != 0 {
+		t.Errorf("granularity = %v, want 0 for v=0", g)
+	}
+}
+
+func TestModeValuesGetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var m ModeValues
+	m.Get(accel.Mode(99))
+}
+
+// randomParams draws a valid random parameter point spanning the model's
+// domain.
+func randomParams(rng *rand.Rand) Params {
+	a := 0.05 + 0.9*rng.Float64()
+	g := math.Pow(10, rng.Float64()*6) // granularity 1..1e6
+	if g < 1 {
+		g = 1
+	}
+	return Params{
+		AcceleratableFrac: a,
+		InvocationFreq:    a / g,
+		IPC:               0.3 + 3*rng.Float64(),
+		AccelFactor:       0.5 + 9*rng.Float64(),
+		ROBSize:           16 << rng.Intn(5),
+		IssueWidth:        1 + rng.Intn(7),
+		CommitStall:       float64(rng.Intn(10)),
+	}
+}
+
+// quick.Check driver exercising Validate's totality: Evaluate must either
+// error or produce finite positive times.
+func TestEvaluateTotalityQuick(t *testing.T) {
+	f := func(aRaw, vRaw, ipcRaw uint16, rob, width uint8) bool {
+		p := Params{
+			AcceleratableFrac: float64(aRaw) / float64(math.MaxUint16+1),
+			InvocationFreq:    float64(vRaw) / float64(math.MaxUint16+1) / 4,
+			IPC:               0.1 + float64(ipcRaw)/8192,
+			AccelFactor:       2,
+			ROBSize:           1 + int(rob),
+			IssueWidth:        1 + int(width)%8,
+			CommitStall:       3,
+		}
+		b, err := p.Evaluate()
+		if err != nil {
+			return true // rejected inputs are fine
+		}
+		for _, m := range accel.AllModes {
+			v := b.Times.Get(m)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

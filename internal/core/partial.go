@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+)
+
+// This file extends the analytical model to the paper's §VIII
+// partial-speculation proposal: a TCA that executes speculatively only
+// when every unresolved older branch is high-confidence, and otherwise
+// waits like a non-leading design.
+//
+// First-order treatment: a fraction q of invocations arrive behind a
+// low-confidence branch and pay the NL-mode interval; the rest pay the
+// L-mode interval. The mode's expected interval time is the mix
+//
+//	t_PL_x = q·t_NL_x + (1-q)·t_L_x        (x = T or NT)
+//
+// which interpolates between the L and NL designs exactly as the
+// simulator's confidence gate does (experiments.E3 measures the same
+// design point).
+
+// PartialTimes holds the partial-speculation interval times for both
+// trailing policies.
+type PartialTimes struct {
+	// PLT is the partial-leading, trailing-allowed time; PLNT the
+	// partial-leading, non-trailing time.
+	PLT  float64
+	PLNT float64
+}
+
+// PartialSpeculation evaluates the partial-leading design point.
+// lowConfFrac is q, the fraction of invocations gated by a low-confidence
+// unresolved branch (measured from a confidence predictor, or estimated
+// from branch statistics).
+func (p Params) PartialSpeculation(lowConfFrac float64) (PartialTimes, error) {
+	if lowConfFrac < 0 || lowConfFrac > 1 {
+		return PartialTimes{}, fmt.Errorf("core: low-confidence fraction %v out of [0,1]", lowConfFrac)
+	}
+	b, err := p.Evaluate()
+	if err != nil {
+		return PartialTimes{}, err
+	}
+	mix := func(nl, l float64) float64 { return lowConfFrac*nl + (1-lowConfFrac)*l }
+	return PartialTimes{
+		PLT:  mix(b.Times.NLT, b.Times.LT),
+		PLNT: mix(b.Times.NLNT, b.Times.LNT),
+	}, nil
+}
+
+// PartialSpeedups returns whole-program speedups for the partial design
+// point alongside the four base modes, for comparison tables.
+func (p Params) PartialSpeedups(lowConfFrac float64) (base ModeValues, plt, plnt float64, err error) {
+	b, err := p.Evaluate()
+	if err != nil {
+		return ModeValues{}, 0, 0, err
+	}
+	pt, err := p.PartialSpeculation(lowConfFrac)
+	if err != nil {
+		return ModeValues{}, 0, 0, err
+	}
+	var s ModeValues
+	for _, m := range accel.AllModes {
+		s.set(m, b.TBaseline/b.Times.Get(m))
+	}
+	return s, b.TBaseline / pt.PLT, b.TBaseline / pt.PLNT, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPartialSpeculationEndpoints(t *testing.T) {
+	p := base()
+	b, err := p.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q = 0: pure L modes.
+	pt, err := p.PartialSpeculation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(pt.PLT, b.Times.LT) || !close(pt.PLNT, b.Times.LNT) {
+		t.Errorf("q=0 must reduce to L modes: %+v vs LT=%v LNT=%v", pt, b.Times.LT, b.Times.LNT)
+	}
+	// q = 1: pure NL modes.
+	pt, err = p.PartialSpeculation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(pt.PLT, b.Times.NLT) || !close(pt.PLNT, b.Times.NLNT) {
+		t.Errorf("q=1 must reduce to NL modes: %+v", pt)
+	}
+}
+
+func TestPartialSpeculationMonotoneInQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		p := randomParams(rng)
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			pt, err := p.PartialSpeculation(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pt.PLT < prev-1e-9 {
+				t.Fatalf("PLT not monotone in q for %+v", p)
+			}
+			prev = pt.PLT
+		}
+	}
+}
+
+func TestPartialSpeculationSandwiched(t *testing.T) {
+	// For every q, the partial design sits between the L and NL modes —
+	// the simulator's E3 study measures the same ordering.
+	p := base()
+	b, _ := p.Evaluate()
+	for _, q := range []float64{0.1, 0.33, 0.5, 0.9} {
+		pt, err := p.PartialSpeculation(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.PLT < b.Times.LT-1e-9 || pt.PLT > b.Times.NLT+1e-9 {
+			t.Errorf("q=%v: PLT %v outside [L_T %v, NL_T %v]", q, pt.PLT, b.Times.LT, b.Times.NLT)
+		}
+		if pt.PLNT < b.Times.LNT-1e-9 || pt.PLNT > b.Times.NLNT+1e-9 {
+			t.Errorf("q=%v: PLNT %v outside [L_NT, NL_NT]", q, pt.PLNT)
+		}
+	}
+}
+
+func TestPartialSpeculationValidation(t *testing.T) {
+	p := base()
+	if _, err := p.PartialSpeculation(-0.1); err == nil {
+		t.Error("negative q accepted")
+	}
+	if _, err := p.PartialSpeculation(1.1); err == nil {
+		t.Error("q > 1 accepted")
+	}
+	bad := p
+	bad.IPC = 0
+	if _, err := bad.PartialSpeculation(0.5); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestPartialSpeedups(t *testing.T) {
+	p := base()
+	basev, plt, plnt, err := p.PartialSpeedups(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plt > basev.LT+1e-9 || plt < basev.NLT-1e-9 {
+		t.Errorf("partial L_T speedup %v outside [%v, %v]", plt, basev.NLT, basev.LT)
+	}
+	if plnt > basev.LNT+1e-9 || plnt < basev.NLNT-1e-9 {
+		t.Errorf("partial L_NT speedup %v outside [%v, %v]", plnt, basev.NLNT, basev.LNT)
+	}
+}

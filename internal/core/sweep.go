@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SweepPoint is one evaluated parameter point.
+type SweepPoint struct {
+	Params   Params
+	Speedups ModeValues
+}
+
+// GranularitySweep evaluates the model over accelerator granularities
+// (instructions replaced per invocation), holding coverage a and the
+// acceleration factor fixed — the Fig. 2 axis. Granularities are sampled
+// log-uniformly between min and max with the given number of points.
+func GranularitySweep(base Params, minGran, maxGran float64, points int) ([]SweepPoint, error) {
+	if minGran < 1 || maxGran <= minGran || points < 2 {
+		return nil, fmt.Errorf("core: invalid granularity sweep [%v,%v] x%d", minGran, maxGran, points)
+	}
+	out := make([]SweepPoint, 0, points)
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1)
+		g := minGran * math.Pow(maxGran/minGran, frac)
+		p := base
+		p.InvocationFreq = p.AcceleratableFrac / g
+		s, err := p.Speedups()
+		if err != nil {
+			return nil, fmt.Errorf("core: granularity %v: %w", g, err)
+		}
+		out = append(out, SweepPoint{Params: p, Speedups: s})
+	}
+	return out, nil
+}
+
+// CoverageSweep evaluates the model over the acceleratable fraction a at a
+// fixed granularity (instructions per invocation) — the Fig. 8 axis.
+func CoverageSweep(base Params, granularity float64, points int) ([]SweepPoint, error) {
+	if granularity < 1 || points < 2 {
+		return nil, fmt.Errorf("core: invalid coverage sweep g=%v x%d", granularity, points)
+	}
+	out := make([]SweepPoint, 0, points)
+	for i := 0; i < points; i++ {
+		a := float64(i+1) / float64(points+1) // open interval (0,1)
+		p := base
+		p.AcceleratableFrac = a
+		p.InvocationFreq = a / granularity
+		s, err := p.Speedups()
+		if err != nil {
+			return nil, fmt.Errorf("core: coverage %v: %w", a, err)
+		}
+		out = append(out, SweepPoint{Params: p, Speedups: s})
+	}
+	return out, nil
+}
+
+// HeatmapCell is one (coverage, invocation-frequency) cell of the Fig. 7
+// design-space map.
+type HeatmapCell struct {
+	AcceleratableFrac float64
+	InvocationFreq    float64
+	Speedups          ModeValues
+	// Valid is false where the point is infeasible (v > a).
+	Valid bool
+}
+
+// Heatmap sweeps coverage linearly over (0,1) and invocation frequency
+// log-uniformly over [vMin, vMax], evaluating all four modes per cell.
+func Heatmap(base Params, vMin, vMax float64, aSteps, vSteps int) ([][]HeatmapCell, error) {
+	if vMin <= 0 || vMax <= vMin || aSteps < 2 || vSteps < 2 {
+		return nil, fmt.Errorf("core: invalid heatmap spec v=[%v,%v] %dx%d", vMin, vMax, aSteps, vSteps)
+	}
+	grid := make([][]HeatmapCell, aSteps)
+	for i := 0; i < aSteps; i++ {
+		a := float64(i+1) / float64(aSteps+1)
+		grid[i] = make([]HeatmapCell, vSteps)
+		for j := 0; j < vSteps; j++ {
+			frac := float64(j) / float64(vSteps-1)
+			v := vMin * math.Pow(vMax/vMin, frac)
+			cell := HeatmapCell{AcceleratableFrac: a, InvocationFreq: v}
+			if v <= a {
+				p := base
+				p.AcceleratableFrac = a
+				p.InvocationFreq = v
+				s, err := p.Speedups()
+				if err != nil {
+					return nil, err
+				}
+				cell.Speedups = s
+				cell.Valid = true
+			}
+			grid[i][j] = cell
+		}
+	}
+	return grid, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+)
+
+func TestGranularitySweep(t *testing.T) {
+	pts, err := GranularitySweep(base(), 10, 1e9, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 33 {
+		t.Fatalf("points = %d, want 33", len(pts))
+	}
+	// Endpoints hit the requested granularities.
+	if g := pts[0].Params.Granularity(); !close(g, 10) {
+		t.Errorf("first granularity = %v, want 10", g)
+	}
+	if g := pts[len(pts)-1].Params.Granularity(); !close(g, 1e9) {
+		t.Errorf("last granularity = %v, want 1e9", g)
+	}
+	// Fig. 2 shape: at the coarse end all modes converge; at the fine end
+	// NL_NT is far below L_T and dips under 1.
+	coarse, fine := pts[len(pts)-1].Speedups, pts[0].Speedups
+	if (coarse.LT-coarse.NLNT)/coarse.LT > 0.001 {
+		t.Error("modes did not converge at coarse granularity")
+	}
+	if fine.NLNT >= 1 {
+		t.Errorf("NL_NT = %v at 10-inst granularity, want slowdown", fine.NLNT)
+	}
+	if fine.LT <= 1 {
+		t.Errorf("L_T = %v at 10-inst granularity, want speedup", fine.LT)
+	}
+}
+
+func TestGranularitySweepValidation(t *testing.T) {
+	if _, err := GranularitySweep(base(), 0, 100, 5); err == nil {
+		t.Error("accepted min granularity < 1")
+	}
+	if _, err := GranularitySweep(base(), 100, 10, 5); err == nil {
+		t.Error("accepted max <= min")
+	}
+	if _, err := GranularitySweep(base(), 10, 100, 1); err == nil {
+		t.Error("accepted single point")
+	}
+}
+
+func TestCoverageSweepPeak(t *testing.T) {
+	p := base()
+	p.AccelFactor = 2
+	pts, err := CoverageSweep(p, 100, 199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the L_T peak; the paper's Fig. 8: peak at ~2/3, not at 100%.
+	bestI := 0
+	for i, pt := range pts {
+		if pt.Speedups.LT > pts[bestI].Speedups.LT {
+			bestI = i
+		}
+	}
+	peakA := pts[bestI].Params.AcceleratableFrac
+	if peakA < 0.6 || peakA > 0.73 {
+		t.Errorf("L_T peak at a = %v, want ~0.67", peakA)
+	}
+	if last := pts[len(pts)-1]; last.Speedups.LT >= pts[bestI].Speedups.LT {
+		t.Error("L_T speedup at ~100% coverage must be below the peak")
+	}
+	// NT modes peak later or at the boundary; their speedups stay below
+	// L_T everywhere.
+	for _, pt := range pts {
+		if pt.Speedups.NLNT > pt.Speedups.LT+1e-9 {
+			t.Error("NL_NT exceeded L_T in coverage sweep")
+		}
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	grid, err := Heatmap(HPCore().Apply(Params{AccelFactor: 1.5}), 1e-5, 0.5, 20, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 20 || len(grid[0]) != 24 {
+		t.Fatalf("grid is %dx%d, want 20x24", len(grid), len(grid[0]))
+	}
+	valid, slowdown := 0, 0
+	for _, row := range grid {
+		for _, cell := range row {
+			if !cell.Valid {
+				if cell.InvocationFreq <= cell.AcceleratableFrac {
+					t.Fatal("feasible cell marked invalid")
+				}
+				continue
+			}
+			valid++
+			if cell.Speedups.NLNT < 1 {
+				slowdown++
+			}
+		}
+	}
+	if valid == 0 {
+		t.Fatal("no valid cells")
+	}
+	// With A=1.5 on the HP core there must be both speedup and slowdown
+	// regions (Fig. 7's red and blue areas).
+	if slowdown == 0 {
+		t.Error("expected NL_NT slowdown cells on the HP core at A=1.5")
+	}
+	if slowdown == valid {
+		t.Error("expected some NL_NT speedup cells too")
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	p := HPCore().Apply(Params{AccelFactor: 2})
+	if _, err := Heatmap(p, 0, 1, 4, 4); err == nil {
+		t.Error("accepted vMin = 0")
+	}
+	if _, err := Heatmap(p, 0.1, 0.1, 4, 4); err == nil {
+		t.Error("accepted vMax = vMin")
+	}
+	if _, err := Heatmap(p, 0.001, 0.1, 1, 4); err == nil {
+		t.Error("accepted 1-row grid")
+	}
+}
+
+func TestTimelines(t *testing.T) {
+	p := base()
+	b, err := p.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range accel.AllModes {
+		tl, err := p.Timeline(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close(tl.Total, b.Times.Get(m)) {
+			t.Errorf("%s: timeline total %v != mode time %v", m, tl.Total, b.Times.Get(m))
+		}
+		var sum float64
+		for _, s := range tl.Segments {
+			sum += s.Cycles
+		}
+		if sum > tl.Total+1e-9 {
+			t.Errorf("%s: segments sum %v exceed total %v", m, sum, tl.Total)
+		}
+		if len(tl.Segments) == 0 {
+			t.Errorf("%s: empty timeline", m)
+		}
+		str := tl.String()
+		if !strings.Contains(str, m.String()) {
+			t.Errorf("%s: render missing mode name: %s", m, str)
+		}
+	}
+	// NL_NT must show a zero-rate drain segment.
+	tl, _ := p.Timeline(accel.NLNT)
+	found := false
+	for _, s := range tl.Segments {
+		if s.Label == "window drain" && s.Rate == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("NL_NT timeline missing the window-drain stall segment")
+	}
+}

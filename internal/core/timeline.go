@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/accel"
+)
+
+// Segment is one phase of the average interval from the front end's
+// perspective: a label, a duration in cycles, and the effective useful
+// dispatch rate during it (IPC while flowing, 0 while stalled, reduced
+// while the ROB is full).
+type Segment struct {
+	Label  string
+	Cycles float64
+	Rate   float64
+}
+
+// Timeline describes the average interval in one mode — the model's view of
+// Fig. 3.
+type Timeline struct {
+	Mode     accel.Mode
+	Segments []Segment
+	Total    float64
+}
+
+// Timeline reconstructs the interval phases for a mode from the model's
+// terms. It is illustrative (the figure-3 view); total time always matches
+// the mode equation.
+func (p Params) Timeline(mode accel.Mode) (Timeline, error) {
+	b, err := p.Evaluate()
+	if err != nil {
+		return Timeline{}, err
+	}
+	tl := Timeline{Mode: mode, Total: b.Times.Get(mode)}
+	add := func(label string, cycles, rate float64) {
+		if cycles > 0 {
+			tl.Segments = append(tl.Segments, Segment{Label: label, Cycles: cycles, Rate: rate})
+		}
+	}
+	switch mode {
+	case accel.NLNT:
+		add("leading dispatch", b.TNonAccl, p.IPC)
+		add("window drain", b.TDrain, 0)
+		add("commit", b.TCommit, 0)
+		add("accel execute", b.TAccl, 0)
+		add("commit", b.TCommit, 0)
+	case accel.LNT:
+		add("leading dispatch", b.TNonAccl, p.IPC)
+		add("accel execute (overlapped start)", b.TAccl, 0)
+		add("commit", b.TCommit, 0)
+	case accel.NLT:
+		stall := b.Times.NLT - b.TNonAccl
+		if stall < 0 {
+			stall = 0
+		}
+		add("dispatch continues", minF(b.TNonAccl, tl.Total), p.IPC)
+		add("ROB full / accel completes", stall, 0)
+	case accel.LT:
+		stall := b.Times.LT - b.TNonAccl
+		if stall < 0 {
+			stall = 0
+		}
+		add("dispatch continues", b.TNonAccl, p.IPC)
+		add("ROB full", stall, 0)
+	}
+	return tl, nil
+}
+
+// String renders the timeline as a proportional ASCII bar.
+func (t Timeline) String() string {
+	const width = 60
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s |", t.Mode)
+	for _, s := range t.Segments {
+		n := int(s.Cycles / t.Total * width)
+		if n < 1 {
+			n = 1
+		}
+		ch := "#"
+		if s.Rate == 0 {
+			ch = "."
+		}
+		b.WriteString(strings.Repeat(ch, n))
+	}
+	fmt.Fprintf(&b, "| %.1f cycles", t.Total)
+	for _, s := range t.Segments {
+		fmt.Fprintf(&b, "  [%s %.1f]", s.Label, s.Cycles)
+	}
+	return b.String()
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

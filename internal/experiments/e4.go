@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/sim"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+// E4Config parameterizes the extension validation on the paper's other
+// motivating fine-grained accelerators (Fig. 2's "hash map", "string fn"
+// and "regex" markers, from reference [6]): hash-table probes, string
+// compares and DFA matching — memory-using TCAs with data-dependent
+// latency.
+type E4Config struct {
+	Core sim.Config
+	// FillerCounts sweeps the invocation frequency for both workloads.
+	FillerCounts []int
+	Operations   int
+	Seed         int64
+}
+
+// DefaultE4 sizes the study for the harness. Operation counts keep the
+// tables and key data warm (steady state), matching the paper's
+// methodology of measuring the common case.
+func DefaultE4() E4Config {
+	return E4Config{
+		Core:         sim.HighPerfConfig(),
+		FillerCounts: []int{5, 20, 80, 320},
+		Operations:   600,
+		Seed:         17,
+	}
+}
+
+// E4Row is one (workload, frequency) validation point.
+type E4Row struct {
+	Workload string
+	Filler   int
+	Result   *WorkloadResult
+}
+
+// E4Result is the study output.
+type E4Result struct {
+	Rows []E4Row
+}
+
+// E4 measures both workloads across the frequency sweep.
+func E4(cfg E4Config) (*E4Result, error) {
+	out := &E4Result{}
+	for _, filler := range cfg.FillerCounts {
+		kv, err := workload.KVStore(workload.KVStoreConfig{
+			Operations: cfg.Operations, FillerPerOp: filler,
+			Buckets: 256, Keys: 128, LookupPct: 70, KeyWords: 4, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		kvRes, err := MeasureWorkload(cfg.Core, kv)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E4 kvstore filler=%d: %w", filler, err)
+		}
+		out.Rows = append(out.Rows, E4Row{Workload: "kvstore", Filler: filler, Result: kvRes})
+
+		sm, err := workload.StringMatch(workload.StringMatchConfig{
+			Comparisons: cfg.Operations, FillerPerOp: filler,
+			Dictionary: 32, MinWords: 4, MaxWords: 24, SharedPrefix: 3, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		smRes, err := MeasureWorkload(cfg.Core, sm)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E4 stringmatch filler=%d: %w", filler, err)
+		}
+		out.Rows = append(out.Rows, E4Row{Workload: "stringmatch", Filler: filler, Result: smRes})
+
+		re, err := workload.RegexMatch(workload.RegexMatchConfig{
+			Pattern: "[ab]*abb", Matches: cfg.Operations, FillerPerOp: filler,
+			Inputs: 32, MaxLen: 28, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		reRes, err := MeasureWorkload(cfg.Core, re)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E4 regex filler=%d: %w", filler, err)
+		}
+		out.Rows = append(out.Rows, E4Row{Workload: "regexmatch", Filler: filler, Result: reRes})
+	}
+	return out, nil
+}
+
+// Render tabulates measured vs estimated speedups per mode.
+func (r *E4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("E4: model validation on hash-map, string-compare and regex TCAs\n")
+	b.WriteString("(the rest of the paper's Fig. 2 fine-grained accelerators; memory-using\n")
+	b.WriteString("devices with data-dependent latency — the regex TCA's DFA walk is fully\n")
+	b.WriteString("serial, one dependent table read per symbol)\n\n")
+	header := []string{"workload", "filler", "a", "v", "g", "lat"}
+	for _, m := range accel.AllModes {
+		header = append(header, "sim "+m.String(), "est "+m.String())
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		res := row.Result
+		cells := []string{
+			row.Workload,
+			fmt.Sprintf("%d", row.Filler),
+			fmt.Sprintf("%.2f", res.Params.AcceleratableFrac),
+			fmt.Sprintf("%.1e", res.Params.InvocationFreq),
+			fmt.Sprintf("%.0f", res.Params.Granularity()),
+			fmt.Sprintf("%.1f", res.MeasuredAccelLatency),
+		}
+		for _, m := range accel.AllModes {
+			mm := res.Mode(m)
+			cells = append(cells, fmt.Sprintf("%.2f", mm.SimSpeedup), fmt.Sprintf("%.2f", mm.ModelSpeedup))
+		}
+		rows = append(rows, cells)
+	}
+	b.WriteString(textplot.Table(header, rows))
+	return b.String()
+}
+
+// CSV serializes the study.
+func (r *E4Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,filler,a,v,granularity,measured_latency,mode,sim_speedup,model_speedup,error\n")
+	for _, row := range r.Rows {
+		for _, mm := range row.Result.Modes {
+			fmt.Fprintf(&b, "%s,%d,%g,%g,%g,%g,%s,%g,%g,%g\n",
+				row.Workload, row.Filler,
+				row.Result.Params.AcceleratableFrac,
+				row.Result.Params.InvocationFreq,
+				row.Result.Params.Granularity(),
+				row.Result.MeasuredAccelLatency,
+				mm.Mode, mm.SimSpeedup, mm.ModelSpeedup, mm.Error)
+		}
+	}
+	return b.String()
+}
+
+// MaxAbsError returns the worst |error| across the study.
+func (r *E4Result) MaxAbsError() float64 {
+	var worst float64
+	for _, row := range r.Rows {
+		if e := row.Result.MaxAbsError(); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

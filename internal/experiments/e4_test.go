@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+)
+
+func TestE4HashAndStringTCAs(t *testing.T) {
+	cfg := DefaultE4()
+	// Keep the default operation count: profitability needs the warm
+	// steady state (cold tables make the TCA a net loss — which the
+	// model also predicts; see EXPERIMENTS.md).
+	cfg.FillerCounts = []int{5, 80}
+	res, err := E4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 { // 3 workloads x 2 frequencies
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		r := row.Result
+		// Both accelerators must be profitable in L_T at steady state.
+		if lt := r.Mode(accel.LT).SimSpeedup; lt <= 1 {
+			t.Errorf("%s filler=%d: L_T speedup %.2f, want > 1", row.Workload, row.Filler, lt)
+		}
+		// Simulated mode ordering holds (small tolerance).
+		lt, nlnt := r.Mode(accel.LT).SimSpeedup, r.Mode(accel.NLNT).SimSpeedup
+		if nlnt > lt+0.02 {
+			t.Errorf("%s filler=%d: NL_NT (%.2f) above L_T (%.2f)", row.Workload, row.Filler, nlnt, lt)
+		}
+		// Granularities sit in the Fig. 2 fine-grained band for these
+		// accelerators (tens of instructions).
+		if g := r.Params.Granularity(); g < 8 || g > 200 {
+			t.Errorf("%s: granularity %.0f outside the fine-grained band", row.Workload, g)
+		}
+		// Measured latency was captured for the model.
+		if r.MeasuredAccelLatency <= 0 {
+			t.Errorf("%s: no measured latency", row.Workload)
+		}
+	}
+	// Fine-grained thesis: at high frequency the mode gap is substantial
+	// for all three workloads.
+	for _, row := range res.Rows[:3] {
+		lt := row.Result.Mode(accel.LT).SimSpeedup
+		nlnt := row.Result.Mode(accel.NLNT).SimSpeedup
+		if (lt-nlnt)/lt < 0.1 {
+			t.Errorf("%s: mode gap %.1f%% at high frequency, want >= 10%%",
+				row.Workload, 100*(lt-nlnt)/lt)
+		}
+	}
+	out := res.Render()
+	for _, wl := range []string{"kvstore", "stringmatch", "regexmatch"} {
+		if !strings.Contains(out, wl) {
+			t.Errorf("render missing %s", wl)
+		}
+	}
+	if !strings.Contains(res.CSV(), "measured_latency") {
+		t.Error("CSV missing header")
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+)
+
+func TestE5MultiTCA(t *testing.T) {
+	cfg := DefaultE5()
+	cfg.FillerCounts = []int{50, 800}
+	res, err := E5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The heterogeneity must not blow up the model: errors stay within
+	// the single-accelerator band observed in Fig. 4/5.
+	if e := res.MaxAbsError(); e > 0.35 {
+		t.Errorf("max |error| = %.1f%% with 9 TCAs, want <= 35%%", 100*e)
+	}
+	for _, row := range res.Rows {
+		r := row.Result
+		// L_T prediction is tight on this workload.
+		lt := r.Mode(accel.LT)
+		if e := lt.Error; e > 0.15 || e < -0.15 {
+			t.Errorf("filler=%d: L_T error %.1f%%, want within 15%%", row.Filler, 100*e)
+		}
+		// The weak (energy-motivated) acceleration factor keeps NL_NT
+		// near or below break-even at high coverage — the Fig. 7
+		// GreenDroid story.
+		if row.Filler == 50 && r.Mode(accel.NLNT).SimSpeedup > 1.0 {
+			t.Errorf("NL_NT speedup %.2f at high coverage, expected near/below 1",
+				r.Mode(accel.NLNT).SimSpeedup)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "multi-TCA") || !strings.Contains(out, "est L_T") {
+		t.Error("render incomplete")
+	}
+	if !strings.Contains(res.CSV(), "mean_latency") {
+		t.Error("CSV missing header")
+	}
+}

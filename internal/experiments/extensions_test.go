@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+)
+
+func TestE1LogCAComparison(t *testing.T) {
+	res, err := E1(DefaultE1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LogCASpeedup) != len(res.TCA) {
+		t.Fatal("mismatched series")
+	}
+	// LogCA can never exceed the Amdahl bound at A (no overlap), while
+	// the TCA L_T curve exceeds LogCA at moderate granularity thanks to
+	// host/accelerator concurrency.
+	amdahl := 1 / ((1 - res.Config.Coverage) + res.Config.Coverage/res.Config.AccelFactor)
+	sawConcurrencyWin := false
+	for i, p := range res.TCA {
+		if res.LogCASpeedup[i] > amdahl+1e-9 {
+			t.Fatalf("LogCA exceeded its Amdahl bound at g=%v", p.Params.Granularity())
+		}
+		if p.Speedups.LT > res.LogCASpeedup[i]+0.01 {
+			sawConcurrencyWin = true
+		}
+	}
+	if !sawConcurrencyWin {
+		t.Error("TCA L_T never beat LogCA — overlap term missing?")
+	}
+	// LogCA predicts no slowdown anywhere; the TCA model does (NL_NT at
+	// fine granularity). That divergence is the point of the study.
+	fineNLNT := res.TCA[0].Speedups.NLNT
+	if fineNLNT >= 1 {
+		t.Errorf("expected NL_NT slowdown at fine granularity, got %v", fineNLNT)
+	}
+	if res.LogCASpeedup[0] < 0.9 {
+		t.Errorf("LogCA at fine granularity = %v; near-zero overhead mapping should stay ~>=1", res.LogCASpeedup[0])
+	}
+	out := res.Render()
+	for _, want := range []string{"LogCA", "TCA L_T", "mode spread"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if !strings.Contains(res.CSV(), "LogCA") {
+		t.Error("CSV missing LogCA column")
+	}
+}
+
+func TestE2ParetoStudy(t *testing.T) {
+	res, err := E2(core.HPCore(), []float64{30, 300, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Coarse granularity: frontier collapses to NL_NT.
+	coarse := res.Rows[2]
+	fr := core.Frontier(coarse.Points)
+	if len(fr) != 1 || fr[0].Mode != accel.NLNT {
+		t.Errorf("coarse frontier = %+v, want only NL_NT", fr)
+	}
+	// Fine granularity: L_T is on the frontier (it buys real speedup).
+	fine := core.Frontier(res.Rows[0].Points)
+	foundLT := false
+	for _, p := range fine {
+		if p.Mode == accel.LT {
+			foundLT = true
+		}
+	}
+	if !foundLT {
+		t.Error("L_T missing from the fine-grained frontier")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "dominated by") {
+		t.Error("render shows no dominated designs")
+	}
+	if !strings.Contains(res.CSV(), "granularity,mode") {
+		t.Error("CSV missing header")
+	}
+}
+
+func TestE3PartialSpeculationStudy(t *testing.T) {
+	cfg := DefaultE3()
+	cfg.Iterations = 150
+	cfg.SkipEvery = []int{3, 8}
+	res, err := E3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		// Sandwich property: full <= partial <= NL (small tolerance for
+		// second-order effects).
+		if p.PartialCycles < p.FullCycles {
+			t.Errorf("skip=%d: partial (%d) faster than full speculation (%d)",
+				p.SkipEvery, p.PartialCycles, p.FullCycles)
+		}
+		if p.PartialCycles > p.NLCycles+p.NLCycles/20 {
+			t.Errorf("skip=%d: partial (%d) slower than NL (%d)",
+				p.SkipEvery, p.PartialCycles, p.NLCycles)
+		}
+		// The gate must reduce wasted invocations when surprises exist.
+		if p.PartialSquashed > p.FullSquashed {
+			t.Errorf("skip=%d: partial squashed more (%d) than full (%d)",
+				p.SkipEvery, p.PartialSquashed, p.FullSquashed)
+		}
+	}
+	// At the highest surprise rate the gate must actually engage.
+	if res.Points[0].ConfidenceHeld == 0 {
+		t.Error("confidence gate never engaged at 1/3 surprise rate")
+	}
+	if !strings.Contains(res.Render(), "partial cyc") {
+		t.Error("render missing columns")
+	}
+	if !strings.Contains(res.CSV(), "skip_every") {
+		t.Error("CSV missing header")
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/textplot"
+)
+
+// AcceleratorMarker is a published accelerator plotted on the Fig. 2
+// granularity axis for reference. Granularities are order-of-magnitude
+// estimates, as in the paper.
+type AcceleratorMarker struct {
+	Name string
+	// Granularity is the accelerated task size in baseline instructions.
+	Granularity float64
+}
+
+// Fig2Markers places the accelerators the paper annotates, ordered
+// fine to coarse.
+func Fig2Markers() []AcceleratorMarker {
+	return []AcceleratorMarker{
+		{"hash map [6]", 30},
+		{"heap mgmt [5][6]", 53}, // (69+37)/2 uops per malloc/free
+		{"string fn [6]", 100},
+		{"regex [6]", 300},
+		{"GreenDroid [9]", 500},
+		{"speech STTNI [10]", 5e3},
+		{"TPU [8]", 1e6},
+		{"H.264 [3]", 1e8},
+	}
+}
+
+// Fig2Config parameterizes the granularity study.
+type Fig2Config struct {
+	Arch core.CoreParams
+	// Coverage and AccelFactor follow the paper: 30% acceleratable, A=3.
+	Coverage    float64
+	AccelFactor float64
+	MinGran     float64
+	MaxGran     float64
+	Points      int
+}
+
+// DefaultFig2 returns the paper's setup: ARM A72-like core, a=30%, A=3,
+// granularity 10..1e9.
+func DefaultFig2() Fig2Config {
+	return Fig2Config{
+		Arch:        core.A72Core(),
+		Coverage:    0.30,
+		AccelFactor: 3,
+		MinGran:     10,
+		MaxGran:     1e9,
+		Points:      46,
+	}
+}
+
+// Fig2Result is the granularity sweep plus the reference markers.
+type Fig2Result struct {
+	Config  Fig2Config
+	Points  []core.SweepPoint
+	Markers []AcceleratorMarker
+}
+
+// Fig2 runs the analytical granularity study of the introduction.
+func Fig2(cfg Fig2Config) (*Fig2Result, error) {
+	base := cfg.Arch.Apply(core.Params{
+		AcceleratableFrac: cfg.Coverage,
+		AccelFactor:       cfg.AccelFactor,
+		InvocationFreq:    cfg.Coverage / cfg.MinGran, // overwritten by the sweep
+	})
+	pts, err := core.GranularitySweep(base, cfg.MinGran, cfg.MaxGran, cfg.Points)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{Config: cfg, Points: pts, Markers: Fig2Markers()}, nil
+}
+
+// Chart renders the four mode curves on a log-x axis.
+func (r *Fig2Result) Chart() textplot.Chart {
+	ch := textplot.Chart{
+		Title:  "Fig 2: program speedup vs accelerator granularity (a=30%, A=3, A72-like core)",
+		XLabel: "granularity (instructions per invocation, log)",
+		YLabel: "program speedup",
+		LogX:   true,
+	}
+	for _, m := range accel.AllModes {
+		s := textplot.Series{Name: m.String()}
+		for _, p := range r.Points {
+			s.X = append(s.X, p.Params.Granularity())
+			s.Y = append(s.Y, p.Speedups.Get(m))
+		}
+		ch.Series = append(ch.Series, s)
+	}
+	return ch
+}
+
+// Render produces the full figure: chart plus marker table.
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Chart().Render())
+	b.WriteString("\nreference accelerators (approximate granularity):\n")
+	rows := make([][]string, 0, len(r.Markers))
+	for _, mk := range r.Markers {
+		sp := r.speedupsAt(mk.Granularity)
+		rows = append(rows, []string{
+			mk.Name,
+			fmt.Sprintf("%.3g", mk.Granularity),
+			fmt.Sprintf("%.2f", sp.LT),
+			fmt.Sprintf("%.2f", sp.NLT),
+			fmt.Sprintf("%.2f", sp.LNT),
+			fmt.Sprintf("%.2f", sp.NLNT),
+		})
+	}
+	b.WriteString(textplot.Table(
+		[]string{"accelerator", "granularity", "L_T", "NL_T", "L_NT", "NL_NT"}, rows))
+	return b.String()
+}
+
+// CSV serializes the sweep.
+func (r *Fig2Result) CSV() string { return r.Chart().CSV() }
+
+// speedupsAt evaluates the model exactly at one granularity.
+func (r *Fig2Result) speedupsAt(g float64) core.ModeValues {
+	p := r.Config.Arch.Apply(core.Params{
+		AcceleratableFrac: r.Config.Coverage,
+		AccelFactor:       r.Config.AccelFactor,
+		InvocationFreq:    r.Config.Coverage / g,
+	})
+	s, err := p.Speedups()
+	if err != nil {
+		return core.ModeValues{}
+	}
+	return s
+}
+
+// Fig3 renders the per-mode interval timelines (the paper's illustrative
+// Fig. 3) for a representative parameter point.
+func Fig3(p core.Params) (string, error) {
+	var b strings.Builder
+	b.WriteString("Fig 3: effective dispatch over the average interval per TCA mode\n")
+	b.WriteString("('#' = useful dispatch at IPC, '.' = stalled/zero dispatch)\n\n")
+	for _, m := range []accel.Mode{accel.NLNT, accel.LNT, accel.NLT, accel.LT} {
+		tl, err := p.Timeline(m)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(tl.String())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/textplot"
+)
+
+// GreenDroidFunction is one of the nine mobile-SoC functions GreenDroid
+// maps to TCAs. Instruction counts span the "hundreds of instructions"
+// granularity the paper cites; names are representative Android hotspot
+// functions (the original table is not reproduced in the paper, so these
+// are documented estimates — see DESIGN.md).
+type GreenDroidFunction struct {
+	Name         string
+	Instructions float64
+}
+
+// GreenDroidFunctions returns the nine reference functions.
+func GreenDroidFunctions() []GreenDroidFunction {
+	return []GreenDroidFunction{
+		{"memset_like", 120},
+		{"utf8_decode", 180},
+		{"crc_update", 240},
+		{"png_filter", 320},
+		{"dct_block", 400},
+		{"alpha_blend", 520},
+		{"mem_pool_op", 650},
+		{"jpeg_huff", 800},
+		{"regex_step", 950},
+	}
+}
+
+// Fig7Config parameterizes the design-space heatmaps.
+type Fig7Config struct {
+	// Cores to map (paper: HP row and LP row).
+	Cores []core.CoreParams
+	// AccelFactor for the map (paper uses 1.5, GreenDroid's
+	// energy-motivated factor).
+	AccelFactor float64
+	VMin, VMax  float64
+	ASteps      int
+	VSteps      int
+}
+
+// DefaultFig7 follows the paper: HP and LP cores, A=1.5.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		Cores:       []core.CoreParams{core.HPCore(), core.LPCore()},
+		AccelFactor: 1.5,
+		VMin:        1e-6,
+		VMax:        0.5,
+		ASteps:      24,
+		VSteps:      64,
+	}
+}
+
+// Fig7Panel is one (core, mode) heatmap.
+type Fig7Panel struct {
+	Core core.CoreParams
+	Mode accel.Mode
+	Grid [][]core.HeatmapCell
+}
+
+// Fig7Result is the full map plus the overlay operating curves.
+type Fig7Result struct {
+	Config Fig7Config
+	Panels []Fig7Panel
+}
+
+// Fig7 computes the 2D speedup/slowdown maps for every core and mode.
+func Fig7(cfg Fig7Config) (*Fig7Result, error) {
+	out := &Fig7Result{Config: cfg}
+	for _, arch := range cfg.Cores {
+		base := arch.Apply(core.Params{AccelFactor: cfg.AccelFactor})
+		grid, err := core.Heatmap(base, cfg.VMin, cfg.VMax, cfg.ASteps, cfg.VSteps)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range accel.AllModes {
+			out.Panels = append(out.Panels, Fig7Panel{Core: arch, Mode: m, Grid: grid})
+		}
+	}
+	return out, nil
+}
+
+// heat converts one panel to a render-ready heatmap: rows are coverage
+// (top = high a), columns invocation frequency (left = low v).
+func (p Fig7Panel) heat() textplot.Heatmap {
+	rows := len(p.Grid)
+	h := textplot.Heatmap{
+		Title: fmt.Sprintf("core IPC=%.1f ROB=%d w=%d, mode %s",
+			p.Core.IPC, p.Core.ROBSize, p.Core.IssueWidth, p.Mode),
+		XLabel: "invocation frequency v (log)",
+		YLabel: "% acceleratable a (top = high)",
+		Center: 1,
+	}
+	h.Cells = make([][]float64, rows)
+	for i := range p.Grid {
+		row := make([]float64, len(p.Grid[i]))
+		for j, cell := range p.Grid[i] {
+			if !cell.Valid {
+				row[j] = math.NaN()
+			} else {
+				row[j] = cell.Speedups.Get(p.Mode)
+			}
+		}
+		// Flip: high coverage at the top.
+		h.Cells[rows-1-i] = row
+	}
+	return h
+}
+
+// OperatingCurve maps a fixed-function accelerator of granularity g onto
+// the (a, v) plane: achieving coverage a requires v = a/g.
+type OperatingCurve struct {
+	Name        string
+	Granularity float64
+}
+
+// Fig7Curves returns the overlay curves the paper draws: the heap manager
+// and the GreenDroid functions.
+func Fig7Curves() []OperatingCurve {
+	curves := []OperatingCurve{{"heap manager", 53}}
+	for _, f := range GreenDroidFunctions() {
+		curves = append(curves, OperatingCurve{"GD " + f.Name, f.Instructions})
+	}
+	return curves
+}
+
+// Render draws every panel plus the operating-curve table.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 7: speedup (.:*#) and slowdown (~-=) over (% acceleratable, invocation freq)\n\n")
+	for _, p := range r.Panels {
+		b.WriteString(p.heat().Render())
+		b.WriteString("\n")
+	}
+	b.WriteString("operating curves (v = a/granularity); NL_NT speedup at a=30% per core:\n")
+	header := []string{"accelerator", "granularity"}
+	for _, arch := range r.Config.Cores {
+		header = append(header, fmt.Sprintf("IPC=%.1f NL_NT", arch.IPC), fmt.Sprintf("IPC=%.1f L_T", arch.IPC))
+	}
+	rows := make([][]string, 0)
+	for _, c := range Fig7Curves() {
+		row := []string{c.Name, fmt.Sprintf("%.0f", c.Granularity)}
+		for _, arch := range r.Config.Cores {
+			p := arch.Apply(core.Params{
+				AcceleratableFrac: 0.3,
+				InvocationFreq:    0.3 / c.Granularity,
+				AccelFactor:       r.Config.AccelFactor,
+			})
+			s, err := p.Speedups()
+			if err != nil {
+				row = append(row, "-", "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", s.NLNT), fmt.Sprintf("%.2f", s.LT))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(textplot.Table(header, rows))
+	return b.String()
+}
+
+// CSV serializes every panel cell.
+func (r *Fig7Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("core_ipc,rob,mode,a,v,speedup\n")
+	for _, p := range r.Panels {
+		for _, gridRow := range p.Grid {
+			for _, cell := range gridRow {
+				if !cell.Valid {
+					continue
+				}
+				fmt.Fprintf(&b, "%g,%d,%s,%g,%g,%g\n",
+					p.Core.IPC, p.Core.ROBSize, p.Mode,
+					cell.AcceleratableFrac, cell.InvocationFreq,
+					cell.Speedups.Get(p.Mode))
+			}
+		}
+	}
+	return b.String()
+}
+
+// SlowdownShare returns, per panel, the fraction of valid cells in
+// slowdown (speedup < 1) — the quantity behind the paper's observations
+// about NT modes and HP cores.
+func (r *Fig7Result) SlowdownShare() map[string]float64 {
+	out := make(map[string]float64, len(r.Panels))
+	for _, p := range r.Panels {
+		valid, slow := 0, 0
+		for _, row := range p.Grid {
+			for _, cell := range row {
+				if !cell.Valid {
+					continue
+				}
+				valid++
+				if cell.Speedups.Get(p.Mode) < 1 {
+					slow++
+				}
+			}
+		}
+		key := fmt.Sprintf("ipc%.1f-%s", p.Core.IPC, p.Mode)
+		if valid > 0 {
+			out[key] = float64(slow) / float64(valid)
+		}
+	}
+	return out
+}

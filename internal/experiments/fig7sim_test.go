@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig7SimSignValidation(t *testing.T) {
+	res, err := Fig7Sim(DefaultFig7Sim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, fast := 0, 0
+	for _, p := range res.Points {
+		if !p.SignAgrees {
+			t.Errorf("g=%d lat=%d: model %.3f vs sim %.3f disagree on sign",
+				p.Granularity, p.AccelLatency, p.ModelSpeedup, p.SimSpeedup)
+		}
+		if p.SimSpeedup < 1 {
+			slow++
+		} else {
+			fast++
+		}
+	}
+	// The study must actually straddle the boundary: simulated slowdown
+	// AND speedup points (the heatmap's blue and red are both real).
+	if slow == 0 || fast == 0 {
+		t.Errorf("points do not straddle the boundary: %d slow / %d fast", slow, fast)
+	}
+	if !strings.Contains(res.Render(), "AGREE") {
+		t.Error("render missing verdicts")
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/textplot"
+)
+
+// Fig8Config parameterizes the coverage study demonstrating core/TCA
+// concurrency: a fixed-granularity TCA swept over % acceleratable code.
+type Fig8Config struct {
+	Arch core.CoreParams
+	// Granularity is the TCA task size (paper: 100 instructions).
+	Granularity float64
+	// AccelFactor is A (paper: 2; the headline is peak speedup A+1=3).
+	AccelFactor float64
+	Points      int
+}
+
+// DefaultFig8 follows the paper's setup.
+func DefaultFig8() Fig8Config {
+	return Fig8Config{Arch: core.HPCore(), Granularity: 100, AccelFactor: 2, Points: 99}
+}
+
+// Fig8Result is the coverage sweep.
+type Fig8Result struct {
+	Config Fig8Config
+	Points []core.SweepPoint
+	// PeakA and PeakSpeedup locate the L_T maximum.
+	PeakA       float64
+	PeakSpeedup float64
+}
+
+// Fig8 runs the concurrency study.
+func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+	base := cfg.Arch.Apply(core.Params{AccelFactor: cfg.AccelFactor})
+	pts, err := core.CoverageSweep(base, cfg.Granularity, cfg.Points)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{Config: cfg, Points: pts}
+	for _, p := range pts {
+		if p.Speedups.LT > out.PeakSpeedup {
+			out.PeakSpeedup = p.Speedups.LT
+			out.PeakA = p.Params.AcceleratableFrac
+		}
+	}
+	return out, nil
+}
+
+// Chart plots all four modes over coverage.
+func (r *Fig8Result) Chart() textplot.Chart {
+	ch := textplot.Chart{
+		Title: fmt.Sprintf("Fig 8: speedup vs %% acceleratable (g=%.0f instructions, A=%.0f)",
+			r.Config.Granularity, r.Config.AccelFactor),
+		XLabel: "acceleratable fraction a",
+		YLabel: "program speedup",
+	}
+	for _, m := range accel.AllModes {
+		s := textplot.Series{Name: m.String()}
+		for _, p := range r.Points {
+			s.X = append(s.X, p.Params.AcceleratableFrac)
+			s.Y = append(s.Y, p.Speedups.Get(m))
+		}
+		ch.Series = append(ch.Series, s)
+	}
+	return ch
+}
+
+// Render produces the chart plus the concurrency headline.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Chart().Render())
+	fmt.Fprintf(&b, "\nL_T peak: speedup %.2f at a = %.2f (bound A+1 = %.0f at a* = A/(A+1) = %.3f)\n",
+		r.PeakSpeedup, r.PeakA,
+		core.MaxConcurrentSpeedup(r.Config.AccelFactor),
+		core.PeakAcceleratableFrac(r.Config.AccelFactor))
+	return b.String()
+}
+
+// CSV serializes the sweep.
+func (r *Fig8Result) CSV() string { return r.Chart().CSV() }

@@ -1,0 +1,182 @@
+// Package experiments regenerates every figure of the paper's evaluation:
+//
+//	Fig. 2 — analytical speedup vs. accelerator granularity (A72, a=30%, A=3)
+//	Fig. 3 — per-mode interval timelines
+//	Fig. 4 — model-vs-simulator error on the synthetic microbenchmark sweep
+//	Fig. 5 — heap-manager TCA: model speedup, simulated speedup, error
+//	Fig. 6 — DGEMM TCAs (2x2/4x4/8x8): measured vs. estimated speedup
+//	Fig. 7 — design-space heatmaps (HP/LP cores x 4 modes) with accelerator
+//	         operating curves
+//	Fig. 8 — speedup vs. coverage for a 100-instruction A=2 TCA
+//
+// Each figure function returns typed rows/series that render to an ASCII
+// chart and CSV, so `cmd/figures` can regenerate the paper's artifacts in
+// one run.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// maxCycles bounds every simulation in the harness.
+const maxCycles = 4_000_000_000
+
+// ModeMeasurement is one (workload, mode) comparison of the simulator
+// against the model.
+type ModeMeasurement struct {
+	Mode         accel.Mode
+	SimCycles    int64
+	SimSpeedup   float64
+	ModelSpeedup float64
+	// Error is (model - sim) / sim.
+	Error float64
+}
+
+// WorkloadResult is the full validation record for one workload on one
+// core configuration.
+type WorkloadResult struct {
+	Workload *workload.Workload
+	Config   sim.Config
+
+	BaselineCycles int64
+	BaselineIPC    float64
+	// MeasuredAccelLatency is the mean TCA service time observed in the
+	// L_T run's event trace (used for the model when the workload has no
+	// intrinsic latency).
+	MeasuredAccelLatency float64
+
+	Params core.Params
+	Modes  []ModeMeasurement
+}
+
+// archOf extracts the model's architecture constants from a simulator
+// configuration.
+func archOf(cfg sim.Config) core.CoreParams {
+	return core.CoreParams{
+		ROBSize:     cfg.ROBSize,
+		IssueWidth:  cfg.DispatchWidth,
+		CommitStall: float64(cfg.CommitDelay),
+	}
+}
+
+// MeasureWorkload runs the full paper methodology for one workload:
+// simulate the baseline, calibrate the model from it via interval
+// analysis, simulate the accelerated program in all four modes, and
+// compare speedups.
+func MeasureWorkload(cfg sim.Config, w *workload.Workload) (*WorkloadResult, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+
+	baseCore, err := sim.New(cfg, w.Baseline, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s baseline: %w", w.Name, err)
+	}
+	baseRes, err := baseCore.Run(maxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s baseline run: %w", w.Name, err)
+	}
+
+	out := &WorkloadResult{
+		Workload:       w,
+		Config:         cfg,
+		BaselineCycles: baseRes.Stats.Cycles,
+		BaselineIPC:    baseRes.Stats.IPC(),
+	}
+
+	// Simulate each mode. The L_T run records the event trace so
+	// memory-dependent accelerators get a measured latency, and its mean
+	// ROB occupancy calibrates the drain estimate: the window the NL
+	// modes drain holds the accelerated program's non-accelerated
+	// instruction population, whose occupancy the baseline (with its
+	// software regions still inline) overstates.
+	simCycles := make(map[accel.Mode]int64, len(accel.AllModes))
+	var ltOccupancy float64
+	for _, m := range accel.AllModes {
+		mcfg := cfg
+		mcfg.Mode = m
+		mcfg.RecordAccelEvents = m == accel.LT && w.AccelLatency == 0
+		c, err := sim.New(mcfg, w.Accelerated, w.NewDevice())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s %s: %w", w.Name, m, err)
+		}
+		res, err := c.Run(maxCycles)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s %s run: %w", w.Name, m, err)
+		}
+		simCycles[m] = res.Stats.Cycles
+		if m == accel.LT {
+			ltOccupancy = res.Stats.AvgROBOccupancy()
+		}
+		if mcfg.RecordAccelEvents {
+			svc, err := interval.AnalyzeEvents(res.Stats.AccelEvents)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", w.Name, err)
+			}
+			out.MeasuredAccelLatency = svc.MeanService
+		}
+	}
+
+	// Calibrate the model from the baseline measurement.
+	lat := w.AccelLatency
+	if lat == 0 {
+		lat = out.MeasuredAccelLatency
+	}
+	meas := interval.FromBaselineRun(baseRes, w.Acceleratable, w.Invocations)
+	if ltOccupancy > 0 {
+		meas.AvgROBOccupancy = ltOccupancy
+	}
+	params, err := interval.Calibrate(meas, archOf(cfg), 0, lat)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s calibrate: %w", w.Name, err)
+	}
+	out.Params = params
+
+	model, err := params.Speedups()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s model: %w", w.Name, err)
+	}
+	for _, m := range accel.AllModes {
+		simSp := float64(baseRes.Stats.Cycles) / float64(simCycles[m])
+		modSp := model.Get(m)
+		out.Modes = append(out.Modes, ModeMeasurement{
+			Mode:         m,
+			SimCycles:    simCycles[m],
+			SimSpeedup:   simSp,
+			ModelSpeedup: modSp,
+			Error:        interval.SpeedupError(modSp, simSp),
+		})
+	}
+	return out, nil
+}
+
+// MaxAbsError returns the largest |error| across modes.
+func (r *WorkloadResult) MaxAbsError() float64 {
+	var worst float64
+	for _, m := range r.Modes {
+		e := m.Error
+		if e < 0 {
+			e = -e
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Mode returns the measurement for one mode.
+func (r *WorkloadResult) Mode(m accel.Mode) ModeMeasurement {
+	for _, mm := range r.Modes {
+		if mm.Mode == m {
+			return mm
+		}
+	}
+	panic(fmt.Sprintf("experiments: mode %v not measured", m))
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/textplot"
+)
+
+// ErrorSample aggregates model-error observations for one mode across
+// repeated randomized runs.
+type ErrorSample struct {
+	Mode accel.Mode
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// summarize computes the sample statistics.
+func summarize(mode accel.Mode, xs []float64) ErrorSample {
+	s := ErrorSample{Mode: mode, N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		sq += (x - s.Mean) * (x - s.Mean)
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	return s
+}
+
+// MultiSeedResult is the seed-robustness study: the Fig. 4 validation
+// repeated across independently generated workloads, reporting the
+// distribution of model errors per mode. The paper validates single
+// instances; this quantifies how much the errors move with benchmark
+// randomness (region placement and filler mix).
+type MultiSeedResult struct {
+	Seeds   int
+	Samples []ErrorSample
+}
+
+// Fig4MultiSeed runs the synthetic validation across seeds and aggregates
+// per-mode errors over all (seed, sweep-point) observations.
+func Fig4MultiSeed(cfg Fig4Config, seeds int) (*MultiSeedResult, error) {
+	if seeds < 2 {
+		return nil, fmt.Errorf("experiments: multi-seed study needs >= 2 seeds")
+	}
+	errs := make(map[accel.Mode][]float64, 4)
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(1000*s)
+		res, err := Fig4(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: multi-seed seed %d: %w", s, err)
+		}
+		for _, row := range res.Rows {
+			for _, mm := range row.Result.Modes {
+				errs[mm.Mode] = append(errs[mm.Mode], mm.Error)
+			}
+		}
+	}
+	out := &MultiSeedResult{Seeds: seeds}
+	for _, m := range accel.AllModes {
+		out.Samples = append(out.Samples, summarize(m, errs[m]))
+	}
+	return out, nil
+}
+
+// Sample returns the statistics for one mode.
+func (r *MultiSeedResult) Sample(m accel.Mode) ErrorSample {
+	for _, s := range r.Samples {
+		if s.Mode == m {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("experiments: no sample for mode %v", m))
+}
+
+// Render tabulates the distributions.
+func (r *MultiSeedResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Seed-robustness study: model error distribution over %d seeds\n\n", r.Seeds)
+	rows := make([][]string, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		rows = append(rows, []string{
+			s.Mode.String(),
+			fmt.Sprintf("%d", s.N),
+			fmt.Sprintf("%+.1f%%", 100*s.Mean),
+			fmt.Sprintf("%.1f%%", 100*s.Std),
+			fmt.Sprintf("%+.1f%%", 100*s.Min),
+			fmt.Sprintf("%+.1f%%", 100*s.Max),
+		})
+	}
+	b.WriteString(textplot.Table(
+		[]string{"mode", "samples", "mean err", "std", "min", "max"}, rows))
+	return b.String()
+}

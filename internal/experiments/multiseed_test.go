@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+)
+
+func TestFig4MultiSeed(t *testing.T) {
+	cfg := smallFig4()
+	cfg.RegionCounts = []int{10, 60}
+	res, err := Fig4MultiSeed(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 4 {
+		t.Fatalf("samples for %d modes", len(res.Samples))
+	}
+	for _, s := range res.Samples {
+		if s.N != 8 { // 4 seeds x 2 sweep points
+			t.Errorf("%s: %d observations, want 8", s.Mode, s.N)
+		}
+		if !(s.Min <= s.Mean && s.Mean <= s.Max) {
+			t.Errorf("%s: inconsistent stats %+v", s.Mode, s)
+		}
+		if s.Std < 0 {
+			t.Errorf("%s: negative std", s.Mode)
+		}
+	}
+	// The L modes' mean error stays small across seeds; NL_NT carries
+	// the known pessimism but must be stable (std below its own bias).
+	lt := res.Sample(accel.LT)
+	if abs(lt.Mean) > 0.20 {
+		t.Errorf("L_T mean error %.1f%% across seeds, want <= 20%%", 100*lt.Mean)
+	}
+	nlnt := res.Sample(accel.NLNT)
+	if nlnt.Std > 0.20 {
+		t.Errorf("NL_NT error std %.1f%% across seeds — unstable", 100*nlnt.Std)
+	}
+	if !strings.Contains(res.Render(), "mean err") {
+		t.Error("render missing columns")
+	}
+}
+
+func TestFig4MultiSeedRejectsSingleSeed(t *testing.T) {
+	if _, err := Fig4MultiSeed(smallFig4(), 1); err == nil {
+		t.Error("single-seed study accepted")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

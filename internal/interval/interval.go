@@ -1,0 +1,168 @@
+// Package interval connects simulator measurements to analytical-model
+// parameters, following the paper's methodology: the model is fed the
+// baseline program's measured IPC, the invocation frequency v and coverage
+// a of the acceleratable regions, and (optionally) the accelerator's
+// measured service latency; its per-mode speedup predictions are then
+// compared against simulated speedups.
+package interval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// BaselineMeasurement captures what interval analysis extracts from a
+// baseline (software-only) execution.
+type BaselineMeasurement struct {
+	// Cycles and Instructions give the baseline IPC.
+	Cycles       int64
+	Instructions uint64
+	// AcceleratableInstructions is the number of baseline instructions
+	// inside regions the accelerator replaces (a·Instructions).
+	AcceleratableInstructions uint64
+	// Invocations is how many accelerator invocations replace them
+	// (v·Instructions).
+	Invocations uint64
+	// AvgROBOccupancy is the baseline's mean in-flight instruction count.
+	// When positive, it calibrates the model's window-drain time as
+	// occupancy/IPC (the steady-state time for the in-flight window to
+	// retire — Little's law). Without it the model falls back to its
+	// full-ROB power-law estimate, which badly overestimates drains for
+	// dispatch-limited programs whose ROB never fills.
+	AvgROBOccupancy float64
+}
+
+// Validate reports measurement errors.
+func (m BaselineMeasurement) Validate() error {
+	switch {
+	case m.Cycles <= 0:
+		return fmt.Errorf("interval: cycles %d must be positive", m.Cycles)
+	case m.Instructions == 0:
+		return fmt.Errorf("interval: no instructions")
+	case m.AcceleratableInstructions >= m.Instructions:
+		return fmt.Errorf("interval: acceleratable %d must be < total %d",
+			m.AcceleratableInstructions, m.Instructions)
+	case m.Invocations > m.AcceleratableInstructions:
+		return fmt.Errorf("interval: invocations %d exceed acceleratable instructions %d",
+			m.Invocations, m.AcceleratableInstructions)
+	}
+	return nil
+}
+
+// FromBaselineRun builds a measurement from a baseline simulation result
+// plus workload-known region counts.
+func FromBaselineRun(res *sim.Result, acceleratable, invocations uint64) BaselineMeasurement {
+	return BaselineMeasurement{
+		Cycles:                    res.Stats.Cycles,
+		Instructions:              res.Stats.Committed,
+		AcceleratableInstructions: acceleratable,
+		Invocations:               invocations,
+		AvgROBOccupancy:           res.Stats.AvgROBOccupancy(),
+	}
+}
+
+// IPC returns the measured baseline IPC.
+func (m BaselineMeasurement) IPC() float64 {
+	return float64(m.Instructions) / float64(m.Cycles)
+}
+
+// Calibrate produces model parameters from the measurement and the target
+// core's architectural constants. accelLatency > 0 sets an explicit
+// per-invocation accelerator time; accelFactor is used otherwise.
+func Calibrate(m BaselineMeasurement, arch core.CoreParams, accelFactor, accelLatency float64) (core.Params, error) {
+	if err := m.Validate(); err != nil {
+		return core.Params{}, err
+	}
+	p := arch.Apply(core.Params{
+		AcceleratableFrac: float64(m.AcceleratableInstructions) / float64(m.Instructions),
+		InvocationFreq:    float64(m.Invocations) / float64(m.Instructions),
+		AccelFactor:       accelFactor,
+		AccelLatency:      accelLatency,
+	})
+	p.IPC = m.IPC()
+	if m.AvgROBOccupancy > 0 {
+		p.DrainTime = m.AvgROBOccupancy / p.IPC
+	}
+	if err := p.Validate(); err != nil {
+		return core.Params{}, err
+	}
+	return p, nil
+}
+
+// ServiceStats summarizes the accelerator-event trace of an accelerated
+// run.
+type ServiceStats struct {
+	Invocations int
+	// MeanService is the average execute time (Done - Start) in cycles.
+	MeanService float64
+	// MeanDrainWait is the average dispatch-to-start delay.
+	MeanDrainWait float64
+	// MeanCommitLag is the average Done-to-commit delay.
+	MeanCommitLag float64
+	// MeanInterval is the average distance between consecutive
+	// invocation commits.
+	MeanInterval float64
+}
+
+// AnalyzeEvents computes service statistics from a recorded event trace.
+func AnalyzeEvents(events []sim.AccelEvent) (ServiceStats, error) {
+	if len(events) == 0 {
+		return ServiceStats{}, fmt.Errorf("interval: no accel events recorded")
+	}
+	var s ServiceStats
+	s.Invocations = len(events)
+	for _, e := range events {
+		s.MeanService += float64(e.Done - e.Start)
+		s.MeanDrainWait += float64(e.Start - e.Dispatch)
+		s.MeanCommitLag += float64(e.Commit - e.Done)
+	}
+	n := float64(len(events))
+	s.MeanService /= n
+	s.MeanDrainWait /= n
+	s.MeanCommitLag /= n
+	if len(events) > 1 {
+		s.MeanInterval = float64(events[len(events)-1].Commit-events[0].Commit) / (n - 1)
+	}
+	return s, nil
+}
+
+// SpeedupError is the relative error of a model prediction against a
+// simulator measurement: (model - sim) / sim.
+func SpeedupError(model, simulated float64) float64 {
+	if simulated == 0 {
+		return math.Inf(1)
+	}
+	return (model - simulated) / simulated
+}
+
+// PowerLawFit fits W = alpha * l^beta through (window, criticalPath)
+// samples by least squares in log-log space. It is the Eyerman-style fit
+// behind the model's default drain estimator.
+func PowerLawFit(windows, paths []float64) (alpha, beta float64, err error) {
+	if len(windows) != len(paths) || len(windows) < 2 {
+		return 0, 0, fmt.Errorf("interval: need >= 2 paired samples, got %d/%d", len(windows), len(paths))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(windows))
+	for i := range windows {
+		if windows[i] <= 0 || paths[i] <= 0 {
+			return 0, 0, fmt.Errorf("interval: samples must be positive (w=%v l=%v)", windows[i], paths[i])
+		}
+		x := math.Log(paths[i])
+		y := math.Log(windows[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("interval: degenerate samples (all critical paths equal)")
+	}
+	beta = (n*sxy - sx*sy) / den
+	alpha = math.Exp((sy - beta*sx) / n)
+	return alpha, beta, nil
+}

@@ -1,0 +1,136 @@
+package interval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestBaselineMeasurementValidate(t *testing.T) {
+	good := BaselineMeasurement{Cycles: 1000, Instructions: 2000, AcceleratableInstructions: 600, Invocations: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid measurement rejected: %v", err)
+	}
+	bad := []BaselineMeasurement{
+		{Cycles: 0, Instructions: 10},
+		{Cycles: 10, Instructions: 0},
+		{Cycles: 10, Instructions: 10, AcceleratableInstructions: 10},
+		{Cycles: 10, Instructions: 10, AcceleratableInstructions: 5, Invocations: 6},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	m := BaselineMeasurement{Cycles: 1000, Instructions: 1800, AcceleratableInstructions: 540, Invocations: 18}
+	p, err := Calibrate(m, core.HPCore(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(p.IPC, 1.8) {
+		t.Errorf("IPC = %v, want 1.8", p.IPC)
+	}
+	if !approx(p.AcceleratableFrac, 0.3) {
+		t.Errorf("a = %v, want 0.3", p.AcceleratableFrac)
+	}
+	if !approx(p.InvocationFreq, 0.01) {
+		t.Errorf("v = %v, want 0.01", p.InvocationFreq)
+	}
+	if p.ROBSize != 256 || p.IssueWidth != 4 {
+		t.Errorf("arch params not applied: %+v", p)
+	}
+	// Explicit latency path.
+	p, err = Calibrate(m, core.HPCore(), 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AccelLatency != 12 {
+		t.Errorf("latency = %v, want 12", p.AccelLatency)
+	}
+}
+
+func TestCalibrateRejectsBadMeasurement(t *testing.T) {
+	if _, err := Calibrate(BaselineMeasurement{}, core.HPCore(), 3, 0); err == nil {
+		t.Error("empty measurement accepted")
+	}
+}
+
+func TestAnalyzeEvents(t *testing.T) {
+	events := []sim.AccelEvent{
+		{Seq: 1, Dispatch: 10, Start: 12, Done: 20, Commit: 23},
+		{Seq: 2, Dispatch: 30, Start: 30, Done: 42, Commit: 45},
+		{Seq: 3, Dispatch: 50, Start: 55, Done: 60, Commit: 67},
+	}
+	s, err := AnalyzeEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Invocations != 3 {
+		t.Errorf("invocations = %d", s.Invocations)
+	}
+	if !approx(s.MeanService, (8+12+5)/3.0) {
+		t.Errorf("mean service = %v", s.MeanService)
+	}
+	if !approx(s.MeanDrainWait, (2+0+5)/3.0) {
+		t.Errorf("mean drain wait = %v", s.MeanDrainWait)
+	}
+	if !approx(s.MeanCommitLag, (3+3+7)/3.0) {
+		t.Errorf("mean commit lag = %v", s.MeanCommitLag)
+	}
+	if !approx(s.MeanInterval, (67-23)/2.0) {
+		t.Errorf("mean interval = %v", s.MeanInterval)
+	}
+	if _, err := AnalyzeEvents(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestSpeedupError(t *testing.T) {
+	if got := SpeedupError(1.1, 1.0); !approx(got, 0.1) {
+		t.Errorf("error = %v, want 0.1", got)
+	}
+	if got := SpeedupError(0.9, 1.0); !approx(got, -0.1) {
+		t.Errorf("error = %v, want -0.1", got)
+	}
+	if !math.IsInf(SpeedupError(1, 0), 1) {
+		t.Error("zero baseline must give +Inf")
+	}
+}
+
+func TestPowerLawFitRecoversKnownLaw(t *testing.T) {
+	// W = 2.5 * l^1.8 exactly.
+	var ws, ls []float64
+	for l := 2.0; l <= 64; l *= 2 {
+		ls = append(ls, l)
+		ws = append(ws, 2.5*math.Pow(l, 1.8))
+	}
+	alpha, beta, err := PowerLawFit(ws, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-2.5) > 1e-6 || math.Abs(beta-1.8) > 1e-9 {
+		t.Errorf("fit = (%v, %v), want (2.5, 1.8)", alpha, beta)
+	}
+}
+
+func TestPowerLawFitErrors(t *testing.T) {
+	if _, _, err := PowerLawFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, _, err := PowerLawFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, _, err := PowerLawFit([]float64{1, 2}, []float64{-1, 2}); err == nil {
+		t.Error("negative sample accepted")
+	}
+	if _, _, err := PowerLawFit([]float64{1, 2}, []float64{3, 3}); err == nil {
+		t.Error("degenerate samples accepted")
+	}
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

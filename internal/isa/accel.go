@@ -1,0 +1,126 @@
+package isa
+
+// This file defines the contract between OpAccel instructions and the
+// tightly-coupled accelerator device that services them. Both the functional
+// interpreter and the cycle simulator call the same device, so functional
+// behaviour is defined once; the simulator additionally charges the timing
+// reported in AccelResult (compute latency plus the memory operations routed
+// through the core's LSQ and cache hierarchy, arbitrated by age as in the
+// paper's methodology).
+
+// AccelMemOp is one memory word access performed by an accelerator
+// invocation. Size is in bytes (at most 64, the paper's assumed maximum
+// contiguous request width, same as an AVX-512 register); accesses wider
+// than 8 bytes describe contiguous words starting at Addr.
+//
+// Serial marks an access whose address depends on the previous access's
+// data (pointer chasing, DFA table walks): the simulator starts it only
+// after the preceding operation in the list completes, instead of
+// overlapping it.
+type AccelMemOp struct {
+	Addr   uint64
+	Size   int
+	Store  bool
+	Serial bool
+}
+
+// AccelResult describes one accelerator invocation: the value written to the
+// destination register, the pure compute latency in cycles (excluding memory
+// time, which the simulator derives from MemOps), and the memory traffic.
+//
+// The device performs its stores on the Memory passed to Invoke; MemOps is
+// the timing-visible trace of those accesses. Functional callers may ignore
+// MemOps entirely.
+type AccelResult struct {
+	Value   uint64
+	Latency int
+	MemOps  []AccelMemOp
+}
+
+// AccelCall carries the operand values of an OpAccel instruction to the
+// device. Kind is the instruction's immediate; Args are the values of
+// Src1..Src3 at invocation time.
+type AccelCall struct {
+	Kind int64
+	Args [3]uint64
+}
+
+// WordReader is the memory view an accelerator reads during an invocation.
+// The interpreter passes the architectural Memory; the simulator passes an
+// overlay that includes older, not-yet-committed stores so speculative
+// invocations observe program-order memory state.
+type WordReader interface {
+	Load(addr uint64) uint64
+	LoadFloat(addr uint64) float64
+}
+
+// AccelDevice is a tightly-coupled accelerator. Invoke must be
+// deterministic for a given (call, memory) pair: the simulator may only
+// invoke it once per committed instruction, but the invocation can happen
+// speculatively in L modes, so devices must not keep externally visible
+// state beyond what they write through mem (the simulator defers those
+// writes until the invocation is non-speculative in the functional image).
+//
+// Implementations live in internal/accel.
+type AccelDevice interface {
+	// Name identifies the device in statistics and error messages.
+	Name() string
+	// Invoke performs the accelerator operation functionally against mem
+	// and reports its timing. Loads read mem directly; stores must NOT be
+	// applied by the device — they are described in AccelResult.MemOps
+	// and returned through AccelStorer so the caller can apply them with
+	// correct speculation semantics.
+	Invoke(call AccelCall, mem WordReader) AccelResult
+}
+
+// AccelMemoryUser is implemented by devices whose invocations read or write
+// program memory. The simulator orders such invocations against the
+// load/store queue; devices that work purely on register operands (the heap
+// manager's hardware tables, fixed-latency compute blocks) skip that
+// ordering.
+type AccelMemoryUser interface {
+	UsesProgramMemory() bool
+}
+
+// AccelJournal is implemented by devices with internal state (such as the
+// heap manager's free-list tables) that may be invoked speculatively in the
+// L modes. Mark snapshots a position; Rewind undoes every state change made
+// by invocations after that mark, implementing the misspeculation-rollback
+// hardware the paper's L modes require.
+type AccelJournal interface {
+	Mark() int
+	Rewind(mark int)
+}
+
+// AccelStore is a pending accelerator store: a word address and the data to
+// write. Devices that need to write memory return these via the
+// AccelStorer interface.
+type AccelStore struct {
+	Addr uint64
+	Data uint64
+}
+
+// AccelStorer is implemented by devices whose invocations write memory.
+// PendingStores returns the word-granularity stores of the most recent
+// Invoke call. The interpreter applies them immediately; the simulator
+// applies them when the OpAccel instruction commits.
+type AccelStorer interface {
+	PendingStores() []AccelStore
+}
+
+// InvokeAndCollect runs one accelerator invocation and returns the result
+// together with any pending stores, without applying them.
+func InvokeAndCollect(dev AccelDevice, call AccelCall, mem WordReader) (AccelResult, []AccelStore) {
+	res := dev.Invoke(call, mem)
+	if s, ok := dev.(AccelStorer); ok {
+		return res, s.PendingStores()
+	}
+	return res, nil
+}
+
+// ApplyStores writes a batch of accelerator stores to memory.
+func ApplyStores(mem *Memory, stores []AccelStore) {
+	for _, s := range stores {
+		mem.Store(s.Addr, s.Data)
+	}
+}

@@ -1,0 +1,263 @@
+// Package isa defines the register-machine instruction set shared by the
+// functional interpreter and the cycle-level out-of-order simulator.
+//
+// The ISA is a small RISC-style load/store architecture with 32 integer
+// registers (R0 hardwired to zero), 32 floating-point registers, and one
+// special instruction, OpAccel, that invokes a tightly-coupled accelerator
+// (TCA). A TCA invocation occupies a single architectural instruction and a
+// single reorder-buffer entry, exactly as the paper's TCA definition
+// requires: "invoked via a dedicated ISA instruction, reserves an entry in
+// the reorder buffer, has in-order commit semantics".
+//
+// Values are 64-bit. Integer registers hold two's-complement integers;
+// floating-point registers hold IEEE-754 float64 bit patterns. Memory is
+// byte-addressed but accessed at 8-byte word granularity by OpLoad/OpStore.
+package isa
+
+import "fmt"
+
+// Reg names one of the 64 architectural registers. Registers 0..31 are the
+// integer file (R0 reads as zero and ignores writes); registers 32..63 are
+// the floating-point file.
+type Reg uint8
+
+// Register file layout.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumRegs    = NumIntRegs + NumFPRegs
+
+	// RZero is the hardwired zero register.
+	RZero Reg = 0
+)
+
+// R returns the n'th integer register. It panics if n is out of range.
+func R(n int) Reg {
+	if n < 0 || n >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register %d out of range", n))
+	}
+	return Reg(n)
+}
+
+// F returns the n'th floating-point register. It panics if n is out of range.
+func F(n int) Reg {
+	if n < 0 || n >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register %d out of range", n))
+	}
+	return Reg(NumIntRegs + n)
+}
+
+// IsFP reports whether r belongs to the floating-point file.
+func (r Reg) IsFP() bool { return r >= NumIntRegs }
+
+// String renders the register in assembly form (r7, f3, zero).
+func (r Reg) String() string {
+	switch {
+	case r == RZero:
+		return "zero"
+	case r < NumIntRegs:
+		return fmt.Sprintf("r%d", int(r))
+	case r < NumRegs:
+		return fmt.Sprintf("f%d", int(r)-NumIntRegs)
+	default:
+		return fmt.Sprintf("reg?%d", int(r))
+	}
+}
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcodes. Semantics are documented per group; Dst/Src1/Src2/Src3 refer to
+// Instruction fields and Imm to the immediate.
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+	// OpHalt stops the program.
+	OpHalt
+
+	// Integer ALU.
+	OpMovI // Dst = Imm
+	OpAddI // Dst = Src1 + Imm
+	OpAdd  // Dst = Src1 + Src2
+	OpSub  // Dst = Src1 - Src2
+	OpMul  // Dst = Src1 * Src2
+	OpDiv  // Dst = Src1 / Src2 (signed; x/0 == 0)
+	OpRem  // Dst = Src1 % Src2 (signed; x%0 == 0)
+	OpAnd  // Dst = Src1 & Src2
+	OpOr   // Dst = Src1 | Src2
+	OpXor  // Dst = Src1 ^ Src2
+	OpShl  // Dst = Src1 << (Src2 & 63)
+	OpShr  // Dst = Src1 >> (Src2 & 63) (logical)
+	OpSlt  // Dst = 1 if Src1 < Src2 (signed) else 0
+
+	// Floating point (operands in the FP file unless noted).
+	OpFMovI // Dst = float64 from Imm bit pattern
+	OpFAdd  // Dst = Src1 + Src2
+	OpFSub  // Dst = Src1 - Src2
+	OpFMul  // Dst = Src1 * Src2
+	OpFDiv  // Dst = Src1 / Src2
+	OpFMA   // Dst = Src3 + Src1*Src2 (fused multiply-add)
+
+	// Memory (8-byte words; effective address Src1 + Imm).
+	OpLoad   // Dst = M[Src1+Imm] (integer file)
+	OpStore  // M[Src1+Imm] = Src2 (integer file)
+	OpFLoad  // Dst = M[Src1+Imm] (fp file)
+	OpFStore // M[Src1+Imm] = Src2 (fp file)
+
+	// Control flow. Branch target is Imm (absolute instruction index).
+	OpBeq // if Src1 == Src2 goto Imm
+	OpBne // if Src1 != Src2 goto Imm
+	OpBlt // if Src1 <  Src2 goto Imm (signed)
+	OpBge // if Src1 >= Src2 goto Imm (signed)
+	OpJmp // goto Imm
+
+	// OpAccel invokes the program's tightly-coupled accelerator.
+	// Dst receives the accelerator result value (may be RZero when the
+	// device produces none); Src1..Src3 carry argument values (typically
+	// base addresses); Imm holds the device-specific operation kind.
+	OpAccel
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpHalt: "halt",
+	OpMovI: "movi", OpAddI: "addi", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr", OpSlt: "slt",
+	OpFMovI: "fmovi", OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv", OpFMA: "fma",
+	OpLoad: "ld", OpStore: "st", OpFLoad: "fld", OpFStore: "fst",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge", OpJmp: "jmp",
+	OpAccel: "accel",
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op?%d", int(op))
+}
+
+// IsBranch reports whether the opcode is a control-flow instruction
+// (conditional branch or unconditional jump).
+func (op Op) IsBranch() bool {
+	switch op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (op Op) IsCondBranch() bool {
+	switch op {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the opcode directly accesses memory
+// (loads and stores; OpAccel traffic is reported by the device instead).
+func (op Op) IsMem() bool {
+	switch op {
+	case OpLoad, OpStore, OpFLoad, OpFStore:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the opcode reads memory.
+func (op Op) IsLoad() bool { return op == OpLoad || op == OpFLoad }
+
+// IsStore reports whether the opcode writes memory.
+func (op Op) IsStore() bool { return op == OpStore || op == OpFStore }
+
+// IsFP reports whether the opcode executes on the floating-point unit.
+func (op Op) IsFP() bool {
+	switch op {
+	case OpFMovI, OpFAdd, OpFSub, OpFMul, OpFDiv, OpFMA, OpFLoad, OpFStore:
+		return true
+	}
+	return false
+}
+
+// Instruction is one decoded instruction. The interpretation of the operand
+// fields depends on the opcode; unused fields are zero.
+type Instruction struct {
+	Op   Op
+	Dst  Reg
+	Src1 Reg
+	Src2 Reg
+	Src3 Reg // third source: OpFMA accumulator, OpAccel third argument
+	Imm  int64
+}
+
+// HasDst reports whether the instruction produces a register result.
+func (in Instruction) HasDst() bool {
+	switch in.Op {
+	case OpNop, OpHalt, OpStore, OpFStore, OpBeq, OpBne, OpBlt, OpBge, OpJmp:
+		return false
+	case OpAccel:
+		return in.Dst != RZero
+	}
+	return in.Dst != RZero
+}
+
+// Sources returns the registers the instruction reads, excluding RZero.
+func (in Instruction) Sources() []Reg {
+	var srcs []Reg
+	add := func(r Reg) {
+		if r != RZero {
+			srcs = append(srcs, r)
+		}
+	}
+	switch in.Op {
+	case OpNop, OpHalt, OpMovI, OpFMovI, OpJmp:
+		// no register sources
+	case OpAddI, OpLoad, OpFLoad:
+		add(in.Src1)
+	case OpStore, OpFStore:
+		add(in.Src1)
+		add(in.Src2)
+	case OpFMA:
+		add(in.Src1)
+		add(in.Src2)
+		add(in.Src3)
+	case OpAccel:
+		add(in.Src1)
+		add(in.Src2)
+		add(in.Src3)
+	default:
+		add(in.Src1)
+		add(in.Src2)
+	}
+	return srcs
+}
+
+// String renders the instruction in assembly form.
+func (in Instruction) String() string {
+	switch in.Op {
+	case OpNop, OpHalt:
+		return in.Op.String()
+	case OpMovI, OpFMovI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Dst, in.Imm)
+	case OpAddI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Dst, in.Src1, in.Imm)
+	case OpLoad, OpFLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Dst, in.Imm, in.Src1)
+	case OpStore, OpFStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Src2, in.Imm, in.Src1)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s %s, %s, @%d", in.Op, in.Src1, in.Src2, in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("%s @%d", in.Op, in.Imm)
+	case OpFMA:
+		return fmt.Sprintf("%s %s, %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2, in.Src3)
+	case OpAccel:
+		return fmt.Sprintf("%s %s, %s, %s, %s, kind=%d", in.Op, in.Dst, in.Src1, in.Src2, in.Src3, in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+	}
+}

@@ -1,0 +1,218 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNaming(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{RZero, "zero"},
+		{R(1), "r1"},
+		{R(31), "r31"},
+		{F(0), "f0"},
+		{F(31), "f31"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+	if R(5).IsFP() {
+		t.Error("R(5) reported as FP")
+	}
+	if !F(5).IsFP() {
+		t.Error("F(5) not reported as FP")
+	}
+}
+
+func TestRegConstructorsPanicOutOfRange(t *testing.T) {
+	for _, f := range []func(){
+		func() { R(-1) }, func() { R(32) },
+		func() { F(-1) }, func() { F(32) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpBeq.IsBranch() || !OpJmp.IsBranch() || OpAdd.IsBranch() {
+		t.Error("IsBranch misclassifies")
+	}
+	if !OpBeq.IsCondBranch() || OpJmp.IsCondBranch() {
+		t.Error("IsCondBranch misclassifies")
+	}
+	if !OpLoad.IsMem() || !OpFStore.IsMem() || OpAccel.IsMem() {
+		t.Error("IsMem misclassifies")
+	}
+	if !OpLoad.IsLoad() || OpStore.IsLoad() {
+		t.Error("IsLoad misclassifies")
+	}
+	if !OpFStore.IsStore() || OpFLoad.IsStore() {
+		t.Error("IsStore misclassifies")
+	}
+	if !OpFMA.IsFP() || OpAdd.IsFP() {
+		t.Error("IsFP misclassifies")
+	}
+}
+
+func TestInstructionSources(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want int
+	}{
+		{Instruction{Op: OpNop}, 0},
+		{Instruction{Op: OpMovI, Dst: R(1), Imm: 5}, 0},
+		{Instruction{Op: OpAddI, Dst: R(1), Src1: R(2)}, 1},
+		{Instruction{Op: OpAddI, Dst: R(1), Src1: RZero}, 0},
+		{Instruction{Op: OpAdd, Dst: R(1), Src1: R(2), Src2: R(3)}, 2},
+		{Instruction{Op: OpStore, Src1: R(2), Src2: R(3)}, 2},
+		{Instruction{Op: OpFMA, Dst: F(0), Src1: F(1), Src2: F(2), Src3: F(3)}, 3},
+		{Instruction{Op: OpAccel, Dst: R(1), Src1: R(2), Src2: R(3), Src3: R(4)}, 3},
+		{Instruction{Op: OpJmp, Imm: 0}, 0},
+	}
+	for _, c := range cases {
+		if got := len(c.in.Sources()); got != c.want {
+			t.Errorf("%v Sources() returned %d regs, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHasDst(t *testing.T) {
+	if (Instruction{Op: OpStore, Src1: R(1), Src2: R(2)}).HasDst() {
+		t.Error("store has no dst")
+	}
+	if (Instruction{Op: OpAdd, Dst: RZero, Src1: R(1), Src2: R(2)}).HasDst() {
+		t.Error("write to RZero is not a dst")
+	}
+	if !(Instruction{Op: OpLoad, Dst: R(3), Src1: R(1)}).HasDst() {
+		t.Error("load has a dst")
+	}
+}
+
+func negU64(v int64) uint64 { return uint64(-v) }
+
+// minI64U is math.MinInt64 reinterpreted as uint64.
+const minI64U = 1 << 63
+
+func TestEvalALU(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{OpAdd, 2, 3, 5},
+		{OpSub, 2, 3, ^uint64(0)}, // -1
+		{OpMul, 7, 6, 42},
+		{OpDiv, 42, 6, 7},
+		{OpDiv, negU64(42), 6, negU64(7)},
+		{OpDiv, 1, 0, 0},
+		{OpDiv, minI64U, negU64(1), minI64U},
+		{OpRem, 43, 6, 1},
+		{OpRem, 1, 0, 0},
+		{OpRem, minI64U, negU64(1), 0},
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpShl, 1, 4, 16},
+		{OpShl, 1, 64, 1}, // shift amount masked to 6 bits
+		{OpShr, 16, 4, 1},
+		{OpSlt, 1, 2, 1},
+		{OpSlt, 2, 1, 0},
+		{OpSlt, negU64(1), 0, 1},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b); got != c.want {
+			t.Errorf("EvalALU(%s, %d, %d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalFP(t *testing.T) {
+	bits := math.Float64bits
+	cases := []struct {
+		op   Op
+		a, b float64
+		want float64
+	}{
+		{OpFAdd, 1.5, 2.25, 3.75},
+		{OpFSub, 1.5, 2.25, -0.75},
+		{OpFMul, 1.5, 2.0, 3.0},
+		{OpFDiv, 3.0, 2.0, 1.5},
+	}
+	for _, c := range cases {
+		if got := EvalFP(c.op, bits(c.a), bits(c.b)); got != bits(c.want) {
+			t.Errorf("EvalFP(%s, %v, %v) = %v, want %v",
+				c.op, c.a, c.b, math.Float64frombits(got), c.want)
+		}
+	}
+	// Division by zero produces +Inf, as IEEE-754 requires.
+	if got := math.Float64frombits(EvalFP(OpFDiv, bits(1.0), bits(0.0))); !math.IsInf(got, 1) {
+		t.Errorf("1.0/0.0 = %v, want +Inf", got)
+	}
+}
+
+func TestEvalBranch(t *testing.T) {
+	neg := negU64(5)
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want bool
+	}{
+		{OpBeq, 4, 4, true}, {OpBeq, 4, 5, false},
+		{OpBne, 4, 5, true}, {OpBne, 4, 4, false},
+		{OpBlt, neg, 3, true}, {OpBlt, 3, neg, false},
+		{OpBge, 3, 3, true}, {OpBge, neg, 3, false},
+	}
+	for _, c := range cases {
+		if got := EvalBranch(c.op, c.a, c.b); got != c.want {
+			t.Errorf("EvalBranch(%s, %d, %d) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: EvalALU add/sub are inverses, and logical ops match Go operators.
+func TestEvalALUProperties(t *testing.T) {
+	if err := quick.Check(func(a, b uint64) bool {
+		if EvalALU(OpSub, EvalALU(OpAdd, a, b), b) != a {
+			return false
+		}
+		if EvalALU(OpXor, EvalALU(OpXor, a, b), b) != a {
+			return false
+		}
+		return EvalALU(OpAnd, a, b) == a&b && EvalALU(OpOr, a, b) == a|b
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpNop}, "nop"},
+		{Instruction{Op: OpMovI, Dst: R(1), Imm: -3}, "movi r1, -3"},
+		{Instruction{Op: OpAddI, Dst: R(2), Src1: R(1), Imm: 8}, "addi r2, r1, 8"},
+		{Instruction{Op: OpLoad, Dst: R(2), Src1: R(1), Imm: 16}, "ld r2, 16(r1)"},
+		{Instruction{Op: OpStore, Src1: R(1), Src2: R(2), Imm: 8}, "st r2, 8(r1)"},
+		{Instruction{Op: OpBne, Src1: R(1), Src2: RZero, Imm: 7}, "bne r1, zero, @7"},
+		{Instruction{Op: OpJmp, Imm: 3}, "jmp @3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package isa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryZeroFill(t *testing.T) {
+	m := NewMemory()
+	if got := m.Load(0x1000); got != 0 {
+		t.Errorf("untouched memory = %d, want 0", got)
+	}
+	if m.Footprint() != 0 {
+		t.Errorf("loads must not allocate pages, footprint = %d", m.Footprint())
+	}
+}
+
+func TestMemoryStoreLoad(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x40, 123)
+	m.Store(0x48, 456)
+	if got := m.Load(0x40); got != 123 {
+		t.Errorf("Load(0x40) = %d, want 123", got)
+	}
+	if got := m.Load(0x48); got != 456 {
+		t.Errorf("Load(0x48) = %d, want 456", got)
+	}
+	// Word granularity: addresses within the same word alias.
+	if got := m.Load(0x43); got != 123 {
+		t.Errorf("Load(0x43) = %d, want 123 (same word as 0x40)", got)
+	}
+}
+
+func TestMemoryFloat(t *testing.T) {
+	m := NewMemory()
+	m.StoreFloat(0x100, 3.14159)
+	if got := m.LoadFloat(0x100); got != 3.14159 {
+		t.Errorf("LoadFloat = %v, want 3.14159", got)
+	}
+	m.StoreFloat(0x108, math.Inf(-1))
+	if got := m.LoadFloat(0x108); !math.IsInf(got, -1) {
+		t.Errorf("LoadFloat = %v, want -Inf", got)
+	}
+}
+
+func TestMemoryAccessCounters(t *testing.T) {
+	m := NewMemory()
+	m.Store(0, 1)
+	m.Store(8, 2)
+	_ = m.Load(0)
+	if m.Writes != 2 || m.Reads != 1 {
+		t.Errorf("counters = (r=%d, w=%d), want (1, 2)", m.Reads, m.Writes)
+	}
+}
+
+func TestMemoryCloneIndependence(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x2000, 7)
+	c := m.Clone()
+	c.Store(0x2000, 9)
+	if m.Load(0x2000) != 7 {
+		t.Error("mutating clone affected original")
+	}
+	if c.Load(0x2000) != 9 {
+		t.Error("clone lost its own write")
+	}
+}
+
+func TestMemoryEqual(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	if !a.Equal(b) {
+		t.Error("two empty memories must be equal")
+	}
+	a.Store(0x10, 5)
+	if a.Equal(b) {
+		t.Error("memories with different contents reported equal")
+	}
+	b.Store(0x10, 5)
+	if !a.Equal(b) {
+		t.Error("identical contents reported unequal")
+	}
+	// A zero store allocates a page but must still compare equal to an
+	// absent page.
+	b.Store(0x9000, 0)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("explicit zero store must equal absent page")
+	}
+}
+
+func TestMemoryCrossPage(t *testing.T) {
+	m := NewMemory()
+	// Adjacent words straddling a 4 KiB page boundary.
+	m.Store(4096-8, 1)
+	m.Store(4096, 2)
+	if m.Load(4096-8) != 1 || m.Load(4096) != 2 {
+		t.Error("cross-page adjacent words corrupted")
+	}
+	if m.Footprint() != 2 {
+		t.Errorf("footprint = %d, want 2 pages", m.Footprint())
+	}
+}
+
+// Property: a random sequence of stores behaves like a map from word-aligned
+// address to value.
+func TestMemoryMatchesMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMemory()
+	model := make(map[uint64]uint64)
+	for i := 0; i < 10000; i++ {
+		addr := uint64(rng.Intn(1<<16)) &^ 7
+		if rng.Intn(2) == 0 {
+			v := rng.Uint64()
+			m.Store(addr, v)
+			model[addr] = v
+		} else if got, want := m.Load(addr), model[addr]; got != want {
+			t.Fatalf("Load(%#x) = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+// Property: Clone is always Equal to its source.
+func TestMemoryClonePropertyQuick(t *testing.T) {
+	f := func(addrs []uint16, vals []uint64) bool {
+		m := NewMemory()
+		for i, a := range addrs {
+			var v uint64 = 1
+			if i < len(vals) {
+				v = vals[i]
+			}
+			m.Store(uint64(a), v)
+		}
+		return m.Clone().Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package logca implements the LogCA performance model for hardware
+// accelerators (Altaf & Wood, IEEE Computer Architecture Letters 2015),
+// the prior model the paper contrasts its TCA model with.
+//
+// LogCA targets loosely-coupled accelerators: a host offloads g bytes
+// (the granularity), pays a fixed invocation overhead o and an interface
+// latency that scales with the offload size, and — crucially — sits idle
+// while the accelerator computes. The paper's §II observes that both
+// assumptions are fine for coarse-grained accelerators and break down for
+// TCAs: fine-grained invocations make pipeline interactions (drains,
+// barriers, overlap) first-order effects that LogCA has no terms for, and
+// an out-of-order host is not idle during accelerator execution.
+//
+// The experiments harness uses this package to regenerate that contrast
+// quantitatively (extension figure E1).
+package logca
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the five LogCA parameters plus the complexity exponent.
+type Params struct {
+	// Latency is L: interface cycles per unit of granularity moved to or
+	// from the accelerator (link/DMA time).
+	Latency float64
+	// Overhead is o: fixed host cycles to set up and dispatch one
+	// offload (driver, queue, doorbell — or just an instruction for a
+	// tightly-coupled design).
+	Overhead float64
+	// ComputeIndex is C: host cycles of computation per unit of
+	// granularity.
+	ComputeIndex float64
+	// Accel is A: the accelerator's peak speedup over the host on the
+	// offloaded computation.
+	Accel float64
+	// Beta is the algorithmic complexity exponent: host time for
+	// granularity g is C·g^β (β=1 linear, β>1 superlinear — superlinear
+	// kernels amortize interface costs faster).
+	Beta float64
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.Latency < 0 || p.Overhead < 0:
+		return fmt.Errorf("logca: latency and overhead must be >= 0")
+	case p.ComputeIndex <= 0:
+		return fmt.Errorf("logca: computational index must be positive")
+	case p.Accel <= 0:
+		return fmt.Errorf("logca: acceleration must be positive")
+	case p.Beta <= 0:
+		return fmt.Errorf("logca: beta must be positive")
+	}
+	return nil
+}
+
+// HostTime returns the unaccelerated execution time for granularity g:
+// C·g^β.
+func (p Params) HostTime(g float64) float64 {
+	return p.ComputeIndex * math.Pow(g, p.Beta)
+}
+
+// AccelTime returns the accelerated execution time for granularity g:
+// o + L·g + C·g^β / A. The host is assumed idle throughout (LogCA's
+// serialization assumption).
+func (p Params) AccelTime(g float64) float64 {
+	return p.Overhead + p.Latency*g + p.HostTime(g)/p.Accel
+}
+
+// Speedup returns HostTime/AccelTime for granularity g.
+func (p Params) Speedup(g float64) float64 {
+	return p.HostTime(g) / p.AccelTime(g)
+}
+
+// PeakSpeedup is LogCA's asymptotic bound: A (never A+1 — the model has no
+// host/accelerator overlap).
+func (p Params) PeakSpeedup() float64 { return p.Accel }
+
+// BreakEven returns g1, the smallest granularity with Speedup >= 1, found
+// by bisection over [lo, hi]. ok is false when the accelerator never
+// breaks even in the range.
+func (p Params) BreakEven(lo, hi float64) (g float64, ok bool) {
+	return p.granularityFor(1, lo, hi)
+}
+
+// GHalf returns g_{A/2}, the granularity achieving half the peak speedup —
+// LogCA's headline design metric.
+func (p Params) GHalf(lo, hi float64) (g float64, ok bool) {
+	return p.granularityFor(p.Accel/2, lo, hi)
+}
+
+// granularityFor finds the smallest g in [lo, hi] with Speedup(g) >= target.
+// Speedup is monotonically nondecreasing in g for β >= 1 (interface costs
+// amortize), which the bisection relies on.
+func (p Params) granularityFor(target, lo, hi float64) (float64, bool) {
+	if lo <= 0 || hi <= lo {
+		return 0, false
+	}
+	if p.Speedup(hi) < target {
+		return 0, false
+	}
+	if p.Speedup(lo) >= target {
+		return lo, true
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // geometric midpoint: g spans decades
+		if p.Speedup(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// FromTCA maps a TCA operating point onto LogCA terms so the two models
+// can be compared on the same axis: granularity g in baseline instructions,
+// C = 1/IPC host cycles per instruction, β = 1 (the paper's interval
+// framing is linear in instructions), o = the dispatch cost of the TCA
+// instruction (≈1 cycle), L = 0 (register/L1-coupled, no DMA).
+func FromTCA(ipc, accelFactor float64) Params {
+	return Params{
+		Latency:      0,
+		Overhead:     1,
+		ComputeIndex: 1 / ipc,
+		Accel:        accelFactor,
+		Beta:         1,
+	}
+}

@@ -1,0 +1,158 @@
+package logca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func valid() Params {
+	return Params{Latency: 0.1, Overhead: 500, ComputeIndex: 2, Accel: 10, Beta: 1}
+}
+
+func TestValidate(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.Latency = -1 },
+		func(p *Params) { p.Overhead = -1 },
+		func(p *Params) { p.ComputeIndex = 0 },
+		func(p *Params) { p.Accel = 0 },
+		func(p *Params) { p.Beta = 0 },
+	}
+	for i, mutate := range bad {
+		p := valid()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTimes(t *testing.T) {
+	p := valid()
+	if got := p.HostTime(100); got != 200 {
+		t.Errorf("HostTime(100) = %v, want 200", got)
+	}
+	// o + L·g + C·g/A = 500 + 10 + 20.
+	if got := p.AccelTime(100); math.Abs(got-530) > 1e-9 {
+		t.Errorf("AccelTime(100) = %v, want 530", got)
+	}
+	if got := p.Speedup(100); math.Abs(got-200.0/530) > 1e-9 {
+		t.Errorf("Speedup(100) = %v", got)
+	}
+}
+
+func TestAsymptotes(t *testing.T) {
+	p := valid()
+	// Tiny granularity: overhead dominates, slowdown.
+	if s := p.Speedup(1); s >= 1 {
+		t.Errorf("Speedup(1) = %v, want < 1 (overhead-dominated)", s)
+	}
+	// With L > 0 the asymptote is C/(L + C/A), not A.
+	asym := p.ComputeIndex / (p.Latency + p.ComputeIndex/p.Accel)
+	if s := p.Speedup(1e9); math.Abs(s-asym) > 1e-3 {
+		t.Errorf("Speedup(1e9) = %v, want ~%v", s, asym)
+	}
+	// With L = 0 the asymptote is exactly A.
+	p.Latency = 0
+	if s := p.Speedup(1e12); math.Abs(s-p.Accel) > 1e-3 {
+		t.Errorf("zero-latency asymptote = %v, want %v", s, p.Accel)
+	}
+	if p.PeakSpeedup() != p.Accel {
+		t.Error("LogCA peak must be A — the model has no host overlap")
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	p := valid()
+	g1, ok := p.BreakEven(1, 1e9)
+	if !ok {
+		t.Fatal("no break-even found")
+	}
+	if s := p.Speedup(g1); math.Abs(s-1) > 0.01 {
+		t.Errorf("Speedup(g1=%v) = %v, want ~1", g1, s)
+	}
+	// Analytical check for β=1: speedup=1 at g = o / (C - L - C/A).
+	want := p.Overhead / (p.ComputeIndex - p.Latency - p.ComputeIndex/p.Accel)
+	if math.Abs(g1-want)/want > 0.01 {
+		t.Errorf("g1 = %v, want %v", g1, want)
+	}
+	// An accelerator slower than the interface never breaks even.
+	p.Latency = 5 // > C
+	if _, ok := p.BreakEven(1, 1e9); ok {
+		t.Error("break-even found for an interface-bound accelerator")
+	}
+}
+
+func TestGHalf(t *testing.T) {
+	p := valid()
+	p.Latency = 0
+	g, ok := p.GHalf(1, 1e12)
+	if !ok {
+		t.Fatal("no g_{A/2} found")
+	}
+	if s := p.Speedup(g); math.Abs(s-p.Accel/2) > 0.05 {
+		t.Errorf("Speedup(gA/2) = %v, want %v", s, p.Accel/2)
+	}
+	// β=1, L=0: speedup = g / (o/C + g/A) = A/2 at g = o·A/C.
+	want := p.Overhead * p.Accel / p.ComputeIndex
+	if math.Abs(g-want)/want > 0.01 {
+		t.Errorf("gA/2 = %v, want %v", g, want)
+	}
+}
+
+func TestSuperlinearKernelsAmortizeFaster(t *testing.T) {
+	lin := valid()
+	super := valid()
+	super.Beta = 2
+	g1lin, ok1 := lin.BreakEven(1, 1e9)
+	g1sup, ok2 := super.BreakEven(1, 1e9)
+	if !ok1 || !ok2 {
+		t.Fatal("break-even missing")
+	}
+	if g1sup >= g1lin {
+		t.Errorf("superlinear break-even %v not below linear %v", g1sup, g1lin)
+	}
+}
+
+// Property: speedup is monotone nondecreasing in g and bounded by A for
+// every valid parameter draw with L=0.
+func TestSpeedupMonotoneBounded(t *testing.T) {
+	f := func(oRaw, cRaw, aRaw uint8) bool {
+		p := Params{
+			Overhead:     1 + float64(oRaw),
+			ComputeIndex: 0.1 + float64(cRaw)/16,
+			Accel:        1 + float64(aRaw)/8,
+			Beta:         1,
+		}
+		prev := 0.0
+		for g := 1.0; g < 1e8; g *= 10 {
+			s := p.Speedup(g)
+			if s < prev-1e-12 || s > p.Accel+1e-9 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromTCA(t *testing.T) {
+	p := FromTCA(2.0, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ComputeIndex != 0.5 || p.Accel != 3 || p.Latency != 0 {
+		t.Errorf("FromTCA mapping wrong: %+v", p)
+	}
+	// A tightly-coupled mapping breaks even at tiny granularity.
+	g1, ok := p.BreakEven(1, 1e6)
+	if !ok || g1 > 10 {
+		t.Errorf("TCA-mapped break-even = %v (%v), want small", g1, ok)
+	}
+}

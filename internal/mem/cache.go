@@ -1,0 +1,290 @@
+// Package mem models the timing of a cache/DRAM memory hierarchy.
+//
+// Functional data lives in isa.Memory; this package answers only "when is
+// this access done?". The split mirrors how the paper's analytical model
+// treats memory: latency shapes the baseline IPC and the accelerator's
+// effective service time, while correctness is independent of timing.
+//
+// The hierarchy is a chain of set-associative, write-back, write-allocate
+// caches with LRU replacement and MSHR-limited miss handling, ending in a
+// bandwidth-limited fixed-latency DRAM.
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Level is a stage in the memory hierarchy.
+type Level interface {
+	// Access performs a timing access for the line containing addr,
+	// starting no earlier than cycle now, and returns the absolute cycle
+	// at which the data is available. write marks the access as a store
+	// for dirty-bit bookkeeping; stores complete when the line is owned.
+	Access(now int64, addr uint64, write bool) (done int64)
+	// Name identifies the level in statistics output.
+	Name() string
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int // total capacity
+	Ways       int // associativity
+	LineBytes  int // line size (power of two)
+	HitLatency int // cycles from access to data on a hit
+	MSHRs      int // max outstanding line fills (0 = unlimited)
+	// NextLinePrefetch issues a fill for line N+1 on a demand miss to
+	// line N when an MSHR is free. Sequential streams (instruction
+	// fetch, blocked-matrix rows) hide most of their miss latency with
+	// it.
+	NextLinePrefetch bool
+}
+
+// Validate reports configuration errors.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("mem: %s: size/ways/line must be positive", c.Name)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("mem: %s: line size %d not a power of two", c.Name, c.LineBytes)
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("mem: %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	case c.HitLatency < 1:
+		return fmt.Errorf("mem: %s: hit latency must be >= 1", c.Name)
+	}
+	sets := c.SizeBytes / (c.Ways * c.LineBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+	MSHRMerges uint64 // misses merged into an in-flight fill
+	MSHRStalls uint64 // accesses delayed waiting for a free MSHR
+	// Prefetches counts next-line fills issued; PrefetchHits counts
+	// demand hits on lines a prefetch brought in (accuracy measure).
+	Prefetches   uint64
+	PrefetchHits uint64
+}
+
+// MissRate returns misses per access (0 when idle).
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type cacheLine struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool   // brought in by the prefetcher, not yet demand-hit
+	lru        uint64 // last-use stamp; larger = more recent
+}
+
+type inflight struct {
+	lineAddr uint64
+	done     int64
+}
+
+// Cache is one set-associative level. It is not safe for concurrent use;
+// the simulator is single-threaded by design.
+type Cache struct {
+	cfg      CacheConfig
+	next     Level
+	sets     [][]cacheLine
+	setMask  uint64
+	lineBits uint
+	stamp    uint64
+	fills    []inflight // in-flight line fills (bounded by MSHRs)
+	stats    CacheStats
+}
+
+// NewCache builds a cache over the given next level. It panics on invalid
+// configuration (configurations are static, chosen by code not input).
+func NewCache(cfg CacheConfig, next Level) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if next == nil {
+		panic(fmt.Sprintf("mem: %s: next level must not be nil", cfg.Name))
+	}
+	numSets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	sets := make([][]cacheLine, numSets)
+	backing := make([]cacheLine, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:      cfg,
+		next:     next,
+		sets:     sets,
+		setMask:  uint64(numSets - 1),
+		lineBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+	}
+}
+
+// Name implements Level.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineBits }
+
+// Access implements Level.
+func (c *Cache) Access(now int64, addr uint64, write bool) int64 {
+	c.stats.Accesses++
+	c.stamp++
+	la := c.lineAddr(addr)
+	set := c.sets[la&c.setMask]
+
+	// Hit path. A tag can be resident while its fill is still in flight
+	// (tags install at request time); such a hit waits for the data to
+	// arrive — this is the MSHR merge.
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			c.stats.Hits++
+			if set[i].prefetched {
+				c.stats.PrefetchHits++
+				set[i].prefetched = false
+				// Tagged prefetching: a hit on a prefetched line keeps
+				// the stream running one line ahead.
+				if c.cfg.NextLinePrefetch {
+					c.maybePrefetch(la+1, now)
+				}
+			}
+			set[i].lru = c.stamp
+			if write {
+				set[i].dirty = true
+			}
+			done := now + int64(c.cfg.HitLatency)
+			for _, f := range c.fills {
+				if f.lineAddr == la && f.done > done {
+					c.stats.MSHRMerges++
+					done = f.done
+				}
+			}
+			return done
+		}
+	}
+
+	// Miss. First check whether the line is already being filled: the
+	// request merges into the existing MSHR and completes with it.
+	c.stats.Misses++
+	c.expireFills(now)
+	for _, f := range c.fills {
+		if f.lineAddr == la {
+			c.stats.MSHRMerges++
+			done := f.done + int64(c.cfg.HitLatency)
+			c.fill(la, write, done, false)
+			return done
+		}
+	}
+
+	// Allocate an MSHR; if all are busy, the request waits until the
+	// earliest fill retires.
+	start := now
+	if c.cfg.MSHRs > 0 && len(c.fills) >= c.cfg.MSHRs {
+		c.stats.MSHRStalls++
+		earliest := c.fills[0].done
+		for _, f := range c.fills[1:] {
+			if f.done < earliest {
+				earliest = f.done
+			}
+		}
+		if earliest > start {
+			start = earliest
+		}
+		c.expireFills(start)
+	}
+
+	fillDone := c.next.Access(start+int64(c.cfg.HitLatency), la<<c.lineBits, false)
+	c.fills = append(c.fills, inflight{lineAddr: la, done: fillDone})
+	c.fill(la, write, fillDone, false)
+
+	// Next-line prefetch: launch alongside the demand fill when an MSHR
+	// is free and the neighbour is not already resident or in flight.
+	if c.cfg.NextLinePrefetch {
+		c.maybePrefetch(la+1, start+int64(c.cfg.HitLatency))
+	}
+	return fillDone
+}
+
+// maybePrefetch starts a fill for the given line if capacity allows.
+func (c *Cache) maybePrefetch(la uint64, now int64) {
+	if c.cfg.MSHRs > 0 && len(c.fills) >= c.cfg.MSHRs {
+		return
+	}
+	for _, l := range c.sets[la&c.setMask] {
+		if l.valid && l.tag == la {
+			return
+		}
+	}
+	for _, f := range c.fills {
+		if f.lineAddr == la {
+			return
+		}
+	}
+	c.stats.Prefetches++
+	done := c.next.Access(now, la<<c.lineBits, false)
+	c.fills = append(c.fills, inflight{lineAddr: la, done: done})
+	c.fill(la, false, done, true)
+}
+
+// expireFills drops completed fills from the MSHR list.
+func (c *Cache) expireFills(now int64) {
+	kept := c.fills[:0]
+	for _, f := range c.fills {
+		if f.done > now {
+			kept = append(kept, f)
+		}
+	}
+	c.fills = kept
+}
+
+// fill installs the line, evicting the LRU way. Dirty victims are written
+// back to the next level; the writeback is charged to the next level's
+// bandwidth at the fill time but does not delay the demand request
+// (hardware buffers writebacks).
+func (c *Cache) fill(la uint64, write bool, when int64, prefetched bool) {
+	set := c.sets[la&c.setMask]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.stats.Writebacks++
+		victimAddr := set[victim].tag << c.lineBits
+		_ = c.next.Access(when, victimAddr, true)
+	}
+	set[victim] = cacheLine{tag: la, valid: true, dirty: write, prefetched: prefetched, lru: c.stamp}
+}
+
+// Contains reports whether the line holding addr is resident (test hook).
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.lineAddr(addr)
+	for _, l := range c.sets[la&c.setMask] {
+		if l.valid && l.tag == la {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,214 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func tinyCache(next Level) *Cache {
+	return NewCache(CacheConfig{
+		Name: "t", SizeBytes: 1024, Ways: 2, LineBytes: 64,
+		HitLatency: 1, MSHRs: 4,
+	}, next)
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "x", SizeBytes: 0, Ways: 1, LineBytes: 64, HitLatency: 1},
+		{Name: "x", SizeBytes: 1024, Ways: 2, LineBytes: 48, HitLatency: 1}, // line not pow2
+		{Name: "x", SizeBytes: 1000, Ways: 2, LineBytes: 64, HitLatency: 1}, // not divisible
+		{Name: "x", SizeBytes: 1024, Ways: 2, LineBytes: 64, HitLatency: 0},
+		{Name: "x", SizeBytes: 64 * 2 * 3, Ways: 2, LineBytes: 64, HitLatency: 1}, // 3 sets
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := (CacheConfig{Name: "ok", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, HitLatency: 2}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := tinyCache(PerfectMemory{Latency: 50})
+	missDone := c.Access(0, 0x1000, false)
+	if missDone < 50 {
+		t.Errorf("miss completed at %d, want >= 50", missDone)
+	}
+	hitDone := c.Access(missDone, 0x1000, false)
+	if hitDone != missDone+1 {
+		t.Errorf("hit completed at %d, want %d", hitDone, missDone+1)
+	}
+	// Same line, different word: still a hit.
+	if done := c.Access(hitDone, 0x1038, false); done != hitDone+1 {
+		t.Errorf("same-line access missed (done=%d)", done)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Accesses != 3 {
+		t.Errorf("stats = %+v, want 2 hits / 1 miss / 3 accesses", s)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// 2 ways: three distinct lines mapping to the same set evict the
+	// least recently used.
+	c := tinyCache(PerfectMemory{Latency: 10})
+	// 8 sets of 64B lines; set index = bits [6..9). Lines 0x0000, 0x2000,
+	// 0x4000 all map to set 0.
+	c.Access(0, 0x0000, false)
+	c.Access(100, 0x2000, false)
+	c.Access(200, 0x0000, false) // touch 0x0000: 0x2000 becomes LRU
+	c.Access(300, 0x4000, false) // evicts 0x2000
+	if !c.Contains(0x0000) {
+		t.Error("recently used line evicted")
+	}
+	if c.Contains(0x2000) {
+		t.Error("LRU line not evicted")
+	}
+	if !c.Contains(0x4000) {
+		t.Error("filled line not resident")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	dram := NewDRAM(DRAMConfig{Latency: 10, CyclesPerLine: 1})
+	c := tinyCache(dram)
+	c.Access(0, 0x0000, true)    // dirty line in set 0
+	c.Access(100, 0x2000, false) // fills way 2
+	c.Access(200, 0x4000, false) // evicts dirty 0x0000 -> writeback
+	if got := c.Stats().Writebacks; got != 1 {
+		t.Errorf("writebacks = %d, want 1", got)
+	}
+	if got := dram.Stats().Writes; got != 1 {
+		t.Errorf("dram writes = %d, want 1", got)
+	}
+	// Clean eviction must not write back.
+	c.Access(300, 0x6000, false) // evicts clean 0x2000
+	if got := c.Stats().Writebacks; got != 1 {
+		t.Errorf("clean eviction wrote back (wb=%d)", got)
+	}
+}
+
+func TestCacheMSHRMerge(t *testing.T) {
+	c := tinyCache(PerfectMemory{Latency: 100})
+	d1 := c.Access(0, 0x1000, false)
+	d2 := c.Access(1, 0x1008, false) // same line, while fill in flight
+	if d2 > d1+int64(c.Config().HitLatency) {
+		t.Errorf("merged miss done at %d, want <= %d", d2, d1+1)
+	}
+	if got := c.Stats().MSHRMerges; got != 1 {
+		t.Errorf("merges = %d, want 1", got)
+	}
+}
+
+func TestCacheMSHRStall(t *testing.T) {
+	c := NewCache(CacheConfig{
+		Name: "t", SizeBytes: 4096, Ways: 4, LineBytes: 64,
+		HitLatency: 1, MSHRs: 2,
+	}, PerfectMemory{Latency: 100})
+	c.Access(0, 0x0000, false)
+	c.Access(0, 0x1000, false)
+	done := c.Access(0, 0x2000, false) // both MSHRs busy until ~101
+	if done < 200 {
+		t.Errorf("stalled miss done at %d, want >= 200 (wait + fill)", done)
+	}
+	if got := c.Stats().MSHRStalls; got != 1 {
+		t.Errorf("stalls = %d, want 1", got)
+	}
+}
+
+func TestDRAMBandwidthSerialization(t *testing.T) {
+	d := NewDRAM(DRAMConfig{Latency: 20, CyclesPerLine: 4})
+	d1 := d.Access(0, 0, false)
+	d2 := d.Access(0, 64, false)
+	d3 := d.Access(0, 128, false)
+	if d1 != 20 || d2 != 24 || d3 != 28 {
+		t.Errorf("dram done = %d,%d,%d; want 20,24,28", d1, d2, d3)
+	}
+	if got := d.Stats().BusyCycles; got != 12 {
+		t.Errorf("busy cycles = %d, want 12", got)
+	}
+}
+
+func TestHierarchyInclusionOfLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	cold := h.Access(0, 0x100000, false)
+	wantMin := int64(2 + 12 + 100) // L1 + L2 + DRAM latencies on the miss path
+	if cold < wantMin {
+		t.Errorf("cold access done at %d, want >= %d", cold, wantMin)
+	}
+	warm := h.Access(cold, 0x100000, false)
+	if warm != cold+2 {
+		t.Errorf("warm access done at %d, want %d", warm, cold+2)
+	}
+	if h.L2.Stats().Accesses == 0 {
+		t.Error("L2 never accessed on L1 miss")
+	}
+}
+
+func TestHierarchyWorkingSetFitsL1(t *testing.T) {
+	// Touch a 16 KiB working set twice; second pass must be all hits.
+	h := NewHierarchy(DefaultHierarchy())
+	now := int64(0)
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 16<<10; addr += 64 {
+			now = h.Access(now, addr, false)
+		}
+	}
+	s := h.L1D.Stats()
+	if s.Misses != 256 { // one miss per line, first pass only
+		t.Errorf("misses = %d, want 256", s.Misses)
+	}
+}
+
+func TestHierarchyThrashingExceedsL1(t *testing.T) {
+	// A 64 KiB streaming set over a 32 KiB L1: second pass misses again.
+	h := NewHierarchy(DefaultHierarchy())
+	now := int64(0)
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 64<<10; addr += 64 {
+			now = h.Access(now, addr, false)
+		}
+	}
+	s := h.L1D.Stats()
+	if s.Misses < 2000 { // 2048 line fetches total
+		t.Errorf("misses = %d, want ~2048 (thrash)", s.Misses)
+	}
+	// But L2 holds it: DRAM sees only the first pass.
+	if got := h.DRAM.Stats().Reads; got > 1100 {
+		t.Errorf("dram reads = %d, want ~1024", got)
+	}
+}
+
+// Property: completion times are never before now + hit latency, and stats
+// remain consistent (hits + misses == accesses) under random traffic.
+func TestCacheInvariantsUnderRandomTraffic(t *testing.T) {
+	c := tinyCache(PerfectMemory{Latency: 30})
+	rng := rand.New(rand.NewSource(7))
+	now := int64(0)
+	for i := 0; i < 20000; i++ {
+		addr := uint64(rng.Intn(1 << 14))
+		write := rng.Intn(4) == 0
+		done := c.Access(now, addr, write)
+		if done < now+1 {
+			t.Fatalf("access done at %d before now=%d", done, now)
+		}
+		if rng.Intn(2) == 0 {
+			now = done
+		} else {
+			now++
+		}
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != s.Accesses {
+		t.Errorf("hits %d + misses %d != accesses %d", s.Hits, s.Misses, s.Accesses)
+	}
+}
+
+func TestPerfectMemory(t *testing.T) {
+	p := PerfectMemory{Latency: 5}
+	if got := p.Access(10, 0xdead, true); got != 15 {
+		t.Errorf("perfect access done at %d, want 15", got)
+	}
+}

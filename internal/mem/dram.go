@@ -1,0 +1,175 @@
+package mem
+
+import "fmt"
+
+// DRAMConfig describes the main-memory timing model: a fixed access latency
+// plus a channel that transfers one cache line every CyclesPerLine cycles
+// (the bandwidth limit).
+type DRAMConfig struct {
+	Latency       int // cycles from request to first data
+	CyclesPerLine int // channel occupancy per line transfer
+}
+
+// Validate reports configuration errors.
+func (c DRAMConfig) Validate() error {
+	if c.Latency < 1 || c.CyclesPerLine < 1 {
+		return fmt.Errorf("mem: dram latency and cycles/line must be >= 1")
+	}
+	return nil
+}
+
+// DRAMStats counts main-memory events.
+type DRAMStats struct {
+	Reads  uint64
+	Writes uint64
+	// BusyCycles is total channel occupancy, for bandwidth-utilization
+	// reporting.
+	BusyCycles int64
+}
+
+// DRAM is the bandwidth-limited terminal level of the hierarchy.
+type DRAM struct {
+	cfg      DRAMConfig
+	nextFree int64
+	stats    DRAMStats
+}
+
+// NewDRAM builds the terminal memory level. It panics on invalid
+// configuration.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &DRAM{cfg: cfg}
+}
+
+// Name implements Level.
+func (d *DRAM) Name() string { return "dram" }
+
+// Stats returns a copy of the counters.
+func (d *DRAM) Stats() DRAMStats { return d.stats }
+
+// Access implements Level. Requests serialize on the channel: a request
+// arriving while the channel is busy waits for it, modeling finite
+// bandwidth.
+func (d *DRAM) Access(now int64, addr uint64, write bool) int64 {
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	start := now
+	if d.nextFree > start {
+		start = d.nextFree
+	}
+	d.nextFree = start + int64(d.cfg.CyclesPerLine)
+	d.stats.BusyCycles += int64(d.cfg.CyclesPerLine)
+	return start + int64(d.cfg.Latency)
+}
+
+// HierarchyConfig bundles a typical two-level hierarchy over DRAM. The
+// instruction cache is optional: a zero-size L1I disables instruction-side
+// timing (fetch is then limited only by the front-end width and depth).
+type HierarchyConfig struct {
+	L1I  CacheConfig
+	L1D  CacheConfig
+	L2   CacheConfig
+	DRAM DRAMConfig
+	// DTLB/ITLB add translation timing to the data and instruction
+	// sides; zero Entries disables them.
+	DTLB TLBConfig
+	ITLB TLBConfig
+}
+
+// DefaultHierarchy returns parameters resembling a mid-range core: 32 KiB
+// 8-way L1D (2-cycle), 1 MiB 16-way L2 (12-cycle), 100-cycle DRAM. The L1
+// size matches the paper's matrix-blocking discussion ("L1 D-cache of
+// 32kB").
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1I: CacheConfig{
+			Name: "l1i", SizeBytes: 32 << 10, Ways: 4, LineBytes: 64,
+			HitLatency: 1, MSHRs: 4, NextLinePrefetch: true,
+		},
+		L1D: CacheConfig{
+			Name: "l1d", SizeBytes: 32 << 10, Ways: 8, LineBytes: 64,
+			HitLatency: 2, MSHRs: 8,
+		},
+		L2: CacheConfig{
+			Name: "l2", SizeBytes: 1 << 20, Ways: 16, LineBytes: 64,
+			HitLatency: 12, MSHRs: 16,
+		},
+		DRAM: DRAMConfig{Latency: 100, CyclesPerLine: 4},
+		DTLB: TLBConfig{Entries: 64, PageBits: 12, WalkLatency: 30},
+		ITLB: TLBConfig{Entries: 32, PageBits: 12, WalkLatency: 30},
+	}
+}
+
+// Hierarchy is the assembled memory system: split L1I/L1D over a shared
+// L2 and DRAM.
+type Hierarchy struct {
+	L1I  *Cache // nil when instruction-side timing is disabled
+	L1D  *Cache
+	L2   *Cache
+	DRAM *DRAM
+	DTLB *TLB // nil when disabled
+	ITLB *TLB
+}
+
+// NewHierarchy assembles {L1I, L1D} -> L2 -> DRAM from the configuration.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	dram := NewDRAM(cfg.DRAM)
+	l2 := NewCache(cfg.L2, dram)
+	h := &Hierarchy{
+		L2: l2, DRAM: dram, L1D: NewCache(cfg.L1D, l2),
+		DTLB: NewTLB(cfg.DTLB), ITLB: NewTLB(cfg.ITLB),
+	}
+	if cfg.L1I.SizeBytes > 0 {
+		h.L1I = NewCache(cfg.L1I, l2)
+	}
+	return h
+}
+
+// Access performs a data access through the DTLB and L1D.
+func (h *Hierarchy) Access(now int64, addr uint64, write bool) int64 {
+	return h.L1D.Access(h.DTLB.Translate(now, addr), addr, write)
+}
+
+// IFetch performs an instruction-line access through the ITLB and L1I.
+// With the instruction side disabled it completes immediately.
+func (h *Hierarchy) IFetch(now int64, addr uint64) int64 {
+	if h.L1I == nil {
+		return now
+	}
+	return h.L1I.Access(h.ITLB.Translate(now, addr), addr, false)
+}
+
+// IFetchEnabled reports whether instruction-side timing is modeled.
+func (h *Hierarchy) IFetchEnabled() bool { return h.L1I != nil }
+
+// Name implements Level.
+func (h *Hierarchy) Name() string { return "hierarchy" }
+
+// String summarizes hit rates for reports.
+func (h *Hierarchy) String() string {
+	l1, l2, dr := h.L1D.Stats(), h.L2.Stats(), h.DRAM.Stats()
+	s := fmt.Sprintf("l1d: %d acc %.1f%% miss | l2: %d acc %.1f%% miss | dram: %d rd %d wr",
+		l1.Accesses, 100*l1.MissRate(), l2.Accesses, 100*l2.MissRate(), dr.Reads, dr.Writes)
+	if h.L1I != nil {
+		i := h.L1I.Stats()
+		s = fmt.Sprintf("l1i: %d acc %.1f%% miss | %s", i.Accesses, 100*i.MissRate(), s)
+	}
+	return s
+}
+
+// PerfectMemory is a Level with a fixed latency and no state, used to
+// isolate pipeline effects from memory effects in tests and experiments.
+type PerfectMemory struct{ Latency int }
+
+// Name implements Level.
+func (p PerfectMemory) Name() string { return "perfect" }
+
+// Access implements Level.
+func (p PerfectMemory) Access(now int64, _ uint64, _ bool) int64 {
+	return now + int64(p.Latency)
+}

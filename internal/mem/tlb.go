@@ -1,0 +1,125 @@
+package mem
+
+import "fmt"
+
+// TLBConfig describes a translation lookaside buffer. Zero Entries
+// disables translation timing entirely (the simulator's ISA is physically
+// addressed by default; enabling the TLB adds first-order virtual-memory
+// timing: a hit is free, a miss pays a page-walk latency).
+type TLBConfig struct {
+	Entries     int // fully-associative entry count
+	PageBits    int // page size = 1<<PageBits bytes (default 12 = 4 KiB)
+	WalkLatency int // cycles to walk the page table on a miss
+}
+
+// Validate reports configuration errors.
+func (c TLBConfig) Validate() error {
+	if c.Entries == 0 {
+		return nil // disabled
+	}
+	switch {
+	case c.Entries < 0:
+		return fmt.Errorf("mem: tlb entries must be >= 0")
+	case c.PageBits < 6 || c.PageBits > 30:
+		return fmt.Errorf("mem: tlb page bits %d out of [6,30]", c.PageBits)
+	case c.WalkLatency < 1:
+		return fmt.Errorf("mem: tlb walk latency must be >= 1")
+	}
+	return nil
+}
+
+// TLBStats counts translation events.
+type TLBStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses per access.
+func (s TLBStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// TLB is a fully-associative, LRU translation buffer. A nil *TLB is a
+// valid disabled TLB (translation is free).
+type TLB struct {
+	cfg     TLBConfig
+	pages   map[uint64]uint64 // page number -> last-use stamp
+	stamp   uint64
+	walkEnd int64 // single page-walker: busy-until cycle
+	stats   TLBStats
+}
+
+// NewTLB builds a TLB, or returns nil when the configuration disables it.
+func NewTLB(cfg TLBConfig) *TLB {
+	if cfg.Entries == 0 {
+		return nil
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.PageBits == 0 {
+		cfg.PageBits = 12
+	}
+	return &TLB{cfg: cfg, pages: make(map[uint64]uint64, cfg.Entries)}
+}
+
+// Stats returns a copy of the counters (zero for a disabled TLB).
+func (t *TLB) Stats() TLBStats {
+	if t == nil {
+		return TLBStats{}
+	}
+	return t.stats
+}
+
+// Translate returns the cycle at which the translation for addr is
+// available, starting no earlier than now. Hits are free; misses pay the
+// walk latency and serialize on the single page walker.
+func (t *TLB) Translate(now int64, addr uint64) int64 {
+	if t == nil {
+		return now
+	}
+	t.stats.Accesses++
+	t.stamp++
+	page := addr >> t.cfg.PageBits
+	if _, ok := t.pages[page]; ok {
+		t.pages[page] = t.stamp
+		return now
+	}
+	t.stats.Misses++
+	start := now
+	if t.walkEnd > start {
+		start = t.walkEnd
+	}
+	done := start + int64(t.cfg.WalkLatency)
+	t.walkEnd = done
+	t.insert(page)
+	return done
+}
+
+// insert fills the entry, evicting LRU.
+func (t *TLB) insert(page uint64) {
+	if len(t.pages) >= t.cfg.Entries {
+		var victim uint64
+		oldest := ^uint64(0)
+		for p, stamp := range t.pages {
+			if stamp < oldest {
+				oldest = stamp
+				victim = p
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.stamp
+}
+
+// Covers reports whether the page holding addr is resident (test hook).
+func (t *TLB) Covers(addr uint64) bool {
+	if t == nil {
+		return true
+	}
+	_, ok := t.pages[addr>>t.cfg.PageBits]
+	return ok
+}

@@ -1,0 +1,95 @@
+package mem
+
+import "testing"
+
+func TestTLBDisabled(t *testing.T) {
+	var tlb *TLB // nil = disabled
+	if done := tlb.Translate(100, 0xdead); done != 100 {
+		t.Errorf("disabled TLB delayed translation to %d", done)
+	}
+	if !tlb.Covers(0xbeef) {
+		t.Error("disabled TLB must cover everything")
+	}
+	if s := tlb.Stats(); s.Accesses != 0 {
+		t.Error("disabled TLB recorded stats")
+	}
+	if got := NewTLB(TLBConfig{}); got != nil {
+		t.Error("zero config must produce a nil TLB")
+	}
+}
+
+func TestTLBMissThenHit(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 4, PageBits: 12, WalkLatency: 25})
+	done := tlb.Translate(0, 0x1000)
+	if done != 25 {
+		t.Errorf("cold translation done at %d, want 25", done)
+	}
+	// Same page, different offset: hit, free.
+	if done := tlb.Translate(30, 0x1ff8); done != 30 {
+		t.Errorf("hit delayed to %d", done)
+	}
+	s := tlb.Stats()
+	if s.Accesses != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 2, PageBits: 12, WalkLatency: 10})
+	tlb.Translate(0, 0x1000)
+	tlb.Translate(20, 0x2000)
+	tlb.Translate(40, 0x1000) // touch page 1: page 2 is LRU
+	tlb.Translate(60, 0x3000) // evicts page 2
+	if !tlb.Covers(0x1000) {
+		t.Error("recently used page evicted")
+	}
+	if tlb.Covers(0x2000) {
+		t.Error("LRU page survived")
+	}
+	if !tlb.Covers(0x3000) {
+		t.Error("filled page missing")
+	}
+}
+
+func TestTLBWalkerSerializes(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 8, PageBits: 12, WalkLatency: 20})
+	d1 := tlb.Translate(0, 0x1000)
+	d2 := tlb.Translate(0, 0x2000) // second walk queues behind the first
+	if d1 != 20 || d2 != 40 {
+		t.Errorf("walks done at %d, %d; want 20, 40", d1, d2)
+	}
+}
+
+func TestTLBConfigValidate(t *testing.T) {
+	if err := (TLBConfig{}).Validate(); err != nil {
+		t.Errorf("disabled config rejected: %v", err)
+	}
+	bad := []TLBConfig{
+		{Entries: -1, PageBits: 12, WalkLatency: 10},
+		{Entries: 8, PageBits: 2, WalkLatency: 10},
+		{Entries: 8, PageBits: 12, WalkLatency: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestHierarchyTLBIntegration(t *testing.T) {
+	cfg := DefaultHierarchy()
+	h := NewHierarchy(cfg)
+	// Cold access pays walk + full miss path.
+	cold := h.Access(0, 0x100000, false)
+	wantMin := int64(30 + 2 + 12 + 100)
+	if cold < wantMin {
+		t.Errorf("cold access with TLB done at %d, want >= %d", cold, wantMin)
+	}
+	if h.DTLB.Stats().Misses != 1 {
+		t.Errorf("dtlb misses = %d, want 1", h.DTLB.Stats().Misses)
+	}
+	// Warm: same page, same line — 2 cycles.
+	if warm := h.Access(cold, 0x100000, false); warm != cold+2 {
+		t.Errorf("warm access done at %d, want %d", warm, cold+2)
+	}
+}

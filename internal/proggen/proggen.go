@@ -1,0 +1,216 @@
+// Package proggen generates random, structurally-terminating programs for
+// differential testing of the out-of-order simulator against the functional
+// interpreter. Programs use bounded counted loops and forward conditional
+// skips, so every generated program halts; data values, memory traffic and
+// branch outcomes are otherwise adversarial.
+package proggen
+
+import (
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+)
+
+// Options controls program generation.
+type Options struct {
+	// Blocks is the number of top-level code blocks.
+	Blocks int
+	// MaxBody is the maximum instructions per block body.
+	MaxBody int
+	// MaxTrips bounds loop trip counts.
+	MaxTrips int
+	// MemWords is the size of the scratch data region in 8-byte words.
+	MemWords int
+	// AccelEvery inserts a fixed-latency TCA invocation roughly every N
+	// block bodies (0 disables accel ops).
+	AccelEvery int
+	// HeapAccel switches inserted TCA ops to heap malloc/free pairs
+	// (requires an accel.Heap device at execution time).
+	HeapAccel bool
+	// FP enables floating-point instructions.
+	FP bool
+}
+
+// DefaultOptions returns moderately-sized generation parameters.
+func DefaultOptions() Options {
+	return Options{Blocks: 12, MaxBody: 14, MaxTrips: 5, MemWords: 64, FP: true}
+}
+
+// Registers reserved by the generator.
+const (
+	regBase   = 12 // holds the scratch region base address
+	regCtrLo  = 8  // loop counters occupy r8..r11
+	numCtrs   = 4
+	dataLo    = 1 // data registers r1..r7
+	numData   = 7
+	fpLo      = 1 // f1..f7
+	numFPData = 7
+	memBase   = 0x4000
+)
+
+// Generate builds a random program from the seed. The same seed always
+// yields the same program.
+func Generate(seed int64, opt Options) *isa.Program {
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder()
+
+	// Seed data registers and scratch memory deterministically.
+	b.MovI(isa.R(regBase), memBase)
+	for i := 0; i < numData; i++ {
+		b.MovI(isa.R(dataLo+i), int64(rng.Intn(1<<16)-1<<15))
+	}
+	if opt.FP {
+		for i := 0; i < numFPData; i++ {
+			b.FMovI(isa.F(fpLo+i), float64(rng.Intn(64))/4+0.5)
+		}
+	}
+	for w := 0; w < opt.MemWords; w += 4 {
+		b.InitWord(memBase+uint64(w*8), rng.Uint64()%1000)
+	}
+
+	g := &gen{rng: rng, b: b, opt: opt}
+	for blk := 0; blk < opt.Blocks; blk++ {
+		g.block(blk)
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+type gen struct {
+	rng    *rand.Rand
+	b      *isa.Builder
+	opt    Options
+	labels int
+	ctr    int
+}
+
+func (g *gen) newLabel() string {
+	g.labels++
+	return "L" + itoa(g.labels)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// block emits either a counted loop or a straight-line body with an
+// optional forward skip.
+func (g *gen) block(idx int) {
+	switch g.rng.Intn(3) {
+	case 0: // counted loop
+		ctr := isa.R(regCtrLo + g.ctr%numCtrs)
+		g.ctr++
+		trips := 1 + g.rng.Intn(g.opt.MaxTrips)
+		top := g.newLabel()
+		g.b.MovI(ctr, int64(trips))
+		g.b.Label(top)
+		g.body(idx)
+		g.b.AddI(ctr, ctr, -1)
+		g.b.Bne(ctr, isa.RZero, top)
+	case 1: // forward skip on a data-dependent condition
+		skip := g.newLabel()
+		a := g.dataReg()
+		c := g.dataReg()
+		g.b.Slt(c, a, g.dataReg())
+		g.b.Beq(c, isa.RZero, skip)
+		g.body(idx)
+		g.b.Label(skip)
+	default:
+		g.body(idx)
+	}
+}
+
+// body emits a run of random data instructions.
+func (g *gen) body(blockIdx int) {
+	n := 1 + g.rng.Intn(g.opt.MaxBody)
+	for i := 0; i < n; i++ {
+		g.inst()
+	}
+	if g.opt.AccelEvery > 0 && blockIdx%g.opt.AccelEvery == 0 {
+		if g.opt.HeapAccel {
+			// Balanced malloc/free so free lists never empty.
+			sz := g.dataReg()
+			g.b.MovI(sz, int64(8+g.rng.Intn(120)))
+			ptr := g.dataReg()
+			g.b.Accel(ptr, accel.HeapMalloc, sz)
+			g.b.Accel(g.dataReg(), accel.HeapFree, ptr)
+		} else {
+			g.b.Accel(g.dataReg(), 0, g.dataReg())
+		}
+	}
+}
+
+func (g *gen) dataReg() isa.Reg { return isa.R(dataLo + g.rng.Intn(numData)) }
+func (g *gen) fpReg() isa.Reg   { return isa.F(fpLo + g.rng.Intn(numFPData)) }
+
+// memOff returns a word-aligned offset within the scratch region.
+func (g *gen) memOff() int64 { return int64(g.rng.Intn(g.opt.MemWords)) * 8 }
+
+func (g *gen) inst() {
+	choices := 8
+	if g.opt.FP {
+		choices = 11
+	}
+	switch g.rng.Intn(choices) {
+	case 0:
+		g.b.Add(g.dataReg(), g.dataReg(), g.dataReg())
+	case 1:
+		g.b.Sub(g.dataReg(), g.dataReg(), g.dataReg())
+	case 2:
+		g.b.Mul(g.dataReg(), g.dataReg(), g.dataReg())
+	case 3:
+		switch g.rng.Intn(4) {
+		case 0:
+			g.b.Div(g.dataReg(), g.dataReg(), g.dataReg())
+		case 1:
+			g.b.Rem(g.dataReg(), g.dataReg(), g.dataReg())
+		case 2:
+			g.b.Shl(g.dataReg(), g.dataReg(), g.dataReg())
+		default:
+			g.b.Shr(g.dataReg(), g.dataReg(), g.dataReg())
+		}
+	case 4:
+		switch g.rng.Intn(3) {
+		case 0:
+			g.b.And(g.dataReg(), g.dataReg(), g.dataReg())
+		case 1:
+			g.b.Or(g.dataReg(), g.dataReg(), g.dataReg())
+		default:
+			g.b.Xor(g.dataReg(), g.dataReg(), g.dataReg())
+		}
+	case 5:
+		g.b.AddI(g.dataReg(), g.dataReg(), int64(g.rng.Intn(256)-128))
+	case 6:
+		g.b.Load(g.dataReg(), isa.R(regBase), g.memOff())
+	case 7:
+		g.b.Store(g.dataReg(), isa.R(regBase), g.memOff())
+	case 8:
+		switch g.rng.Intn(3) {
+		case 0:
+			g.b.FAdd(g.fpReg(), g.fpReg(), g.fpReg())
+		case 1:
+			g.b.FMul(g.fpReg(), g.fpReg(), g.fpReg())
+		default:
+			g.b.FSub(g.fpReg(), g.fpReg(), g.fpReg())
+		}
+	case 9:
+		g.b.FMA(g.fpReg(), g.fpReg(), g.fpReg(), g.fpReg())
+	default:
+		if g.rng.Intn(2) == 0 {
+			g.b.FLoad(g.fpReg(), isa.R(regBase), g.memOff())
+		} else {
+			g.b.FStore(g.fpReg(), isa.R(regBase), g.memOff())
+		}
+	}
+}

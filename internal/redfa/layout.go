@@ -1,0 +1,61 @@
+package redfa
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Layout describes a DFA's in-memory serialization, shared by the software
+// matcher (generated ISA code) and the hardware matcher (accel.Regex):
+//
+//	transition: TableBase + (state*256 + symbol)*8 -> next state (0 dead)
+//	finality:   FinalBase + state*8               -> 1 if accepting
+//
+// Input strings are sequences of symbol words (values 0..255) terminated
+// by the sentinel word Terminator.
+type Layout struct {
+	TableBase uint64
+	FinalBase uint64
+	Start     uint16
+	States    int
+}
+
+// Terminator ends a symbol string (any value >= 256 works; matchers test
+// for >= Terminator).
+const Terminator = 256
+
+// TableWords returns the transition table size in 8-byte words.
+func (l Layout) TableWords() int { return l.States * numSymbols }
+
+// Serialize writes the DFA's tables into a program's initial memory image
+// and returns the layout. Only nonzero entries are emitted (memory is
+// zero-filled), which keeps the image proportional to live transitions.
+func (d *DFA) Serialize(b *isa.Builder, tableBase, finalBase uint64) (Layout, error) {
+	if tableBase%8 != 0 || finalBase%8 != 0 {
+		return Layout{}, fmt.Errorf("redfa: table bases must be 8-byte aligned")
+	}
+	span := uint64(d.NumStates()*numSymbols) * 8
+	if tableBase < finalBase+uint64(d.NumStates())*8 && finalBase < tableBase+span {
+		return Layout{}, fmt.Errorf("redfa: table and final regions overlap")
+	}
+	for s := 0; s < d.NumStates(); s++ {
+		for sym := 0; sym < numSymbols; sym++ {
+			if next := d.Next[s][sym]; next != 0 {
+				b.InitWord(tableBase+uint64(s*numSymbols+sym)*8, uint64(next))
+			}
+		}
+		if d.Final[s] {
+			b.InitWord(finalBase+uint64(s)*8, 1)
+		}
+	}
+	return Layout{TableBase: tableBase, FinalBase: finalBase, Start: d.Start, States: d.NumStates()}, nil
+}
+
+// WriteString stores an input string (symbol words + terminator) at base.
+func WriteString(b *isa.Builder, base uint64, input []byte) {
+	for i, sym := range input {
+		b.InitWord(base+uint64(i)*8, uint64(sym))
+	}
+	b.InitWord(base+uint64(len(input))*8, Terminator)
+}

@@ -1,0 +1,299 @@
+// Package redfa compiles a small pattern language to table-driven
+// deterministic finite automata (DFAs) — the substrate behind the regex
+// TCA of the paper's Fig. 2 (reference [6] accelerates regular-expression
+// matching for server-side scripting).
+//
+// The pattern language covers the constructs that dominate server-side
+// matching loops and keeps compilation self-contained:
+//
+//	a        literal symbol (byte value)
+//	.        any symbol
+//	[abc]    symbol class
+//	[^abc]   negated class
+//	x*       zero or more
+//	x+       one or more
+//	x?       optional
+//
+// Compilation goes pattern → NFA (Thompson construction) → DFA (subset
+// construction). The DFA's transition table serializes to simulator memory
+// in a layout both the software matcher (generated ISA code) and the
+// hardware matcher (accel.Regex) walk identically.
+package redfa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Alphabet size: symbols are byte values.
+const numSymbols = 256
+
+// nfaState is one Thompson-construction state.
+type nfaState struct {
+	// edges[sym] lists successor states on sym; eps lists
+	// epsilon-successors.
+	edges map[byte][]int
+	eps   []int
+	final bool
+}
+
+// nfa under construction.
+type nfa struct {
+	states []*nfaState
+}
+
+func (n *nfa) add() int {
+	n.states = append(n.states, &nfaState{edges: make(map[byte][]int)})
+	return len(n.states) - 1
+}
+
+func (n *nfa) edge(from int, sym byte, to int) {
+	n.states[from].edges[sym] = append(n.states[from].edges[sym], to)
+}
+
+func (n *nfa) epsEdge(from, to int) {
+	n.states[from].eps = append(n.states[from].eps, to)
+}
+
+// fragment is an NFA piece with one entry and one exit.
+type fragment struct{ start, end int }
+
+// parser compiles the pattern text.
+type parser struct {
+	src []byte
+	pos int
+	n   *nfa
+}
+
+// Compile builds the DFA for a pattern.
+func Compile(pattern string) (*DFA, error) {
+	p := &parser{src: []byte(pattern), n: &nfa{}}
+	frag, err := p.sequence()
+	if err != nil {
+		return nil, fmt.Errorf("redfa: %q: %w", pattern, err)
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("redfa: %q: trailing input at %d", pattern, p.pos)
+	}
+	p.n.states[frag.end].final = true
+	return determinize(p.n, frag.start), nil
+}
+
+// sequence parses a concatenation of (possibly quantified) atoms.
+func (p *parser) sequence() (fragment, error) {
+	start := p.n.add()
+	cur := start
+	for p.pos < len(p.src) {
+		atom, err := p.atom()
+		if err != nil {
+			return fragment{}, err
+		}
+		// Quantifier?
+		if p.pos < len(p.src) {
+			switch p.src[p.pos] {
+			case '*':
+				p.pos++
+				atom = p.star(atom)
+			case '+':
+				p.pos++
+				atom = p.plus(atom)
+			case '?':
+				p.pos++
+				atom = p.opt(atom)
+			}
+		}
+		p.n.epsEdge(cur, atom.start)
+		cur = atom.end
+	}
+	return fragment{start: start, end: cur}, nil
+}
+
+// atom parses a literal, dot, or class.
+func (p *parser) atom() (fragment, error) {
+	if p.pos >= len(p.src) {
+		return fragment{}, fmt.Errorf("unexpected end of pattern")
+	}
+	ch := p.src[p.pos]
+	switch ch {
+	case '*', '+', '?':
+		return fragment{}, fmt.Errorf("dangling quantifier at %d", p.pos)
+	case '.':
+		p.pos++
+		return p.classFrag(func(byte) bool { return true }), nil
+	case '[':
+		return p.class()
+	default:
+		p.pos++
+		s, e := p.n.add(), p.n.add()
+		p.n.edge(s, ch, e)
+		return fragment{s, e}, nil
+	}
+}
+
+// class parses [...] or [^...].
+func (p *parser) class() (fragment, error) {
+	p.pos++ // consume '['
+	negate := false
+	if p.pos < len(p.src) && p.src[p.pos] == '^' {
+		negate = true
+		p.pos++
+	}
+	members := make(map[byte]bool)
+	for {
+		if p.pos >= len(p.src) {
+			return fragment{}, fmt.Errorf("unterminated class")
+		}
+		if p.src[p.pos] == ']' {
+			p.pos++
+			break
+		}
+		members[p.src[p.pos]] = true
+		p.pos++
+	}
+	if len(members) == 0 {
+		return fragment{}, fmt.Errorf("empty class")
+	}
+	return p.classFrag(func(b byte) bool { return members[b] != negate && (members[b] || negate) }), nil
+}
+
+// classFrag builds a fragment matching every symbol the predicate accepts.
+func (p *parser) classFrag(accept func(byte) bool) fragment {
+	s, e := p.n.add(), p.n.add()
+	for sym := 0; sym < numSymbols; sym++ {
+		if accept(byte(sym)) {
+			p.n.edge(s, byte(sym), e)
+		}
+	}
+	return fragment{s, e}
+}
+
+func (p *parser) star(f fragment) fragment {
+	s, e := p.n.add(), p.n.add()
+	p.n.epsEdge(s, f.start)
+	p.n.epsEdge(s, e)
+	p.n.epsEdge(f.end, f.start)
+	p.n.epsEdge(f.end, e)
+	return fragment{s, e}
+}
+
+func (p *parser) plus(f fragment) fragment {
+	s, e := p.n.add(), p.n.add()
+	p.n.epsEdge(s, f.start)
+	p.n.epsEdge(f.end, f.start)
+	p.n.epsEdge(f.end, e)
+	return fragment{s, e}
+}
+
+func (p *parser) opt(f fragment) fragment {
+	s, e := p.n.add(), p.n.add()
+	p.n.epsEdge(s, f.start)
+	p.n.epsEdge(s, e)
+	p.n.epsEdge(f.end, e)
+	return fragment{s, e}
+}
+
+// DFA is a table-driven automaton. State 0 is the dead state (no escape);
+// Start names the initial state.
+type DFA struct {
+	// Next[state][sym] is the successor (0 = dead).
+	Next [][numSymbols]uint16
+	// Final[state] marks accepting states.
+	Final []bool
+	Start uint16
+}
+
+// NumStates returns the state count, including the dead state.
+func (d *DFA) NumStates() int { return len(d.Next) }
+
+// Match reports whether the DFA accepts the full input.
+func (d *DFA) Match(input []byte) bool {
+	s := d.Start
+	for _, b := range input {
+		s = d.Next[s][b]
+		if s == 0 {
+			return false
+		}
+	}
+	return d.Final[s]
+}
+
+// determinize runs subset construction.
+func determinize(n *nfa, start int) *DFA {
+	closure := func(set map[int]bool) {
+		stack := make([]int, 0, len(set))
+		for s := range set {
+			stack = append(stack, s)
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range n.states[s].eps {
+				if !set[t] {
+					set[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+	key := func(set map[int]bool) string {
+		ids := make([]int, 0, len(set))
+		for s := range set {
+			ids = append(ids, s)
+		}
+		sort.Ints(ids)
+		b := make([]byte, 0, len(ids)*3)
+		for _, id := range ids {
+			b = append(b, byte(id), byte(id>>8), ',')
+		}
+		return string(b)
+	}
+
+	d := &DFA{}
+	// State 0 is dead.
+	d.Next = append(d.Next, [numSymbols]uint16{})
+	d.Final = append(d.Final, false)
+
+	startSet := map[int]bool{start: true}
+	closure(startSet)
+	ids := map[string]uint16{key(startSet): 1}
+	sets := []map[int]bool{startSet}
+	d.Next = append(d.Next, [numSymbols]uint16{})
+	d.Final = append(d.Final, anyFinal(n, startSet))
+	d.Start = 1
+
+	for i := 0; i < len(sets); i++ {
+		cur := sets[i]
+		for sym := 0; sym < numSymbols; sym++ {
+			succ := make(map[int]bool)
+			for s := range cur {
+				for _, t := range n.states[s].edges[byte(sym)] {
+					succ[t] = true
+				}
+			}
+			if len(succ) == 0 {
+				continue // dead
+			}
+			closure(succ)
+			k := key(succ)
+			id, ok := ids[k]
+			if !ok {
+				id = uint16(len(d.Next))
+				ids[k] = id
+				sets = append(sets, succ)
+				d.Next = append(d.Next, [numSymbols]uint16{})
+				d.Final = append(d.Final, anyFinal(n, succ))
+			}
+			d.Next[uint16(i)+1][sym] = id
+		}
+	}
+	return d
+}
+
+func anyFinal(n *nfa, set map[int]bool) bool {
+	for s := range set {
+		if n.states[s].final {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package redfa
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+)
+
+func mustCompile(t *testing.T, pat string) *DFA {
+	t.Helper()
+	d, err := Compile(pat)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", pat, err)
+	}
+	return d
+}
+
+func TestLiteralMatch(t *testing.T) {
+	d := mustCompile(t, "abc")
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"abc", true}, {"ab", false}, {"abcd", false}, {"", false}, {"abd", false},
+	}
+	for _, c := range cases {
+		if got := d.Match([]byte(c.in)); got != c.want {
+			t.Errorf("abc match %q = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	cases := []struct {
+		pat, in string
+		want    bool
+	}{
+		{"ab*c", "ac", true},
+		{"ab*c", "abbbc", true},
+		{"ab*c", "abbbd", false},
+		{"ab+c", "ac", false},
+		{"ab+c", "abc", true},
+		{"ab?c", "ac", true},
+		{"ab?c", "abc", true},
+		{"ab?c", "abbc", false},
+		{"a*", "", true},
+		{"a*", "aaaa", true},
+		{"a*", "b", false},
+	}
+	for _, c := range cases {
+		d := mustCompile(t, c.pat)
+		if got := d.Match([]byte(c.in)); got != c.want {
+			t.Errorf("%q match %q = %v, want %v", c.pat, c.in, got, c.want)
+		}
+	}
+}
+
+func TestClassesAndDot(t *testing.T) {
+	cases := []struct {
+		pat, in string
+		want    bool
+	}{
+		{"[abc]x", "ax", true},
+		{"[abc]x", "bx", true},
+		{"[abc]x", "dx", false},
+		{"[^abc]x", "dx", true},
+		{"[^abc]x", "ax", false},
+		{".x", "zx", true},
+		{".x", "x", false},
+		{"a.c", "abc", true},
+		{"a.c", "ac", false},
+		{"[ab]*c", "ababc", true},
+		{"[ab]*c", "abxc", false},
+	}
+	for _, c := range cases {
+		d := mustCompile(t, c.pat)
+		if got := d.Match([]byte(c.in)); got != c.want {
+			t.Errorf("%q match %q = %v, want %v", c.pat, c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, pat := range []string{"*a", "+", "?x", "[abc", "[]x", "a[", "[^]"} {
+		if _, err := Compile(pat); err == nil {
+			t.Errorf("Compile(%q) accepted", pat)
+		}
+	}
+}
+
+func TestDeadStateIsZero(t *testing.T) {
+	d := mustCompile(t, "ab")
+	if d.Start == 0 {
+		t.Error("start state must not be the dead state")
+	}
+	if d.Final[0] {
+		t.Error("dead state must not be final")
+	}
+	for sym := 0; sym < numSymbols; sym++ {
+		if d.Next[0][sym] != 0 {
+			t.Fatal("dead state must have no escape")
+		}
+	}
+}
+
+// Differential test against the standard library over random inputs.
+func TestMatchesStdlibRegexp(t *testing.T) {
+	patterns := []struct{ mine, std string }{
+		{"ab*c", "^ab*c$"},
+		{"[ab]+c?", "^[ab]+c?$"},
+		{"a.b", "^a.b$"},
+		{"[^ab]*z", "^[^ab]*z$"},
+		{"ab?c*d", "^ab?c*d$"},
+	}
+	rng := rand.New(rand.NewSource(33))
+	alphabet := []byte("abcdz")
+	for _, p := range patterns {
+		d := mustCompile(t, p.mine)
+		std := regexp.MustCompile(p.std)
+		for i := 0; i < 3000; i++ {
+			n := rng.Intn(8)
+			in := make([]byte, n)
+			for j := range in {
+				in[j] = alphabet[rng.Intn(len(alphabet))]
+			}
+			if got, want := d.Match(in), std.Match(in); got != want {
+				t.Fatalf("%q vs %q on %q: dfa %v, stdlib %v", p.mine, p.std, in, got, want)
+			}
+		}
+	}
+}
+
+func TestStateCountsReasonable(t *testing.T) {
+	d := mustCompile(t, "[ab]*abb")
+	// The classic (a|b)*abb DFA has 4 live states + dead.
+	if d.NumStates() > 8 {
+		t.Errorf("states = %d, want small DFA", d.NumStates())
+	}
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/isa"
+)
+
+// devUsesMemory reports whether the attached device's invocations read or
+// write program memory (and therefore need ordering against the LSQ).
+func devUsesMemory(dev isa.AccelDevice) bool {
+	if dev == nil {
+		return false
+	}
+	if u, ok := dev.(isa.AccelMemoryUser); ok {
+		return u.UsesProgramMemory()
+	}
+	// A device that writes memory necessarily uses it; reads are implied
+	// by the storer interface for the devices in this repo.
+	_, stores := dev.(isa.AccelStorer)
+	return stores
+}
+
+// overlayReader presents architectural memory with older, not-yet-committed
+// stores applied, so a (possibly speculative) TCA invocation observes
+// program-order memory state. This is the model of the dependency-checking
+// hardware the T and L modes require.
+type overlayReader struct {
+	base    *isa.Memory
+	pending map[uint64]uint64 // word address -> data
+}
+
+// Load implements isa.WordReader.
+func (o *overlayReader) Load(addr uint64) uint64 {
+	if v, ok := o.pending[addr>>3]; ok {
+		return v
+	}
+	return o.base.Load(addr)
+}
+
+// LoadFloat implements isa.WordReader.
+func (o *overlayReader) LoadFloat(addr uint64) float64 {
+	return math.Float64frombits(o.Load(addr))
+}
+
+// buildOverlay collects the in-flight writes older than ROB position pos.
+// Callers guarantee every older store has executed (address and data known)
+// and every older TCA invocation has started, so the overlay is complete.
+func (c *Core) buildOverlay(pos int) *overlayReader {
+	o := &overlayReader{base: c.mem, pending: make(map[uint64]uint64)}
+	// Oldest-first so newer writes overwrite older ones to the same word.
+	for i := 0; i < pos; i++ {
+		e := c.rob.at(i)
+		switch {
+		case e.in.Op.IsStore() && e.addrKnown:
+			o.pending[e.addr>>3] = e.storeData
+		case e.in.Op == isa.OpAccel && e.accelStarted:
+			for _, s := range e.accelStores {
+				o.pending[s.Addr>>3] = s.Data
+			}
+		}
+	}
+	return o
+}
+
+// tryStartAccel begins a TCA invocation when the mode and hazards allow:
+//
+//   - operands ready and the single TCA unit free;
+//   - program-order invocation: no older invocation still pending (device
+//     state such as the heap manager's free lists must mutate in order);
+//   - non-Leading modes: the instruction must be the oldest in flight
+//     (every leading instruction committed — the ROB drain);
+//   - memory-view safety: every older store executed and, for
+//     memory-using devices, every older invocation started.
+//
+// On start the device is invoked functionally against the overlay view, its
+// state journal is marked for possible rollback, and its timing is
+// scheduled: loads through the shared ports, compute latency, then store
+// traffic. The invocation completes (becomes commit-eligible) when all of
+// its micro-operations have finished, as the paper's methodology requires.
+func (c *Core) tryStartAccel(pos int, e *robEntry, olderStorePending, olderAccelPending, olderMemAccelPending, lowConfidencePath bool) bool {
+	if !e.srcReady() || olderAccelPending {
+		return false
+	}
+	if c.tcaBusyUntil > c.now {
+		return false
+	}
+	if !c.cfg.Mode.Leading() && pos != 0 {
+		// Held by the NL restriction while operands were ready.
+		e.accelHeld++
+		return false
+	}
+	// Partial speculation (§VIII future work): hold speculative starts
+	// while a low-confidence branch is unresolved ahead of us.
+	if lowConfidencePath && pos != 0 {
+		c.stats.AccelConfidenceWait++
+		return false
+	}
+	// Only devices that read program memory must wait for older writes to
+	// resolve; register-operand devices (heap tables, fixed-latency
+	// blocks) start as soon as dispatched, as the model assumes.
+	if devUsesMemory(c.dev) && (olderStorePending || olderMemAccelPending) {
+		return false
+	}
+
+	if j, ok := c.dev.(isa.AccelJournal); ok {
+		e.accelMark = j.Mark()
+		e.accelHasMark = true
+	}
+	call := isa.AccelCall{
+		Kind: e.in.Imm,
+		Args: [3]uint64{e.operandValue(0), e.operandValue(1), e.operandValue(2)},
+	}
+	res, stores := isa.InvokeAndCollect(c.dev, call, c.buildOverlay(pos))
+	e.accelStarted = true
+	e.accelStart = c.now
+	e.val = res.Value
+	e.accelStores = append([]isa.AccelStore(nil), stores...)
+	e.accelMemOps = len(res.MemOps)
+	c.stats.AccelMemOps += uint64(len(res.MemOps))
+
+	// Schedule timing: loads first, then compute, then stores. Each
+	// memory operation is one arbitration through the shared ports into
+	// the data hierarchy (the paper: "all memory requests required by the
+	// accelerator pass through arbitration for shared access to the
+	// core's LSQ and memory hierarchy"). Independent loads overlap;
+	// Serial loads chain behind their predecessor (address dependence).
+	loadsDone := c.now
+	prevDone := c.now
+	for _, op := range res.MemOps {
+		if op.Store {
+			continue
+		}
+		earliest := c.now + 1
+		if op.Serial {
+			earliest = prevDone
+		}
+		g := c.portGrant(earliest)
+		done := c.hier.Access(g, op.Addr, false)
+		prevDone = done
+		if done > loadsDone {
+			loadsDone = done
+		}
+	}
+	valueReady := loadsDone + int64(res.Latency)
+	storesDone := valueReady
+	for _, op := range res.MemOps {
+		if !op.Store {
+			continue
+		}
+		g := c.portGrant(valueReady)
+		if done := c.hier.Access(g, op.Addr, true); done > storesDone {
+			storesDone = done
+		}
+	}
+
+	e.state = sIssued
+	e.readyCycle = storesDone
+	c.tcaBusyUntil = storesDone
+	c.stats.AccelBusyCycles += storesDone - c.now
+	return true
+}
+
+// fmaBits computes a fused multiply-add over float64 bit patterns.
+func fmaBits(a, b, acc uint64) uint64 {
+	return math.Float64bits(math.FMA(
+		math.Float64frombits(a),
+		math.Float64frombits(b),
+		math.Float64frombits(acc)))
+}

@@ -1,0 +1,406 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// ErrCycleLimit is returned when a run exceeds its cycle budget.
+var ErrCycleLimit = errors.New("sim: cycle limit exceeded")
+
+// ErrDeadlock is returned when no instruction commits for a long stretch,
+// which indicates a simulator or workload bug rather than a slow program.
+var ErrDeadlock = errors.New("sim: no commit progress")
+
+// deadlockWindow is the commit-progress watchdog threshold in cycles. It
+// comfortably exceeds any legitimate stall (a full DRAM-bound ROB drain is
+// thousands of cycles, not hundreds of thousands).
+const deadlockWindow = 500_000
+
+// fetchedInst is one front-end slot.
+type fetchedInst struct {
+	pc            int
+	in            isa.Instruction
+	predTaken     bool
+	predConfident bool
+	availAt       int64 // earliest dispatch cycle (front-end depth)
+}
+
+// Result is the outcome of a completed simulation.
+type Result struct {
+	Stats Stats
+	// Regs is the final architectural register file.
+	Regs [isa.NumRegs]uint64
+	// Mem is the final architectural memory image.
+	Mem *isa.Memory
+}
+
+// Core is one out-of-order core instance bound to a program. A Core runs a
+// single program once; build a new Core for each run.
+type Core struct {
+	cfg  Config
+	prog *isa.Program
+	dev  isa.AccelDevice
+
+	mem  *isa.Memory
+	hier *mem.Hierarchy
+	pred bpred.Predictor
+
+	now int64
+	seq uint64
+
+	arf    [isa.NumRegs]uint64
+	rename [isa.NumRegs]struct {
+		valid bool
+		seq   uint64
+	}
+
+	rob         *robQueue
+	iqCount     int
+	lsqCount    int
+	issuedCount int // entries in sIssued (executing) state
+
+	fetchQ        []fetchedInst
+	fetchPC       int
+	fetchResumeAt int64
+	fetchStopped  bool  // saw (possibly wrong-path) halt
+	curFetchLine  int64 // I-cache line currently feeding fetch (-1 = none)
+
+	// barrierSeq is the NT dispatch barrier: while valid, dispatch is
+	// stalled until the accel with this seq commits.
+	barrierSeq    uint64
+	barrierActive bool
+
+	fu           [numFUClasses][]int64 // per-unit next-free cycle
+	ports        []int64               // memory port next-free cycles
+	tcaBusyUntil int64
+
+	halted          bool
+	lastCommitCycle int64
+
+	// nextComplete is a lower bound on the earliest readyCycle of any
+	// issued entry; complete() skips its scan before that cycle.
+	nextComplete int64
+
+	stats Stats
+}
+
+// New builds a core for the program. dev may be nil when the program
+// contains no OpAccel instructions.
+func New(cfg Config, prog *isa.Program, dev isa.AccelDevice) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	pred, err := cfg.Predictor.Build()
+	if err != nil {
+		return nil, err
+	}
+	if dev == nil {
+		for _, in := range prog.Code {
+			if in.Op == isa.OpAccel {
+				return nil, fmt.Errorf("sim: program uses accel instructions but no device attached")
+			}
+		}
+	}
+	c := &Core{
+		cfg:  cfg,
+		prog: prog,
+		dev:  dev,
+		mem:  prog.NewMemoryImage(),
+		hier: mem.NewHierarchy(cfg.Memory),
+		pred: pred,
+		rob:  newROBQueue(cfg.ROBSize),
+	}
+	c.curFetchLine = -1
+	c.fu[fuALU] = make([]int64, cfg.IntALUs)
+	c.fu[fuMul] = make([]int64, cfg.IntMuls)
+	c.fu[fuFP] = make([]int64, cfg.FPUs)
+	// fuMem units are unused: memory timing goes through the shared
+	// port scheduler so the TCA and core contend for the same bandwidth.
+	c.fu[fuMem] = nil
+	c.ports = make([]int64, cfg.MemPorts)
+	return c, nil
+}
+
+// Hierarchy exposes the memory system for statistics inspection.
+func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Run simulates until the program's halt commits, the cycle budget is
+// exhausted, or the deadlock watchdog fires.
+func (c *Core) Run(maxCycles int64) (*Result, error) {
+	for !c.halted {
+		if c.now >= maxCycles {
+			return nil, fmt.Errorf("%w after %d cycles (%d committed) pc=%d",
+				ErrCycleLimit, c.now, c.stats.Committed, c.fetchPC)
+		}
+		if c.now-c.lastCommitCycle > deadlockWindow {
+			return nil, fmt.Errorf("%w for %d cycles at cycle %d: %s",
+				ErrDeadlock, c.now-c.lastCommitCycle, c.now, c.describeHead())
+		}
+		c.complete()
+		c.commit()
+		if c.halted {
+			break
+		}
+		c.issue()
+		c.dispatch()
+		c.fetch()
+		c.stats.ROBOccupancySum += int64(c.rob.len())
+		c.now++
+	}
+	c.stats.Cycles = c.now + 1
+	return &Result{Stats: c.stats, Regs: c.arf, Mem: c.mem}, nil
+}
+
+// describeHead summarizes the ROB head for deadlock diagnostics.
+func (c *Core) describeHead() string {
+	if c.rob.len() == 0 {
+		return fmt.Sprintf("rob empty, fetchPC=%d, fetchStopped=%v, barrier=%v",
+			c.fetchPC, c.fetchStopped, c.barrierActive)
+	}
+	h := c.rob.at(0)
+	return fmt.Sprintf("rob head seq=%d pc=%d %s state=%d ready=%d srcReady=%v",
+		h.seq, h.pc, h.in, h.state, h.readyCycle, h.srcReady())
+}
+
+// portGrant reserves the earliest-available memory port at or after start
+// and returns the granted cycle. Requests arriving earlier get earlier
+// grants, so the oldest-first issue scan yields the age-priority
+// arbitration the paper's methodology specifies.
+func (c *Core) portGrant(start int64) int64 {
+	best := 0
+	for i := 1; i < len(c.ports); i++ {
+		if c.ports[i] < c.ports[best] {
+			best = i
+		}
+	}
+	g := start
+	if c.ports[best] > g {
+		g = c.ports[best]
+	}
+	c.ports[best] = g + 1
+	return g
+}
+
+// grabFU reserves a functional unit of the class if one is free this cycle,
+// holding it until busyUntil. It reports whether a unit was available.
+func (c *Core) grabFU(class fuClass, busyUntil int64) bool {
+	units := c.fu[class]
+	for i := range units {
+		if units[i] <= c.now {
+			units[i] = busyUntil
+			return true
+		}
+	}
+	return false
+}
+
+// operandValue returns the resolved value of source field i (0-based).
+func (e *robEntry) operandValue(i int) uint64 { return e.srcs[i].value }
+
+// complete transitions issued entries whose results have arrived, wakes
+// dependents, trains the branch predictor, and handles mispredict squashes.
+func (c *Core) complete() {
+	if c.now < c.nextComplete {
+		return
+	}
+	next := int64(1<<62 - 1)
+	left := c.issuedCount
+	for i := 0; i < c.rob.len() && left > 0; i++ {
+		e := c.rob.at(i)
+		if e.state != sIssued {
+			continue
+		}
+		left--
+		if e.readyCycle > c.now {
+			if e.readyCycle < next {
+				next = e.readyCycle
+			}
+			continue
+		}
+		e.state = sDone
+		c.issuedCount--
+		c.wake(i, e)
+		if e.in.Op.IsCondBranch() {
+			c.pred.Update(uint64(e.pc), e.actualTaken)
+			if e.mispredict {
+				c.stats.Mispredicts++
+				c.squashAfter(i)
+				c.redirect(e.nextPC)
+				// Entries after i are gone; nothing younger remains
+				// to complete. The bound may now be stale-early,
+				// which only costs a wasted scan.
+				c.nextComplete = c.now
+				return
+			}
+		}
+	}
+	c.nextComplete = next
+}
+
+// noteIssued records a newly scheduled completion time so complete() does
+// not skip it.
+func (c *Core) noteIssued(readyCycle int64) {
+	if readyCycle < c.nextComplete {
+		c.nextComplete = readyCycle
+	}
+}
+
+// wake delivers a completed result to every dependent operand. Dependents
+// are strictly younger, so the scan starts after the producer's position.
+func (c *Core) wake(pos int, e *robEntry) {
+	for i := pos + 1; i < c.rob.len(); i++ {
+		d := c.rob.at(i)
+		if d.state != sWaiting {
+			continue
+		}
+		for s := range d.srcs {
+			if d.srcs[s].pending && d.srcs[s].producer == e.seq {
+				d.srcs[s].pending = false
+				d.srcs[s].value = e.val
+			}
+		}
+	}
+}
+
+// redirect restarts fetch at pc on the next cycle.
+func (c *Core) redirect(pc int) {
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchPC = pc
+	c.fetchResumeAt = c.now + 1
+	c.fetchStopped = false
+	c.curFetchLine = -1 // the target line must be re-checked in the I-cache
+}
+
+// squashAfter removes every entry younger than position keep, rolling back
+// accelerator state and rebuilding the rename table.
+func (c *Core) squashAfter(keep int) {
+	first := keep + 1
+	if first >= c.rob.len() {
+		return
+	}
+	// Roll back speculative accelerator invocations: rewinding to the
+	// oldest squashed invocation's mark undoes it and everything younger
+	// (marks grow in program order because invocations are issued in
+	// program order).
+	if j, ok := c.dev.(isa.AccelJournal); ok {
+		for i := first; i < c.rob.len(); i++ {
+			e := c.rob.at(i)
+			if e.in.Op == isa.OpAccel && e.accelStarted && e.accelHasMark {
+				j.Rewind(e.accelMark)
+				break
+			}
+		}
+	}
+	for i := first; i < c.rob.len(); i++ {
+		e := c.rob.at(i)
+		c.stats.Squashed++
+		switch e.state {
+		case sWaiting:
+			c.iqCount--
+		case sIssued:
+			c.issuedCount--
+		}
+		if e.in.Op.IsMem() {
+			c.lsqCount--
+		}
+		if e.in.Op == isa.OpAccel {
+			if e.accelStarted {
+				c.stats.AccelSquashed++
+				// Free the TCA unit if this invocation was still
+				// running.
+				if e.readyCycle > c.now {
+					c.tcaBusyUntil = c.now
+				}
+			}
+			if c.barrierActive && c.barrierSeq == e.seq {
+				c.barrierActive = false
+			}
+		}
+	}
+	c.rob.truncate(first)
+
+	// Rebuild the rename table from the surviving entries.
+	for r := range c.rename {
+		c.rename[r].valid = false
+	}
+	for i := 0; i < c.rob.len(); i++ {
+		e := c.rob.at(i)
+		if e.in.HasDst() {
+			c.rename[e.in.Dst].valid = true
+			c.rename[e.in.Dst].seq = e.seq
+		}
+	}
+	c.seq = c.rob.at(c.rob.len()-1).seq + 1
+}
+
+// commit retires completed instructions in order, applying architectural
+// state.
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.rob.len() > 0; n++ {
+		e := c.rob.at(0)
+		if e.state != sDone || e.readyCycle+int64(c.cfg.CommitDelay) > c.now {
+			return
+		}
+		switch {
+		case e.in.Op == isa.OpHalt:
+			c.halted = true
+		case e.in.Op.IsStore():
+			c.mem.Store(e.addr, e.storeData)
+			c.stats.Stores++
+			// Charge the write to the shared ports and hierarchy.
+			g := c.portGrant(c.now)
+			_ = c.hier.Access(g, e.addr, true)
+		case e.in.Op == isa.OpAccel:
+			isa.ApplyStores(c.mem, e.accelStores)
+			c.stats.AccelCommitted++
+			if c.cfg.RecordAccelEvents {
+				c.stats.AccelEvents = append(c.stats.AccelEvents, AccelEvent{
+					Seq:      e.seq,
+					Dispatch: e.dispatchCycle,
+					Start:    e.accelStart,
+					Done:     e.readyCycle,
+					Commit:   c.now,
+				})
+			}
+			c.stats.AccelDrainWait += e.accelHeld
+			if e.in.HasDst() {
+				c.arf[e.in.Dst] = e.val
+			}
+		case e.in.Op.IsLoad():
+			c.stats.Loads++
+			if e.forwarded {
+				c.stats.LoadsForwarded++
+			}
+			c.arf[e.in.Dst] = e.val
+		case e.in.HasDst():
+			c.arf[e.in.Dst] = e.val
+		}
+		if e.in.Op.IsCondBranch() {
+			c.stats.Branches++
+		}
+		if e.in.HasDst() && c.rename[e.in.Dst].valid && c.rename[e.in.Dst].seq == e.seq {
+			c.rename[e.in.Dst].valid = false
+		}
+		if c.barrierActive && c.barrierSeq == e.seq {
+			c.barrierActive = false
+		}
+		if e.in.Op.IsMem() {
+			c.lsqCount--
+		}
+		c.recordPipeEvent(e)
+		c.rob.popHead()
+		c.stats.Committed++
+		c.lastCommitCycle = c.now
+		if c.halted {
+			return
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+	"repro/internal/proggen"
+	"repro/internal/tcmalloc"
+)
+
+// TestSimEquivalenceRandomPrograms is the load-bearing correctness test for
+// the simulator: for random programs, the out-of-order core's final
+// architectural state (registers, memory, instruction count) must exactly
+// match the in-order functional interpreter's, across core configurations.
+func TestSimEquivalenceRandomPrograms(t *testing.T) {
+	configs := []func() Config{HighPerfConfig, LowPerfConfig, A72Config}
+	for seed := int64(0); seed < 25; seed++ {
+		prog := proggen.Generate(seed, proggen.DefaultOptions())
+		cfg := configs[int(seed)%len(configs)]()
+		t.Run(fmt.Sprintf("seed%d-%s", seed, cfg.Name), func(t *testing.T) {
+			runBoth(t, cfg, prog, nil)
+		})
+	}
+}
+
+// TestSimEquivalenceWithFixedAccel repeats the differential test with TCA
+// invocations present, across all four integration modes. This exercises
+// speculative invocation and squash in the L modes and the drain/barrier
+// machinery in the NL/NT modes.
+func TestSimEquivalenceWithFixedAccel(t *testing.T) {
+	opt := proggen.DefaultOptions()
+	opt.AccelEvery = 2
+	for seed := int64(100); seed < 112; seed++ {
+		prog := proggen.Generate(seed, opt)
+		for _, m := range accel.AllModes {
+			t.Run(fmt.Sprintf("seed%d-%s", seed, m), func(t *testing.T) {
+				cfg := HighPerfConfig()
+				cfg.Mode = m
+				runBoth(t, cfg, prog, func() isa.AccelDevice {
+					return accel.NewFixedLatency(15)
+				})
+			})
+		}
+	}
+}
+
+// TestSimEquivalenceWithHeapAccel repeats the differential test with the
+// stateful heap device, which requires journal rollback for correctness in
+// the speculative modes.
+func TestSimEquivalenceWithHeapAccel(t *testing.T) {
+	opt := proggen.DefaultOptions()
+	opt.AccelEvery = 2
+	opt.HeapAccel = true
+	for seed := int64(200); seed < 212; seed++ {
+		prog := proggen.Generate(seed, opt)
+		for _, m := range accel.AllModes {
+			t.Run(fmt.Sprintf("seed%d-%s", seed, m), func(t *testing.T) {
+				cfg := LowPerfConfig()
+				cfg.Mode = m
+				runBoth(t, cfg, prog, func() isa.AccelDevice {
+					a := tcmalloc.New(0x200000, 1<<22)
+					for c := 0; c < tcmalloc.NumClasses; c++ {
+						if err := a.Refill(c, 256); err != nil {
+							panic(err)
+						}
+					}
+					return accel.NewHeap(a)
+				})
+			})
+		}
+	}
+}
+
+// TestSimEquivalenceStressSmallStructures shrinks every structure to force
+// constant back-pressure (ROB/IQ/LSQ full, port conflicts), which is where
+// queue-accounting bugs hide.
+func TestSimEquivalenceStressSmallStructures(t *testing.T) {
+	cfg := LowPerfConfig()
+	cfg.Name = "tiny"
+	cfg.ROBSize = 8
+	cfg.IQSize = 4
+	cfg.LSQSize = 4
+	cfg.FetchWidth = 1
+	cfg.DispatchWidth = 1
+	cfg.IssueWidth = 1
+	cfg.CommitWidth = 1
+	cfg.IntALUs = 1
+	cfg.MemPorts = 1
+	for seed := int64(300); seed < 315; seed++ {
+		prog := proggen.Generate(seed, proggen.DefaultOptions())
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runBoth(t, cfg, prog, nil)
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// icacheConfig enables instruction-side timing on the HP preset.
+func icacheConfig() Config {
+	cfg := HighPerfConfig()
+	cfg.Memory = mem.DefaultHierarchy() // includes a 32 KiB L1I
+	return cfg
+}
+
+// multiLineLoop builds a loop whose body spans several instruction-cache
+// lines, iterated enough for steady-state behaviour to dominate the cold
+// pass.
+func multiLineLoop(iters int64) *isa.Program {
+	b := isa.NewBuilder()
+	b.MovI(isa.R(1), iters)
+	b.Label("loop")
+	for i := 0; i < 100; i++ { // ~25 lines of body
+		b.AddI(isa.R(2+i%6), isa.RZero, int64(i))
+	}
+	b.AddI(isa.R(1), isa.R(1), -1)
+	b.Bne(isa.R(1), isa.RZero, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestICacheLoopCodeMostlyHits(t *testing.T) {
+	// A loop re-fetches the same lines: after the cold pass the I-cache
+	// must hit, so the loop runs within a few percent of the
+	// I-side-disabled time.
+	prog := multiLineLoop(300)
+	withI, err := New(icacheConfig(), prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resI, err := withI.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, _ := New(HighPerfConfig(), prog, nil)
+	resN, err := without.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resI.Stats.Committed != resN.Stats.Committed {
+		t.Fatalf("instruction counts differ: %d vs %d", resI.Stats.Committed, resN.Stats.Committed)
+	}
+	slack := resN.Stats.Cycles + resN.Stats.Cycles/20 + 200
+	if resI.Stats.Cycles > slack {
+		t.Errorf("loop with I-cache took %d cycles vs %d without — hits not happening",
+			resI.Stats.Cycles, resN.Stats.Cycles)
+	}
+	istats := withI.Hierarchy().L1I.Stats()
+	if istats.Accesses == 0 {
+		t.Fatal("I-cache never accessed")
+	}
+	if istats.MissRate() > 0.01 {
+		t.Errorf("loop I-miss rate %.2f%%, want ~0", 100*istats.MissRate())
+	}
+}
+
+func TestICacheColdStraightLineStalls(t *testing.T) {
+	// One-pass straight-line code larger than the L1I: instruction
+	// misses must slow fetch down measurably (this is why the validation
+	// presets disable the I-side — see presetMemory).
+	b := straightLineProgram(12000)
+	withI, err := New(icacheConfig(), b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resI, err := withI.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, _ := New(HighPerfConfig(), b, nil)
+	resN, err := without.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resI.Stats.Cycles <= resN.Stats.Cycles {
+		t.Errorf("cold I-side cost nothing: %d vs %d cycles", resI.Stats.Cycles, resN.Stats.Cycles)
+	}
+	istats := withI.Hierarchy().L1I.Stats()
+	if istats.Misses == 0 {
+		t.Error("no I-misses on a 48 KiB one-pass program")
+	}
+	// The next-line prefetcher must be covering part of the stream.
+	if istats.Prefetches == 0 || istats.PrefetchHits == 0 {
+		t.Errorf("I-prefetcher idle: %+v", istats)
+	}
+}
+
+// straightLineProgram emits n independent single-cycle instructions plus a
+// halt — about 4n bytes of one-pass code.
+func straightLineProgram(n int) *isa.Program {
+	b := isa.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddI(isa.R(1+i%8), isa.RZero, int64(i))
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestICacheEquivalenceUnaffected(t *testing.T) {
+	// I-side timing must not change architectural results.
+	runBoth(t, icacheConfig(), sumProgram(800), nil)
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+	"repro/internal/proggen"
+	"repro/internal/tcmalloc"
+)
+
+// partialProgram builds a loop whose accelerator invocations sit behind a
+// hard-to-predict (data-dependent alternating) branch, the scenario the
+// paper's §VIII partial-speculation proposal targets.
+func partialProgram(iters int) *isa.Program {
+	b := isa.NewBuilder()
+	b.MovI(isa.R(1), 0) // i
+	b.MovI(isa.R(2), int64(iters))
+	b.MovI(isa.R(3), 48) // malloc size
+	b.MovI(isa.R(7), 4)
+	b.Label("loop")
+	// The skip branch is taken every 4th iteration, so the predictor
+	// settles on not-taken (falling through to the invocations) and the
+	// occasional taken outcome squashes speculatively started
+	// invocations; the slow divide delays resolution long enough for
+	// them to start. The 25% surprise rate keeps the counter bouncing,
+	// so the confidence gate engages regularly.
+	b.Rem(isa.R(4), isa.R(1), isa.R(7))
+	b.Beq(isa.R(4), isa.RZero, "skip")
+	b.Accel(isa.R(5), accel.HeapMalloc, isa.R(3))
+	b.Accel(isa.R(6), accel.HeapFree, isa.R(5))
+	b.Label("skip")
+	b.AddI(isa.R(1), isa.R(1), 1)
+	b.Blt(isa.R(1), isa.R(2), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func heapDev() isa.AccelDevice {
+	a := tcmalloc.New(0x100000, 1<<20)
+	if err := a.Refill(1, 64); err != nil {
+		panic(err)
+	}
+	return accel.NewHeap(a)
+}
+
+func TestPartialSpeculationReducesSquashedInvocations(t *testing.T) {
+	prog := partialProgram(300)
+	run := func(partial bool) Stats {
+		cfg := HighPerfConfig()
+		cfg.Mode = accel.LT
+		cfg.PartialSpeculation = partial
+		cfg.Predictor = PredictorConfig{Kind: "bimodal"}
+		core, err := New(cfg, prog, heapDev())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	full := run(false)
+	part := run(true)
+	if full.AccelCommitted != part.AccelCommitted {
+		t.Fatalf("committed invocations differ: %d vs %d", full.AccelCommitted, part.AccelCommitted)
+	}
+	// The whole point: far fewer speculative invocations are wasted.
+	if part.AccelSquashed >= full.AccelSquashed {
+		t.Errorf("partial speculation squashed %d invocations, full speculation %d — gate ineffective",
+			part.AccelSquashed, full.AccelSquashed)
+	}
+	if part.AccelConfidenceWait == 0 {
+		t.Error("confidence gate never held an invocation on an alternating branch")
+	}
+	if full.AccelConfidenceWait != 0 {
+		t.Error("full speculation must never consult the confidence gate")
+	}
+}
+
+func TestPartialSpeculationBetweenLAndNL(t *testing.T) {
+	prog := partialProgram(300)
+	cycles := func(mode accel.Mode, partial bool) int64 {
+		cfg := HighPerfConfig()
+		cfg.Mode = mode
+		cfg.PartialSpeculation = partial
+		cfg.Predictor = PredictorConfig{Kind: "bimodal"}
+		core, err := New(cfg, prog, heapDev())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	lt := cycles(accel.LT, false)
+	plt := cycles(accel.LT, true)
+	nlt := cycles(accel.NLT, false)
+	// The paper positions the design "somewhere between the L and NL
+	// modes": never faster than full speculation, never slower than no
+	// speculation (allow a little simulation noise).
+	if plt < lt {
+		t.Errorf("partial (%d cycles) beat full speculation (%d)", plt, lt)
+	}
+	slack := nlt + nlt/20
+	if plt > slack {
+		t.Errorf("partial (%d cycles) slower than NL (%d)", plt, nlt)
+	}
+}
+
+func TestPartialSpeculationIgnoredInNLModes(t *testing.T) {
+	prog := partialProgram(100)
+	cfg := HighPerfConfig()
+	cfg.Mode = accel.NLT
+	cfg.PartialSpeculation = true
+	core, err := New(cfg, prog, heapDev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.AccelConfidenceWait != 0 {
+		t.Error("confidence gate active in an NL mode")
+	}
+}
+
+// Equivalence must hold with the gate on: partial speculation changes
+// timing only, never architectural results.
+func TestPartialSpeculationEquivalence(t *testing.T) {
+	opt := proggen.DefaultOptions()
+	opt.AccelEvery = 2
+	opt.HeapAccel = true
+	for seed := int64(400); seed < 406; seed++ {
+		prog := proggen.Generate(seed, opt)
+		for _, m := range []accel.Mode{accel.LT, accel.LNT} {
+			t.Run(fmt.Sprintf("seed%d-%s", seed, m), func(t *testing.T) {
+				cfg := HighPerfConfig()
+				cfg.Mode = m
+				cfg.PartialSpeculation = true
+				cfg.Predictor = PredictorConfig{Kind: "bimodal"}
+				runBoth(t, cfg, prog, func() isa.AccelDevice {
+					a := tcmalloc.New(0x200000, 1<<22)
+					for c := 0; c < tcmalloc.NumClasses; c++ {
+						if err := a.Refill(c, 256); err != nil {
+							panic(err)
+						}
+					}
+					return accel.NewHeap(a)
+				})
+			})
+		}
+	}
+}

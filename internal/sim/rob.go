@@ -1,0 +1,150 @@
+package sim
+
+import "repro/internal/isa"
+
+// entryState tracks an instruction's progress through the backend.
+type entryState uint8
+
+const (
+	// sWaiting: dispatched, in the issue queue, not yet executing.
+	sWaiting entryState = iota
+	// sIssued: executing; result arrives at readyCycle.
+	sIssued
+	// sDone: execution complete; eligible to commit after CommitDelay.
+	sDone
+)
+
+// operand is one renamed source. Either the value is known, or it waits on
+// the producer with the given sequence number.
+type operand struct {
+	pending  bool
+	producer uint64
+	value    uint64
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	seq           uint64
+	pc            int
+	in            isa.Instruction
+	state         entryState
+	dispatchCycle int64
+	issueCycle    int64
+	readyCycle    int64
+
+	// srcs correspond to Src1, Src2, Src3; only fields named by srcMask
+	// are meaningful.
+	srcs [3]operand
+
+	val uint64 // result value
+
+	// Branch bookkeeping.
+	predTaken     bool
+	predConfident bool // prediction was high confidence at fetch
+	actualTaken   bool
+	nextPC        int // resolved next pc
+	mispredict    bool
+
+	// Memory bookkeeping.
+	addrKnown bool
+	addr      uint64
+	storeData uint64
+	forwarded bool
+
+	// Accelerator bookkeeping.
+	accelStarted bool
+	accelHasMark bool
+	accelMark    int
+	accelStores  []isa.AccelStore
+	accelMemOps  int
+	accelStart   int64
+	accelHeld    int64 // cycles held ready by the NL restriction
+}
+
+// srcUse flags which instruction fields an opcode reads.
+type srcUse uint8
+
+const (
+	use1 srcUse = 1 << iota
+	use2
+	use3
+)
+
+func srcMask(op isa.Op) srcUse {
+	switch op {
+	case isa.OpNop, isa.OpHalt, isa.OpMovI, isa.OpFMovI, isa.OpJmp:
+		return 0
+	case isa.OpAddI, isa.OpLoad, isa.OpFLoad:
+		return use1
+	case isa.OpFMA, isa.OpAccel:
+		return use1 | use2 | use3
+	default:
+		return use1 | use2
+	}
+}
+
+// srcReady reports whether all used operands are available.
+func (e *robEntry) srcReady() bool {
+	m := srcMask(e.in.Op)
+	return !(m&use1 != 0 && e.srcs[0].pending ||
+		m&use2 != 0 && e.srcs[1].pending ||
+		m&use3 != 0 && e.srcs[2].pending)
+}
+
+// robQueue is a ring buffer of in-flight instructions, oldest first.
+// Sequence numbers of resident entries are contiguous, so lookup by seq is
+// O(1). The backing array is a power of two so position arithmetic is a
+// mask, which matters: at() is the simulator's hottest operation.
+type robQueue struct {
+	buf   []robEntry
+	mask  int
+	head  int
+	count int
+	limit int // architectural capacity (<= len(buf))
+}
+
+func newROBQueue(capacity int) *robQueue {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &robQueue{buf: make([]robEntry, size), mask: size - 1, limit: capacity}
+}
+
+func (q *robQueue) len() int   { return q.count }
+func (q *robQueue) full() bool { return q.count == q.limit }
+
+// at returns the i'th oldest entry (0 = head).
+func (q *robQueue) at(i int) *robEntry {
+	return &q.buf[(q.head+i)&q.mask]
+}
+
+// bySeq returns the resident entry with the given sequence number, or nil.
+func (q *robQueue) bySeq(seq uint64) *robEntry {
+	if q.count == 0 {
+		return nil
+	}
+	first := q.at(0).seq
+	if seq < first || seq >= first+uint64(q.count) {
+		return nil
+	}
+	return q.at(int(seq - first))
+}
+
+// push appends a new entry and returns it for initialization.
+func (q *robQueue) push() *robEntry {
+	e := &q.buf[(q.head+q.count)&q.mask]
+	q.count++
+	return e
+}
+
+// popHead removes the oldest entry.
+func (q *robQueue) popHead() {
+	q.head = (q.head + 1) & q.mask
+	q.count--
+}
+
+// truncate keeps only the n oldest entries (squash).
+func (q *robQueue) truncate(n int) {
+	q.count = n
+}

@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/isa"
+)
+
+// issue scans the ROB oldest-first and starts execution of ready
+// instructions, up to IssueWidth per cycle. The oldest-first order gives
+// age priority at the shared memory ports.
+func (c *Core) issue() {
+	issued := 0
+	sawUnissuedStore := false    // an older store has not produced addr+data yet
+	sawStoreAddrUnknown := false // an older store's address is still unknown
+	sawUnstartedAccel := false   // an older TCA invocation has not begun
+	sawUnstartedMemAccel := false
+	sawLowConfBranch := false // an older unresolved low-confidence branch
+
+	partial := c.cfg.PartialSpeculation && c.cfg.Mode.Leading()
+
+	// Only waiting entries can issue or raise ordering hazards, so the
+	// scan stops once it has seen them all (iqCount tracks exactly the
+	// waiting population).
+	remaining := c.iqCount
+	for i := 0; i < c.rob.len() && issued < c.cfg.IssueWidth && remaining > 0; i++ {
+		e := c.rob.at(i)
+		if partial && e.in.Op.IsCondBranch() && e.state != sDone && !e.predConfident {
+			sawLowConfBranch = true
+		}
+		if e.state != sWaiting {
+			continue
+		}
+		remaining--
+		ok := false
+		switch {
+		case e.in.Op == isa.OpAccel:
+			ok = c.tryStartAccel(i, e, sawUnissuedStore, sawUnstartedAccel, sawUnstartedMemAccel, partial && sawLowConfBranch)
+		case e.in.Op.IsLoad():
+			storeHazard := sawStoreAddrUnknown
+			if c.cfg.ConservativeLoadOrdering {
+				storeHazard = sawUnissuedStore
+			}
+			ok = c.tryIssueLoad(i, e, storeHazard, sawUnstartedMemAccel)
+		case e.in.Op.IsStore():
+			// Store address generation is decoupled from the data:
+			// the address resolves as soon as the base register is
+			// ready, letting younger loads disambiguate early the
+			// way real LSQs do.
+			if !e.addrKnown && !e.srcs[0].pending {
+				e.addr = e.operandValue(0) + uint64(e.in.Imm)
+				e.addrKnown = true
+			}
+			ok = c.tryIssueStore(e)
+		default:
+			ok = c.tryIssueSimple(e)
+		}
+		if ok {
+			e.issueCycle = c.now
+			c.iqCount--
+			c.issuedCount++
+			c.noteIssued(e.readyCycle)
+			issued++
+			continue
+		}
+		// Still waiting: record ordering hazards for younger entries.
+		if e.in.Op.IsStore() {
+			sawUnissuedStore = true
+			if !e.addrKnown {
+				sawStoreAddrUnknown = true
+			}
+		}
+		if e.in.Op == isa.OpAccel {
+			sawUnstartedAccel = true
+			if devUsesMemory(c.dev) {
+				sawUnstartedMemAccel = true
+			}
+		}
+	}
+}
+
+// tryIssueSimple handles ALU, FP, branch, and immediate-move instructions.
+func (c *Core) tryIssueSimple(e *robEntry) bool {
+	if !e.srcReady() {
+		return false
+	}
+	op := e.in.Op
+	lat := int64(c.cfg.opLatency(op))
+	busyUntil := c.now + 1
+	if unpipelined(op) {
+		busyUntil = c.now + lat
+	}
+	if !c.grabFU(fuFor(op), busyUntil) {
+		return false
+	}
+	e.state = sIssued
+	e.readyCycle = c.now + lat
+
+	switch {
+	case op.IsCondBranch():
+		e.actualTaken = isa.EvalBranch(op, e.operandValue(0), e.operandValue(1))
+		if e.actualTaken {
+			e.nextPC = int(e.in.Imm)
+		} else {
+			e.nextPC = e.pc + 1
+		}
+		predNext := e.pc + 1
+		if e.predTaken {
+			predNext = int(e.in.Imm)
+		}
+		e.mispredict = e.nextPC != predNext
+	case op == isa.OpMovI || op == isa.OpFMovI:
+		e.val = uint64(e.in.Imm)
+	case op == isa.OpAddI:
+		e.val = e.operandValue(0) + uint64(e.in.Imm)
+	case op == isa.OpFMA:
+		e.val = fmaBits(e.operandValue(0), e.operandValue(1), e.operandValue(2))
+	case op == isa.OpNop || op == isa.OpJmp:
+		// no result
+	case op.IsFP():
+		e.val = isa.EvalFP(op, e.operandValue(0), e.operandValue(1))
+	default:
+		e.val = isa.EvalALU(op, e.operandValue(0), e.operandValue(1))
+	}
+	return true
+}
+
+// tryIssueStore completes a store's address and data capture; the memory
+// write happens at commit.
+func (c *Core) tryIssueStore(e *robEntry) bool {
+	if !e.srcReady() {
+		return false
+	}
+	e.state = sIssued
+	e.readyCycle = c.now + 1
+	e.addr = e.operandValue(0) + uint64(e.in.Imm)
+	e.storeData = e.operandValue(1)
+	e.addrKnown = true
+	return true
+}
+
+// forwardStatus is the outcome of searching older in-flight writes.
+type forwardStatus uint8
+
+const (
+	fwdNone  forwardStatus = iota // no older write to the word
+	fwdHit                        // forwardable value found
+	fwdBlock                      // matching older store's data not ready yet
+)
+
+// tryIssueLoad issues a load once every older store's address is known
+// (decoupled store AGU) and every older memory-using TCA has produced its
+// stores. Matching older writes forward their data; otherwise the load
+// goes to the cache through a shared port.
+func (c *Core) tryIssueLoad(pos int, e *robEntry, olderStoreAddrUnknown, olderMemAccelPending bool) bool {
+	if !e.srcReady() || olderStoreAddrUnknown || olderMemAccelPending {
+		return false
+	}
+	e.addr = e.operandValue(0) + uint64(e.in.Imm)
+	e.addrKnown = true
+	word := e.addr >> 3
+
+	// Newest older write to the same word wins.
+	v, when, status := c.forwardScan(pos, word)
+	switch status {
+	case fwdBlock:
+		return false
+	case fwdHit:
+		e.state = sIssued
+		e.forwarded = true
+		e.val = v
+		e.readyCycle = maxI64(c.now+2, when+1)
+		return true
+	}
+	e.state = sIssued
+	grant := c.portGrant(c.now + 1) // one AGU cycle, then the port
+	e.readyCycle = c.hier.Access(grant, e.addr, false)
+	e.val = c.mem.Load(e.addr)
+	return true
+}
+
+// forwardScan looks newest-first through older in-flight writes for the
+// given word address. A matching store that has not captured its data yet
+// blocks the load (fwdBlock).
+func (c *Core) forwardScan(pos int, word uint64) (val uint64, when int64, status forwardStatus) {
+	for i := pos - 1; i >= 0; i-- {
+		o := c.rob.at(i)
+		switch {
+		case o.in.Op.IsStore() && o.addrKnown && o.addr>>3 == word:
+			if o.state == sWaiting {
+				return 0, 0, fwdBlock
+			}
+			return o.storeData, o.readyCycle, fwdHit
+		case o.in.Op == isa.OpAccel && o.accelStarted:
+			for j := len(o.accelStores) - 1; j >= 0; j-- {
+				if o.accelStores[j].Addr>>3 == word {
+					return o.accelStores[j].Data, o.readyCycle, fwdHit
+				}
+			}
+		}
+	}
+	return 0, 0, fwdNone
+}
+
+// dispatch moves instructions from the front-end queue into the ROB and
+// issue queue, renaming their sources. It models the NT barrier: while a
+// non-trailing TCA is in flight, dispatch is frozen.
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.DispatchWidth; n++ {
+		if c.barrierActive {
+			c.stats.DispatchStalls.Barrier++
+			return
+		}
+		if len(c.fetchQ) == 0 || c.fetchQ[0].availAt > c.now {
+			c.stats.DispatchStalls.FrontEnd++
+			return
+		}
+		if c.rob.full() {
+			c.stats.DispatchStalls.ROBFull++
+			return
+		}
+		if c.iqCount >= c.cfg.IQSize {
+			c.stats.DispatchStalls.IQFull++
+			return
+		}
+		f := c.fetchQ[0]
+		if f.in.Op.IsMem() && c.lsqCount >= c.cfg.LSQSize {
+			c.stats.DispatchStalls.LSQFull++
+			return
+		}
+		c.fetchQ = c.fetchQ[1:]
+
+		e := c.rob.push()
+		*e = robEntry{
+			seq:           c.seq,
+			pc:            f.pc,
+			in:            f.in,
+			state:         sWaiting,
+			dispatchCycle: c.now,
+			predTaken:     f.predTaken,
+			predConfident: f.predConfident,
+			readyCycle:    c.now,
+		}
+		c.seq++
+
+		// Rename sources.
+		m := srcMask(f.in.Op)
+		fields := [3]isa.Reg{f.in.Src1, f.in.Src2, f.in.Src3}
+		for i, r := range fields {
+			if m&(1<<uint(i)) == 0 || r == isa.RZero {
+				continue
+			}
+			if rn := c.rename[r]; rn.valid {
+				if p := c.rob.bySeq(rn.seq); p != nil && p.state != sDone {
+					e.srcs[i] = operand{pending: true, producer: rn.seq}
+					continue
+				} else if p != nil {
+					e.srcs[i] = operand{value: p.val}
+					continue
+				}
+			}
+			e.srcs[i] = operand{value: c.arf[r]}
+		}
+		if f.in.HasDst() {
+			c.rename[f.in.Dst].valid = true
+			c.rename[f.in.Dst].seq = e.seq
+		}
+
+		switch f.in.Op {
+		case isa.OpHalt:
+			// Halt needs no execution.
+			e.state = sDone
+			e.issueCycle = c.now
+		case isa.OpAccel:
+			c.iqCount++
+			if !c.cfg.Mode.Trailing() {
+				c.barrierActive = true
+				c.barrierSeq = e.seq
+			}
+		default:
+			c.iqCount++
+		}
+		if f.in.Op.IsMem() {
+			c.lsqCount++
+		}
+	}
+}
+
+// Instruction-side addressing: 4 bytes per instruction in a dedicated
+// region far above data addresses, so I- and D-lines never alias in the
+// shared L2.
+const (
+	instrBytes = 4
+	iSpaceBase = uint64(1) << 40
+)
+
+// iLineOf returns the instruction-cache line index holding pc.
+func (c *Core) iLineOf(pc int) int64 {
+	return int64(pc) * instrBytes / 64
+}
+
+// fetch fills the front-end queue along the predicted path, paying
+// instruction-cache latency at line boundaries when the I-side is modeled.
+func (c *Core) fetch() {
+	if c.fetchStopped || c.now < c.fetchResumeAt {
+		return
+	}
+	capacity := c.cfg.FetchWidth * (c.cfg.FrontEndDepth + 2)
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) < capacity; n++ {
+		if c.fetchPC < 0 || c.fetchPC >= len(c.prog.Code) {
+			// Wrong-path fetch ran off the program; stall until a
+			// squash redirects fetch.
+			c.fetchStopped = true
+			return
+		}
+		if c.hier.IFetchEnabled() {
+			if line := c.iLineOf(c.fetchPC); line != c.curFetchLine {
+				c.curFetchLine = line
+				addr := iSpaceBase + uint64(line)*64
+				done := c.hier.IFetch(c.now, addr)
+				if wait := done - int64(c.cfg.Memory.L1I.HitLatency); wait > c.now {
+					// Line not ready: resume when it arrives. The hit
+					// latency itself is folded into FrontEndDepth.
+					c.fetchResumeAt = wait
+					return
+				}
+			}
+		}
+		in := c.prog.Code[c.fetchPC]
+		f := fetchedInst{pc: c.fetchPC, in: in, availAt: c.now + int64(c.cfg.FrontEndDepth)}
+		c.stats.Fetched++
+		switch {
+		case in.Op == isa.OpHalt:
+			c.fetchQ = append(c.fetchQ, f)
+			c.fetchStopped = true
+			return
+		case in.Op == isa.OpJmp:
+			c.fetchQ = append(c.fetchQ, f)
+			c.fetchPC = int(in.Imm)
+		case in.Op.IsCondBranch():
+			f.predTaken = c.pred.Predict(uint64(c.fetchPC))
+			f.predConfident = true
+			if ce, ok := c.pred.(bpred.ConfidenceEstimator); ok {
+				f.predConfident = ce.Confident(uint64(c.fetchPC))
+			}
+			c.fetchQ = append(c.fetchQ, f)
+			if f.predTaken {
+				c.fetchPC = int(in.Imm)
+			} else {
+				c.fetchPC++
+			}
+		default:
+			c.fetchQ = append(c.fetchQ, f)
+			c.fetchPC++
+		}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+)
+
+func TestCPIStackShares(t *testing.T) {
+	prog := accelProgram(30, 10)
+	cfg := HighPerfConfig()
+	cfg.Mode = accel.NLNT
+	core, _ := New(cfg, prog, accel.NewFixedLatency(40))
+	res, err := core.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats.CPIStack()
+	sum := st.Active + st.Barrier + st.ROBFull + st.IQFull + st.LSQFull + st.FrontEnd
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %v, want 1", sum)
+	}
+	// NL_NT on a barrier-heavy program: the barrier share dominates.
+	if st.Barrier < 0.3 {
+		t.Errorf("barrier share %.2f, want the dominant cause", st.Barrier)
+	}
+	if st.Dispatched != res.Stats.Committed+res.Stats.Squashed {
+		t.Error("dispatched accounting wrong")
+	}
+	if !strings.Contains(st.String(), "barrier") {
+		t.Error("render missing fields")
+	}
+}
+
+func TestCPIStackEmpty(t *testing.T) {
+	var s Stats
+	st := s.CPIStack()
+	if st.Active != 0 || st.Cycles != 0 {
+		t.Errorf("zero stats produced %+v", st)
+	}
+}
+
+// Determinism: identical configuration and program must produce identical
+// cycle counts and stats — the property every figure's reproducibility
+// rests on.
+func TestSimDeterminism(t *testing.T) {
+	prog := accelProgram(40, 20)
+	run := func() Stats {
+		cfg := HighPerfConfig()
+		cfg.Mode = accel.NLT
+		core, err := New(cfg, prog, accel.NewFixedLatency(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Committed != b.Committed ||
+		a.Mispredicts != b.Mispredicts || a.Squashed != b.Squashed ||
+		a.DispatchStalls != b.DispatchStalls {
+		t.Errorf("nondeterministic simulation:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// ROB occupancy can never exceed the configured size.
+func TestROBOccupancyBounded(t *testing.T) {
+	cfg := LowPerfConfig()
+	cfg.ROBSize = 16
+	core, _ := New(cfg, sumProgram(3000), nil)
+	res, err := core.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := res.Stats.AvgROBOccupancy(); avg > 16 {
+		t.Errorf("average occupancy %.1f exceeds ROB size 16", avg)
+	}
+}
+
+// Static predictors still produce correct execution (they just mispredict
+// more).
+func TestStaticPredictorsCorrectness(t *testing.T) {
+	for _, kind := range []string{"taken", "not-taken", "bimodal", "gshare"} {
+		cfg := HighPerfConfig()
+		cfg.Predictor = PredictorConfig{Kind: kind}
+		res := runBoth(t, cfg, sumProgram(400), nil)
+		if res.Regs[isa.R(1)] != 80200 {
+			t.Errorf("%s: sum = %d, want 80200", kind, res.Regs[isa.R(1)])
+		}
+	}
+	cfg := HighPerfConfig()
+	cfg.Predictor = PredictorConfig{Kind: "bogus"}
+	if _, err := New(cfg, sumProgram(5), nil); err == nil {
+		t.Error("bogus predictor accepted")
+	}
+}

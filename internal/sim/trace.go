@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// PipeEvent records the pipeline lifetime of one committed instruction.
+type PipeEvent struct {
+	Seq      uint64
+	PC       int
+	Text     string
+	Dispatch int64
+	Issue    int64
+	Complete int64
+	Commit   int64
+	// Accel marks TCA invocations (rendered distinctly).
+	Accel bool
+}
+
+// RenderPipeTrace draws a Konata-style text pipeline diagram:
+//
+//	D dispatched (in the issue queue)   E executing   . done, waiting
+//	C commit                            A accelerator executing
+//
+// Long traces are windowed to the first maxCols cycles of activity.
+func RenderPipeTrace(events []PipeEvent, maxCols int) string {
+	if len(events) == 0 {
+		return "(no pipeline events)\n"
+	}
+	if maxCols <= 0 {
+		maxCols = 100
+	}
+	start := events[0].Dispatch
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline trace (cycle %d onward; D=dispatched E=executing A=accel .=done C=commit)\n", start)
+	for _, e := range events {
+		if e.Dispatch-start >= int64(maxCols) {
+			fmt.Fprintf(&b, "... trace window ends at cycle %d\n", start+int64(maxCols))
+			break
+		}
+		var line strings.Builder
+		for cyc := start; cyc <= e.Commit && cyc-start < int64(maxCols); cyc++ {
+			switch {
+			case cyc < e.Dispatch:
+				line.WriteByte(' ')
+			case cyc < e.Issue:
+				line.WriteByte('D')
+			case cyc < e.Complete:
+				if e.Accel {
+					line.WriteByte('A')
+				} else {
+					line.WriteByte('E')
+				}
+			case cyc < e.Commit:
+				line.WriteByte('.')
+			default:
+				line.WriteByte('C')
+			}
+		}
+		fmt.Fprintf(&b, "%-28s |%s\n", truncate(e.Text, 27), line.String())
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "~"
+}
+
+// recordPipeEvent appends a commit-time trace record if tracing is active.
+func (c *Core) recordPipeEvent(e *robEntry) {
+	if c.cfg.PipeTraceLimit <= 0 || len(c.stats.PipeTrace) >= c.cfg.PipeTraceLimit {
+		return
+	}
+	c.stats.PipeTrace = append(c.stats.PipeTrace, PipeEvent{
+		Seq:      e.seq,
+		PC:       e.pc,
+		Text:     e.in.String(),
+		Dispatch: e.dispatchCycle,
+		Issue:    e.issueCycle,
+		Complete: e.readyCycle,
+		Commit:   c.now,
+		Accel:    e.in.Op == isa.OpAccel,
+	})
+}

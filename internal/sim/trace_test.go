@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+)
+
+func TestPipeTraceRecords(t *testing.T) {
+	b := isa.NewBuilder()
+	b.MovI(isa.R(1), 5)
+	b.AddI(isa.R(2), isa.R(1), 1) // depends on the movi
+	b.Accel(isa.R(3), 0, isa.R(2))
+	b.Halt()
+	cfg := HighPerfConfig()
+	cfg.PipeTraceLimit = 10
+	core, err := New(cfg, b.MustBuild(), accel.NewFixedLatency(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := res.Stats.PipeTrace
+	if len(ev) != 4 {
+		t.Fatalf("events = %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if !(e.Dispatch <= e.Issue && e.Issue <= e.Complete && e.Complete <= e.Commit) {
+			t.Errorf("event %d out of order: %+v", i, e)
+		}
+	}
+	// Program order is commit order.
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Commit < ev[i-1].Commit {
+			t.Error("commit order violated in trace")
+		}
+	}
+	// The dependent add issues no earlier than the movi completes... its
+	// producer has 1-cycle latency, so issue >= producer issue + 1.
+	if ev[1].Issue < ev[0].Issue+1 {
+		t.Errorf("dependent issued at %d, producer issued at %d", ev[1].Issue, ev[0].Issue)
+	}
+	// The accel event is marked and spans its 9-cycle latency.
+	if !ev[2].Accel {
+		t.Error("accel event not marked")
+	}
+	if ev[2].Complete-ev[2].Issue < 9 {
+		t.Errorf("accel executed in %d cycles, latency 9", ev[2].Complete-ev[2].Issue)
+	}
+
+	out := RenderPipeTrace(ev, 80)
+	for _, want := range []string{"movi r1, 5", "accel", "A", "C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPipeTraceLimit(t *testing.T) {
+	cfg := HighPerfConfig()
+	cfg.PipeTraceLimit = 3
+	core, _ := New(cfg, sumProgram(100), nil)
+	res, err := core.Run(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.PipeTrace) != 3 {
+		t.Errorf("trace length = %d, want capped at 3", len(res.Stats.PipeTrace))
+	}
+}
+
+func TestPipeTraceDisabledByDefault(t *testing.T) {
+	core, _ := New(HighPerfConfig(), sumProgram(50), nil)
+	res, err := core.Run(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.PipeTrace) != 0 {
+		t.Error("trace recorded without being enabled")
+	}
+}
+
+func TestRenderPipeTraceEmpty(t *testing.T) {
+	if out := RenderPipeTrace(nil, 0); !strings.Contains(out, "no pipeline events") {
+		t.Errorf("empty render = %q", out)
+	}
+}

@@ -1,0 +1,196 @@
+// Package tcmalloc implements a TCMalloc-style size-class free-list
+// allocator. It is the functional substrate behind two things in this
+// reproduction:
+//
+//   - the heap-manager TCA (internal/accel.Heap), whose hardware tables
+//     "store a subset of the free lists tracked by the TCMalloc library"
+//     and serve malloc/free in a single cycle, and
+//   - the software-baseline malloc/free routines whose costs the paper
+//     takes from Gope's measurement of TCMalloc: malloc ≈ 39 cycles /
+//     69 x86 uops, free ≈ 20 cycles / 37 uops.
+//
+// The paper's heap microbenchmark allocates from 4 class sizes (0-32B,
+// 33-64B, 65-96B, 97-128B) under the constraint that the accelerator always
+// has a pointer for malloc and a free-list entry available for free (the
+// common case), so this allocator never needs a slow path during the
+// benchmark; Refill exists to pre-populate the lists.
+package tcmalloc
+
+import "fmt"
+
+// NumClasses is the number of size classes the paper's benchmark uses.
+const NumClasses = 4
+
+// ClassBytes returns the block size of a class (32, 64, 96, 128).
+func ClassBytes(class int) uint64 {
+	if class < 0 || class >= NumClasses {
+		panic(fmt.Sprintf("tcmalloc: class %d out of range", class))
+	}
+	return uint64(32 * (class + 1))
+}
+
+// ClassFor returns the smallest class whose blocks fit size bytes, and
+// false if size exceeds the largest class (129+ bytes take the slow path the
+// benchmark never exercises).
+func ClassFor(size uint64) (int, bool) {
+	if size == 0 {
+		return 0, true
+	}
+	if size > 128 {
+		return 0, false
+	}
+	return int((size - 1) / 32), true
+}
+
+// journalOp records one mutation for speculative rollback.
+type journalOp struct {
+	class int
+	ptr   uint64
+	push  bool // true: ptr was pushed (undo = pop); false: popped (undo = push)
+}
+
+// Allocator is a deterministic free-list allocator over a bump-pointer
+// arena. It is not safe for concurrent use.
+//
+// The allocator keeps an undo journal so speculative invocations by the
+// heap TCA can be rolled back on branch misspeculation (Mark/Rewind).
+type Allocator struct {
+	free    [NumClasses][]uint64
+	arena   uint64 // next fresh address
+	arenaHi uint64 // exclusive arena end
+	owner   map[uint64]int
+
+	journal []journalOp
+
+	// Stats.
+	Mallocs    uint64
+	Frees      uint64
+	Refills    uint64
+	LiveBlocks int
+}
+
+// New returns an allocator over the address range [base, base+size).
+// Base must be nonzero (zero is the allocator's failure value) and
+// 32-byte aligned.
+func New(base, size uint64) *Allocator {
+	if base == 0 || base%32 != 0 {
+		panic(fmt.Sprintf("tcmalloc: base %#x must be nonzero and 32-byte aligned", base))
+	}
+	return &Allocator{arena: base, arenaHi: base + size, owner: make(map[uint64]int)}
+}
+
+// Refill pushes n fresh blocks onto the free list of class, carving them
+// from the arena. It reproduces the "common case" precondition of the
+// paper's benchmark: the list always has an entry to return.
+func (a *Allocator) Refill(class, n int) error {
+	bs := ClassBytes(class)
+	for i := 0; i < n; i++ {
+		if a.arena+bs > a.arenaHi {
+			return fmt.Errorf("tcmalloc: arena exhausted refilling class %d", class)
+		}
+		a.free[class] = append(a.free[class], a.arena)
+		a.arena += bs
+		a.Refills++
+	}
+	return nil
+}
+
+// Malloc pops a block of the class fitting size. It returns 0 when size has
+// no class or the free list is empty (the benchmark precondition guarantees
+// this does not happen in measured runs; callers treat 0 as the slow path).
+func (a *Allocator) Malloc(size uint64) uint64 {
+	class, ok := ClassFor(size)
+	if !ok {
+		return 0
+	}
+	list := a.free[class]
+	if len(list) == 0 {
+		return 0
+	}
+	ptr := list[len(list)-1]
+	a.free[class] = list[:len(list)-1]
+	a.owner[ptr] = class
+	a.journal = append(a.journal, journalOp{class: class, ptr: ptr, push: false})
+	a.Mallocs++
+	a.LiveBlocks++
+	return ptr
+}
+
+// Free returns a block to its class's free list. Freeing an address that is
+// not currently allocated is ignored (matches the benchmark's constraint
+// that frees always have an available entry; a robust allocator would trap).
+func (a *Allocator) Free(ptr uint64) bool {
+	class, ok := a.owner[ptr]
+	if !ok {
+		return false
+	}
+	delete(a.owner, ptr)
+	a.free[class] = append(a.free[class], ptr)
+	a.journal = append(a.journal, journalOp{class: class, ptr: ptr, push: true})
+	a.Frees++
+	a.LiveBlocks--
+	return true
+}
+
+// FreeLen returns the current length of a class's free list.
+func (a *Allocator) FreeLen(class int) int { return len(a.free[class]) }
+
+// Allocated reports whether ptr is currently live.
+func (a *Allocator) Allocated(ptr uint64) bool {
+	_, ok := a.owner[ptr]
+	return ok
+}
+
+// Mark returns a journal position for later Rewind. It implements
+// isa.AccelJournal (via the accel.Heap wrapper).
+func (a *Allocator) Mark() int { return len(a.journal) }
+
+// Rewind undoes every Malloc/Free performed after the given mark, restoring
+// free lists and ownership exactly. Refill is not speculative and need not
+// be undone.
+func (a *Allocator) Rewind(mark int) {
+	for len(a.journal) > mark {
+		op := a.journal[len(a.journal)-1]
+		a.journal = a.journal[:len(a.journal)-1]
+		if op.push {
+			// Undo a Free: pop the pushed ptr, mark live again.
+			list := a.free[op.class]
+			a.free[op.class] = list[:len(list)-1]
+			a.owner[op.ptr] = op.class
+			a.Frees--
+			a.LiveBlocks++
+		} else {
+			// Undo a Malloc: push the ptr back, clear ownership.
+			delete(a.owner, op.ptr)
+			a.free[op.class] = append(a.free[op.class], op.ptr)
+			a.Mallocs--
+			a.LiveBlocks--
+		}
+	}
+}
+
+// TrimJournal discards undo history up to mark (called when the
+// corresponding instructions are no longer speculative). Keeping the
+// journal bounded matters for long benchmark runs.
+func (a *Allocator) TrimJournal(mark int) {
+	if mark >= len(a.journal) {
+		a.journal = a.journal[:0]
+		return
+	}
+	a.journal = append(a.journal[:0], a.journal[mark:]...)
+}
+
+// SoftwareCost gives the paper's measured TCMalloc costs for the software
+// baseline: instruction (uop) count and cycles, from Gope's dissertation as
+// cited in the paper (§IV: malloc 39 cycles / 69 uops, free 20 cycles /
+// 37 uops).
+type SoftwareCost struct {
+	Uops   int
+	Cycles int
+}
+
+// Reference software costs.
+var (
+	MallocCost = SoftwareCost{Uops: 69, Cycles: 39}
+	FreeCost   = SoftwareCost{Uops: 37, Cycles: 20}
+)

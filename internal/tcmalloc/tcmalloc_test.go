@@ -1,0 +1,250 @@
+package tcmalloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassBytes(t *testing.T) {
+	want := []uint64{32, 64, 96, 128}
+	for c, w := range want {
+		if got := ClassBytes(c); got != w {
+			t.Errorf("ClassBytes(%d) = %d, want %d", c, got, w)
+		}
+	}
+}
+
+func TestClassBytesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range class")
+		}
+	}()
+	ClassBytes(4)
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		size  uint64
+		class int
+		ok    bool
+	}{
+		{0, 0, true}, {1, 0, true}, {32, 0, true},
+		{33, 1, true}, {64, 1, true},
+		{65, 2, true}, {96, 2, true},
+		{97, 3, true}, {128, 3, true},
+		{129, 0, false}, {4096, 0, false},
+	}
+	for _, c := range cases {
+		class, ok := ClassFor(c.size)
+		if class != c.class || ok != c.ok {
+			t.Errorf("ClassFor(%d) = (%d, %v), want (%d, %v)", c.size, class, ok, c.class, c.ok)
+		}
+	}
+}
+
+func TestMallocFreeRoundTrip(t *testing.T) {
+	a := New(0x10000, 1<<20)
+	if err := a.Refill(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	p1 := a.Malloc(16)
+	p2 := a.Malloc(32)
+	if p1 == 0 || p2 == 0 {
+		t.Fatal("malloc failed with refilled list")
+	}
+	if p1 == p2 {
+		t.Fatal("malloc returned the same block twice")
+	}
+	if !a.Allocated(p1) || !a.Allocated(p2) {
+		t.Error("allocated blocks not tracked")
+	}
+	if !a.Free(p1) {
+		t.Error("free of live block failed")
+	}
+	if a.Allocated(p1) {
+		t.Error("freed block still live")
+	}
+	// LIFO reuse: next malloc returns the freed block.
+	if p3 := a.Malloc(8); p3 != p1 {
+		t.Errorf("expected LIFO reuse of %#x, got %#x", p1, p3)
+	}
+}
+
+func TestMallocEmptyListReturnsZero(t *testing.T) {
+	a := New(0x10000, 1<<20)
+	if p := a.Malloc(16); p != 0 {
+		t.Errorf("malloc with empty list = %#x, want 0", p)
+	}
+	if p := a.Malloc(4096); p != 0 {
+		t.Errorf("oversized malloc = %#x, want 0", p)
+	}
+}
+
+func TestFreeUnknownPointer(t *testing.T) {
+	a := New(0x10000, 1<<20)
+	if a.Free(0xdead) {
+		t.Error("free of unknown pointer succeeded")
+	}
+	// Double free is ignored.
+	a.Refill(0, 1)
+	p := a.Malloc(8)
+	if !a.Free(p) || a.Free(p) {
+		t.Error("double free must fail the second time")
+	}
+}
+
+func TestRefillArenaExhaustion(t *testing.T) {
+	a := New(0x20, 64) // room for exactly two 32B blocks
+	if err := a.Refill(0, 2); err != nil {
+		t.Fatalf("refill within arena failed: %v", err)
+	}
+	if err := a.Refill(0, 1); err == nil {
+		t.Error("refill past arena end must fail")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, c := range []struct{ base uint64 }{{0}, {17}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(base=%#x) must panic", c.base)
+				}
+			}()
+			New(c.base, 1024)
+		}()
+	}
+}
+
+func TestClassesDoNotOverlap(t *testing.T) {
+	a := New(0x1000, 1<<20)
+	for c := 0; c < NumClasses; c++ {
+		if err := a.Refill(c, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[uint64]uint64) // addr -> size
+	for c := 0; c < NumClasses; c++ {
+		for i := 0; i < 8; i++ {
+			p := a.Malloc(ClassBytes(c))
+			if p == 0 {
+				t.Fatalf("malloc class %d failed", c)
+			}
+			for q, sz := range seen {
+				if p < q+sz && q < p+ClassBytes(c) {
+					t.Fatalf("block %#x(+%d) overlaps %#x(+%d)", p, ClassBytes(c), q, sz)
+				}
+			}
+			seen[p] = ClassBytes(c)
+		}
+	}
+}
+
+func TestMarkRewind(t *testing.T) {
+	a := New(0x1000, 1<<20)
+	a.Refill(0, 4)
+	p0 := a.Malloc(8)
+	mark := a.Mark()
+	baseLen := a.FreeLen(0)
+
+	p1 := a.Malloc(8)
+	a.Free(p0)
+	p2 := a.Malloc(8) // reuses p0
+	if p2 != p0 {
+		t.Fatalf("expected LIFO reuse, got %#x vs %#x", p2, p0)
+	}
+	a.Rewind(mark)
+
+	if a.FreeLen(0) != baseLen {
+		t.Errorf("free list length = %d, want %d after rewind", a.FreeLen(0), baseLen)
+	}
+	if !a.Allocated(p0) {
+		t.Error("p0 must be live again after rewind")
+	}
+	if a.Allocated(p1) && p1 != p0 {
+		t.Error("speculative allocation survived rewind")
+	}
+	// Determinism: replay after rewind yields the same pointer.
+	if got := a.Malloc(8); got != p1 {
+		t.Errorf("replay malloc = %#x, want %#x", got, p1)
+	}
+}
+
+func TestTrimJournal(t *testing.T) {
+	a := New(0x1000, 1<<20)
+	a.Refill(0, 8)
+	for i := 0; i < 5; i++ {
+		a.Malloc(8)
+	}
+	m := a.Mark()
+	a.Malloc(8)
+	a.TrimJournal(m)
+	// After trimming, rewinding to 0 only undoes post-mark ops.
+	a.Rewind(0)
+	if a.Mallocs != 5 {
+		t.Errorf("mallocs = %d, want 5 (trim must anchor rewind)", a.Mallocs)
+	}
+}
+
+// Property: any random interleaving of malloc/free with a final rewind to an
+// initial mark restores free-list lengths and live count exactly.
+func TestRewindRestoresStateProperty(t *testing.T) {
+	f := func(seed int64, ops []byte) bool {
+		a := New(0x1000, 1<<22)
+		for c := 0; c < NumClasses; c++ {
+			a.Refill(c, 32)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var live []uint64
+		// Pre-phase: non-speculative activity.
+		for i := 0; i < 10; i++ {
+			if p := a.Malloc(uint64(rng.Intn(128) + 1)); p != 0 {
+				live = append(live, p)
+			}
+		}
+		var lens [NumClasses]int
+		for c := range lens {
+			lens[c] = a.FreeLen(c)
+		}
+		liveCount := a.LiveBlocks
+		mark := a.Mark()
+
+		// Speculative phase driven by fuzz input.
+		for _, op := range ops {
+			if op%2 == 0 {
+				if p := a.Malloc(uint64(op%128) + 1); p != 0 {
+					live = append(live, p)
+				}
+			} else if len(live) > 0 {
+				i := int(op) % len(live)
+				a.Free(live[i])
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		a.Rewind(mark)
+		if a.LiveBlocks != liveCount {
+			return false
+		}
+		for c := range lens {
+			if a.FreeLen(c) != lens[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftwareCostConstants(t *testing.T) {
+	// The paper's §IV numbers; a change here silently invalidates Fig. 5.
+	if MallocCost.Uops != 69 || MallocCost.Cycles != 39 {
+		t.Errorf("malloc cost = %+v, want 69 uops / 39 cycles", MallocCost)
+	}
+	if FreeCost.Uops != 37 || FreeCost.Cycles != 20 {
+		t.Errorf("free cost = %+v, want 37 uops / 20 cycles", FreeCost)
+	}
+}

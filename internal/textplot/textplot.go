@@ -1,0 +1,311 @@
+// Package textplot renders small line charts, scatter plots and heatmaps
+// as ASCII for terminal output, and serializes the same data as CSV. It is
+// the presentation layer for the figure-regeneration harness.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a collection of series sharing axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX / LogY plot the axis in log10 space.
+	LogX, LogY bool
+	Series     []Series
+
+	// Width and Height of the plotting area in characters; zero selects
+	// 72x20.
+	Width, Height int
+}
+
+// seriesMarks assigns one rune per series.
+var seriesMarks = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 72
+	}
+	if h == 0 {
+		h = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) float64 {
+		if c.LogX {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if c.LogY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			any = true
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(w-1))
+			row := h - 1 - int((y-ymin)/(ymax-ymin)*float64(h-1))
+			if grid[row][col] == ' ' || grid[row][col] == mark {
+				grid[row][col] = mark
+			} else {
+				grid[row][col] = '?' // overlapping series
+			}
+		}
+	}
+	yLab := func(v float64) string {
+		if c.LogY {
+			return fmt.Sprintf("%9.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r := 0; r < h; r++ {
+		var label string
+		switch r {
+		case 0:
+			label = yLab(ymax)
+		case h - 1:
+			label = yLab(ymin)
+		default:
+			label = strings.Repeat(" ", 9)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(grid[r]))
+	}
+	xl := xmin
+	xr := xmax
+	if c.LogX {
+		xl, xr = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	fmt.Fprintf(&b, "%s  %-*.3g%*.3g\n", strings.Repeat(" ", 9), w/2, xl, w-w/2, xr)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", 9), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return b.String()
+}
+
+// CSV serializes the chart's series as x,<name1>,<name2>,... rows, merging
+// series on exact x values.
+func (c Chart) CSV() string {
+	xs := map[float64]bool{}
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range c.Series {
+		fmt.Fprintf(&b, ",%s", s.Name)
+	}
+	b.WriteString("\n")
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range c.Series {
+			v, ok := lookup(s, x)
+			if ok {
+				fmt.Fprintf(&b, ",%g", v)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i := range s.X {
+		if s.X[i] == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Heatmap renders a 2D grid of values with a diverging character ramp
+// around a center value (the Fig. 7 style: speedup above 1, slowdown
+// below).
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Cells[row][col]; row 0 renders at the top. NaN cells are blank.
+	Cells [][]float64
+	// Center divides the two ramp directions (1.0 for speedup maps).
+	Center float64
+}
+
+// speedup ramp: '-' shades below center, '+' shades above.
+var (
+	rampBelow = []rune{'~', '-', '=', '%'}
+	rampAbove = []rune{'.', ':', '*', '#'}
+)
+
+// Render draws the heatmap with a legend.
+func (h Heatmap) Render() string {
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for _, row := range h.Cells {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	if math.IsInf(lo, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	for _, row := range h.Cells {
+		for _, v := range row {
+			b.WriteRune(h.cellRune(v, lo, hi))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "min %.3g  center %.3g  max %.3g   below: %s  above: %s\n",
+		lo, h.Center, hi, string(rampBelow), string(rampAbove))
+	if h.XLabel != "" || h.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", h.XLabel, h.YLabel)
+	}
+	return b.String()
+}
+
+func (h Heatmap) cellRune(v, lo, hi float64) rune {
+	if math.IsNaN(v) {
+		return ' '
+	}
+	if v < h.Center {
+		span := h.Center - lo
+		if span <= 0 {
+			return rampBelow[len(rampBelow)-1]
+		}
+		idx := int((h.Center - v) / span * float64(len(rampBelow)))
+		if idx >= len(rampBelow) {
+			idx = len(rampBelow) - 1
+		}
+		return rampBelow[idx]
+	}
+	span := hi - h.Center
+	if span <= 0 {
+		return rampAbove[0]
+	}
+	idx := int((v - h.Center) / span * float64(len(rampAbove)))
+	if idx >= len(rampAbove) {
+		idx = len(rampAbove) - 1
+	}
+	return rampAbove[idx]
+}
+
+// CSV serializes the heatmap as row,col,value triples.
+func (h Heatmap) CSV() string {
+	var b strings.Builder
+	b.WriteString("row,col,value\n")
+	for r, row := range h.Cells {
+		for c, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			fmt.Fprintf(&b, "%d,%d,%g\n", r, c, v)
+		}
+	}
+	return b.String()
+}
+
+// Table renders aligned columns: header plus rows.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, hcol := range header {
+		widths[i] = len(hcol)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func twoSeries() Chart {
+	return Chart{
+		Title:  "t",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "up", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}},
+			{Name: "down", X: []float64{1, 2, 3, 4}, Y: []float64{4, 3, 2, 1}},
+		},
+	}
+}
+
+func TestChartRenderBasics(t *testing.T) {
+	out := twoSeries().Render()
+	for _, want := range []string{"t\n", "up", "down", "x: x", "y: y", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Proportional box: every grid row is wrapped in pipes.
+	lines := strings.Split(out, "\n")
+	boxRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			boxRows++
+		}
+	}
+	if boxRows != 20 {
+		t.Errorf("box rows = %d, want default height 20", boxRows)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart{Title: "nothing"}.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart did not say so: %s", out)
+	}
+	// NaN/Inf-only series count as empty.
+	ch := Chart{Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if !strings.Contains(ch.Render(), "(no data)") {
+		t.Error("NaN-only series must render as no data")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	ch := Chart{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	out := ch.Render()
+	if strings.Contains(out, "no data") {
+		t.Error("constant series is valid data")
+	}
+}
+
+func TestChartLogAxes(t *testing.T) {
+	ch := Chart{
+		LogX: true,
+		Series: []Series{
+			{Name: "s", X: []float64{10, 100, 1000, 10000}, Y: []float64{1, 2, 3, 4}},
+		},
+		Width: 30, Height: 8,
+	}
+	out := ch.Render()
+	// In log space the four points are evenly spread; in linear space
+	// three of them would collapse into the left 10% of a 30-char box.
+	first := -1
+	var cols []int
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexRune(line, '*'); i >= 0 {
+			cols = append(cols, i)
+			if first == -1 {
+				first = i
+			}
+		}
+	}
+	if len(cols) < 4 {
+		t.Fatalf("expected 4 plotted points, got %d:\n%s", len(cols), out)
+	}
+	span := cols[len(cols)-1] - cols[0]
+	if span >= 0 { // columns collected top row (y max) downward
+		// Even spread: adjacent gaps within 2 chars of each other.
+		gaps := make([]int, 0, 3)
+		for i := 1; i < len(cols); i++ {
+			g := cols[i-1] - cols[i]
+			if g < 0 {
+				g = -g
+			}
+			gaps = append(gaps, g)
+		}
+		for _, g := range gaps[1:] {
+			if d := g - gaps[0]; d > 3 || d < -3 {
+				t.Errorf("log-x spacing uneven: gaps %v\n%s", gaps, out)
+				break
+			}
+		}
+	}
+}
+
+func TestChartCSV(t *testing.T) {
+	csv := twoSeries().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "x,up,down" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Errorf("rows = %d, want 5", len(lines))
+	}
+	if lines[1] != "1,1,4" {
+		t.Errorf("first row = %q, want 1,1,4", lines[1])
+	}
+	// Missing x values leave empty cells.
+	ch := Chart{Series: []Series{
+		{Name: "a", X: []float64{1}, Y: []float64{10}},
+		{Name: "b", X: []float64{2}, Y: []float64{20}},
+	}}
+	csv = ch.CSV()
+	if !strings.Contains(csv, "1,10,\n") || !strings.Contains(csv, "2,,20\n") {
+		t.Errorf("sparse CSV wrong:\n%s", csv)
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	h := Heatmap{
+		Title:  "map",
+		Center: 1,
+		Cells: [][]float64{
+			{0.5, 1.0, 2.0},
+			{math.NaN(), 1.5, 3.0},
+		},
+	}
+	out := h.Render()
+	if !strings.Contains(out, "map") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines[1]) != 3 || len(lines[2]) != 3 {
+		t.Errorf("cell rows wrong width: %q / %q", lines[1], lines[2])
+	}
+	if lines[2][0] != ' ' {
+		t.Error("NaN cell must render blank")
+	}
+	// Below-center cells use the slowdown ramp, above-center the speedup
+	// ramp.
+	below := string(rampBelow)
+	above := string(rampAbove)
+	if !strings.ContainsRune(below, rune(lines[1][0])) {
+		t.Errorf("0.5 rendered %q, want slowdown ramp", lines[1][0])
+	}
+	if !strings.ContainsRune(above, rune(lines[1][2])) {
+		t.Errorf("2.0 rendered %q, want speedup ramp", lines[1][2])
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	h := Heatmap{Cells: [][]float64{{math.NaN()}}}
+	if !strings.Contains(h.Render(), "(no data)") {
+		t.Error("all-NaN heatmap must say no data")
+	}
+}
+
+func TestHeatmapCSV(t *testing.T) {
+	h := Heatmap{Center: 1, Cells: [][]float64{{1.5, math.NaN()}, {0.5, 2}}}
+	csv := h.CSV()
+	if !strings.Contains(csv, "0,0,1.5\n") || !strings.Contains(csv, "1,1,2\n") {
+		t.Errorf("CSV wrong:\n%s", csv)
+	}
+	if strings.Contains(csv, "\n0,1,") {
+		t.Error("NaN cell must be omitted from CSV")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "val"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22222"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name ") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "-----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Columns aligned: "val" column starts at the same offset everywhere.
+	off := strings.Index(lines[0], "val")
+	if lines[2][off:off+1] != "1" && lines[3][off:off+1] != "2" {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+)
+
+// OffloadFunction describes one acceleratable function in the multi-TCA
+// benchmark: its software size and its dedicated accelerator's latency.
+type OffloadFunction struct {
+	Name string
+	// Instructions is the software body length (straight-line).
+	Instructions int
+	// AccelLatency is the dedicated TCA's execution time. For an
+	// energy-motivated A≈1.5 design (GreenDroid), latency ≈
+	// Instructions/(1.5·IPC).
+	AccelLatency int
+	// Weight is the relative invocation frequency.
+	Weight int
+}
+
+// GreenDroidFunctions returns nine functions spanning the
+// hundreds-of-instructions granularity GreenDroid maps to TCAs, with
+// latencies for an A≈1.5, IPC≈2.5 design point.
+func GreenDroidFunctions() []OffloadFunction {
+	mk := func(name string, n, weight int) OffloadFunction {
+		return OffloadFunction{Name: name, Instructions: n, AccelLatency: 1 + n*2/7, Weight: weight}
+	}
+	return []OffloadFunction{
+		mk("memset_like", 120, 8),
+		mk("utf8_decode", 180, 6),
+		mk("crc_update", 240, 5),
+		mk("png_filter", 320, 4),
+		mk("dct_block", 400, 3),
+		mk("alpha_blend", 520, 3),
+		mk("mem_pool_op", 650, 2),
+		mk("jpeg_huff", 800, 2),
+		mk("regex_step", 950, 1),
+	}
+}
+
+// MultiTCAConfig parameterizes the heterogeneous-accelerator benchmark:
+// many functions, each with its own TCA, invoked with different
+// frequencies — the scenario the model collapses into average (a, v)
+// parameters.
+type MultiTCAConfig struct {
+	Functions []OffloadFunction
+	// Calls is the total invocation count across functions.
+	Calls int
+	// FillerPerCall is the non-acceleratable instruction count between
+	// calls.
+	FillerPerCall int
+	Seed          int64
+}
+
+// DefaultMultiTCA uses the GreenDroid function set.
+func DefaultMultiTCA() MultiTCAConfig {
+	return MultiTCAConfig{Functions: GreenDroidFunctions(), Calls: 120, FillerPerCall: 200, Seed: 4}
+}
+
+// Validate reports configuration errors.
+func (c MultiTCAConfig) Validate() error {
+	switch {
+	case len(c.Functions) == 0 || len(c.Functions) > 64:
+		return fmt.Errorf("workload: need 1..64 functions")
+	case c.Calls < 2:
+		return fmt.Errorf("workload: need >= 2 calls")
+	case c.FillerPerCall < 0:
+		return fmt.Errorf("workload: negative filler")
+	}
+	total := 0
+	for _, f := range c.Functions {
+		if f.Instructions < 2 || f.AccelLatency < 1 || f.Weight < 1 {
+			return fmt.Errorf("workload: function %q invalid (%d instr, %d lat, weight %d)",
+				f.Name, f.Instructions, f.AccelLatency, f.Weight)
+		}
+		total += f.Weight
+	}
+	if total == 0 {
+		return fmt.Errorf("workload: zero total weight")
+	}
+	return nil
+}
+
+// MultiTCA builds the heterogeneous benchmark pair: per call, the baseline
+// inlines the sampled function's software body; the accelerated version
+// invokes that function's dedicated TCA through an accel.Mux.
+func MultiTCA(cfg MultiTCAConfig) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Weighted function sampling.
+	var lookup []int
+	for i, f := range cfg.Functions {
+		for w := 0; w < f.Weight; w++ {
+			lookup = append(lookup, i)
+		}
+	}
+	calls := make([]int, cfg.Calls)
+	for i := range calls {
+		calls[i] = lookup[rng.Intn(len(lookup))]
+	}
+
+	build := func(accelerated bool) *isa.Program {
+		mixRng := rand.New(rand.NewSource(cfg.Seed + 41))
+		b := isa.NewBuilder()
+		b.MovI(isa.R(15), 0x6000)
+		for i := 0; i < 8; i++ {
+			b.MovI(isa.R(16+i), int64(3*i+1))
+		}
+		for _, fi := range calls {
+			emitFiller(mixRng, b, cfg.FillerPerCall)
+			f := cfg.Functions[fi]
+			if accelerated {
+				b.Accel(isa.R(24), accel.MuxKind(fi, 0), isa.R(16))
+				emitFiller(mixRng, nil, f.Instructions) // keep streams aligned
+			} else {
+				emitFiller(mixRng, b, f.Instructions)
+			}
+		}
+		b.Halt()
+		return b.MustBuild()
+	}
+	base := build(false)
+	acc := build(true)
+
+	var acceleratable uint64
+	for _, fi := range calls {
+		acceleratable += uint64(cfg.Functions[fi].Instructions)
+	}
+	w := &Workload{
+		Name: "multitca",
+		Description: fmt.Sprintf("multi-TCA (GreenDroid-style): %d calls over %d functions, %d filler/call",
+			cfg.Calls, len(cfg.Functions), cfg.FillerPerCall),
+		Baseline:             base,
+		Accelerated:          acc,
+		Acceleratable:        acceleratable,
+		Invocations:          uint64(cfg.Calls),
+		BaselineInstructions: uint64(len(base.Code)), // straight-line
+		NewDevice: func() isa.AccelDevice {
+			devs := make([]isa.AccelDevice, len(cfg.Functions))
+			for i, f := range cfg.Functions {
+				devs[i] = accel.NewFixedLatency(f.AccelLatency)
+			}
+			mux, err := accel.NewMux(devs...)
+			if err != nil {
+				panic(err)
+			}
+			return mux
+		},
+		// Heterogeneous latencies: feed the model the weighted mean.
+		AccelLatency: weightedMeanLatency(cfg, calls),
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// weightedMeanLatency averages the per-call accelerator latencies of the
+// actual call sequence — the model's single-accelerator abstraction of the
+// heterogeneous complex.
+func weightedMeanLatency(cfg MultiTCAConfig, calls []int) float64 {
+	var sum float64
+	for _, fi := range calls {
+		sum += float64(cfg.Functions[fi].AccelLatency)
+	}
+	return sum / float64(len(calls))
+}

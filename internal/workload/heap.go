@@ -1,0 +1,342 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+	"repro/internal/tcmalloc"
+)
+
+// HeapConfig parameterizes the §V-B heap-manager benchmark.
+type HeapConfig struct {
+	// Operations is the number of malloc/free calls.
+	Operations int
+	// FillerPerCall is the non-acceleratable instruction count between
+	// calls; shrinking it raises the call frequency (the Fig. 5 axis).
+	FillerPerCall int
+	// Prefill is the number of blocks pre-carved per size class, the
+	// benchmark's common-case guarantee that malloc always has a pointer
+	// and free always has a slot.
+	Prefill int
+	// Seed drives the malloc/free sequence and class choices.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c HeapConfig) Validate() error {
+	switch {
+	case c.Operations < 2:
+		return fmt.Errorf("workload: heap needs >= 2 operations")
+	case c.FillerPerCall < 0:
+		return fmt.Errorf("workload: negative filler")
+	case c.Prefill < 1:
+		return fmt.Errorf("workload: heap needs prefill >= 1")
+	}
+	return nil
+}
+
+// Memory layout of the software allocator image.
+const (
+	heapMetaBase  = 0x10000  // free-list heads: heads[class] at +class*8
+	heapStatsBase = 0x10040  // per-class counters at +class*8
+	heapStackBase = 0x20000  // benchmark-local stack of live pointers
+	heapArenaBase = 0x100000 // block storage
+	heapPageBits  = 12
+	heapPmapBase  = 0x30000 // page -> class map, indexed by arena page
+)
+
+// Dedicated registers of the generated benchmark.
+const (
+	rSize  = 1 // malloc size argument
+	rPtr   = 2 // malloc result / free argument
+	rTmp1  = 3
+	rTmp2  = 4
+	rTmp3  = 5
+	rMeta  = 18 // heapMetaBase
+	rStack = 19 // live-pointer stack base
+	rSP    = 20 // live-pointer stack index (words)
+	rPmap  = 21 // page-map base
+	rOne   = 16 // constant 1 (bookkeeping shift amount)
+	rEight = 17 // constant 8 (word size, for stack indexing)
+)
+
+// Software routine lengths, matching the paper's measured TCMalloc costs
+// (§IV: malloc 69 uops, free 37 uops).
+const (
+	mallocUops = 69
+	freeUops   = 37
+)
+
+// Heap builds the heap benchmark pair. The op sequence alternates randomly
+// between malloc (of a random class size) and free (of a random live
+// pointer tracked through an in-memory stack), never freeing when nothing
+// is live — mirroring the paper's "randomly perform malloc and free calls"
+// under the common-case constraint.
+func Heap(cfg HeapConfig) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ops, maxLive := heapOpSequence(cfg)
+
+	base := buildHeapProgram(cfg, ops, false)
+	acc := buildHeapProgram(cfg, ops, true)
+
+	var acceleratable uint64
+	for _, op := range ops {
+		if op.malloc {
+			acceleratable += mallocUops
+		} else {
+			acceleratable += freeUops
+		}
+	}
+	w := &Workload{
+		Name: "heap",
+		Description: fmt.Sprintf("heap manager: %d ops, %d filler/call, %d live max",
+			cfg.Operations, cfg.FillerPerCall, maxLive),
+		Baseline:             base,
+		Accelerated:          acc,
+		Acceleratable:        acceleratable,
+		Invocations:          uint64(len(ops)),
+		BaselineInstructions: uint64(len(base.Code)), // straight-line
+		NewDevice: func() isa.AccelDevice {
+			a := tcmalloc.New(heapArenaBase, 1<<24)
+			for class := 0; class < tcmalloc.NumClasses; class++ {
+				if err := a.Refill(class, cfg.Prefill); err != nil {
+					panic(err)
+				}
+			}
+			return accel.NewHeap(a)
+		},
+		AccelLatency: 1,
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// heapOp is one generated call.
+type heapOp struct {
+	malloc bool
+	size   int64 // malloc only
+}
+
+// heapOpSequence draws the random call sequence, tracking live count so
+// frees always have a target.
+func heapOpSequence(cfg HeapConfig) ([]heapOp, int) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ops := make([]heapOp, 0, cfg.Operations)
+	live, maxLive := 0, 0
+	for i := 0; i < cfg.Operations; i++ {
+		doMalloc := live == 0 || rng.Intn(2) == 0
+		// Cap live blocks at the prefilled capacity of the smallest
+		// class so the common-case constraint holds.
+		if live >= cfg.Prefill {
+			doMalloc = false
+		}
+		if doMalloc {
+			class := rng.Intn(tcmalloc.NumClasses)
+			lo := class*32 + 1
+			ops = append(ops, heapOp{malloc: true, size: int64(lo + rng.Intn(32))})
+			live++
+			if live > maxLive {
+				maxLive = live
+			}
+		} else {
+			ops = append(ops, heapOp{malloc: false})
+			live--
+		}
+	}
+	return ops, maxLive
+}
+
+// buildHeapProgram emits the benchmark. Both variants share the sequence,
+// filler, and pointer-stack bookkeeping; they differ only inside the
+// malloc/free regions.
+func buildHeapProgram(cfg HeapConfig, ops []heapOp, accelerated bool) *isa.Program {
+	b := isa.NewBuilder()
+	initHeapImage(b, cfg.Prefill)
+
+	b.MovI(isa.R(rMeta), heapMetaBase)
+	b.MovI(isa.R(rStack), heapStackBase)
+	b.MovI(isa.R(rSP), 0)
+	b.MovI(isa.R(rPmap), heapPmapBase)
+	b.MovI(isa.R(rOne), 1)
+	b.MovI(isa.R(rEight), 8)
+	for i := 0; i < 6; i++ {
+		b.MovI(isa.R(22+i), int64(i+3))
+	}
+
+	fillRng := rand.New(rand.NewSource(cfg.Seed + 7))
+	for _, op := range ops {
+		emitHeapFiller(b, fillRng, cfg.FillerPerCall)
+		if op.malloc {
+			b.MovI(isa.R(rSize), op.size)
+			if accelerated {
+				b.Accel(isa.R(rPtr), accel.HeapMalloc, isa.R(rSize))
+			} else {
+				emitSoftwareMalloc(b)
+			}
+			// Push the new pointer onto the live stack (bookkeeping,
+			// present in both variants, not acceleratable).
+			b.Mul(isa.R(rTmp1), isa.R(rSP), isa.R(rEight))
+			b.Add(isa.R(rTmp1), isa.R(rStack), isa.R(rTmp1))
+			b.Store(isa.R(rPtr), isa.R(rTmp1), 0)
+			b.AddI(isa.R(rSP), isa.R(rSP), 1)
+		} else {
+			// Pop a live pointer.
+			b.AddI(isa.R(rSP), isa.R(rSP), -1)
+			b.Mul(isa.R(rTmp1), isa.R(rSP), isa.R(rEight))
+			b.Add(isa.R(rTmp1), isa.R(rStack), isa.R(rTmp1))
+			b.Load(isa.R(rPtr), isa.R(rTmp1), 0)
+			if accelerated {
+				b.Accel(isa.R(rTmp1), accel.HeapFree, isa.R(rPtr))
+			} else {
+				emitSoftwareFree(b)
+			}
+		}
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+// initHeapImage seeds the software allocator's memory: linked free lists
+// per class, and the page map used by free to recover a block's class.
+// The layout matches tcmalloc.Allocator's arena carving order so software
+// and TCA runs allocate comparable addresses.
+func initHeapImage(b *isa.Builder, prefill int) {
+	addr := uint64(heapArenaBase)
+	for class := 0; class < tcmalloc.NumClasses; class++ {
+		bs := tcmalloc.ClassBytes(class)
+		var blocks []uint64
+		for i := 0; i < prefill; i++ {
+			blocks = append(blocks, addr)
+			addr += bs
+		}
+		// The allocator pops from the tail (LIFO): head points at the
+		// last-carved block, each block links to the previously carved
+		// one.
+		for i, blk := range blocks {
+			next := uint64(0)
+			if i > 0 {
+				next = blocks[i-1]
+			}
+			b.InitWord(blk, next)
+		}
+		b.InitWord(heapMetaBase+uint64(class)*8, blocks[len(blocks)-1])
+		b.InitWord(heapStatsBase+uint64(class)*8, 0)
+	}
+	// Page map covering the arena.
+	for page := uint64(heapArenaBase) >> heapPageBits; page <= (addr-1)>>heapPageBits; page++ {
+		pageStart := page << heapPageBits
+		b.InitWord(heapPmapBase+(page-(heapArenaBase>>heapPageBits))*8, uint64(classOfAddr(pageStart, prefill)))
+	}
+}
+
+// classOfAddr recovers which class a (page-start) address belongs to under
+// the sequential carving of initHeapImage. Pages are class-homogeneous in
+// practice for the sizes used here; boundary pages take the class of their
+// first byte, matching what the software free routine will read.
+func classOfAddr(addr uint64, prefill int) int {
+	off := addr - heapArenaBase
+	for class := 0; class < tcmalloc.NumClasses; class++ {
+		span := uint64(prefill) * tcmalloc.ClassBytes(class)
+		if off < span {
+			return class
+		}
+		off -= span
+	}
+	return tcmalloc.NumClasses - 1
+}
+
+// emitHeapFiller emits n non-acceleratable instructions between calls.
+func emitHeapFiller(b *isa.Builder, rng *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		d := isa.R(22 + rng.Intn(6))
+		s1 := isa.R(22 + rng.Intn(6))
+		s2 := isa.R(22 + rng.Intn(6))
+		switch rng.Intn(8) {
+		case 0:
+			b.Mul(d, s1, s2)
+		case 1:
+			b.Xor(d, s1, s2)
+		case 2:
+			b.AddI(d, s1, int64(rng.Intn(50)))
+		default:
+			b.Add(d, s1, s2)
+		}
+	}
+}
+
+// emitSoftwareMalloc inlines the TCMalloc fast path: size-class
+// computation, free-list pop, and the bookkeeping that brings the routine
+// to the measured 69 uops. Input: rSize. Output: rPtr.
+func emitSoftwareMalloc(b *isa.Builder) {
+	start := b.Len()
+	// class = (size-1) >> 5; off = class*8
+	b.AddI(isa.R(rTmp1), isa.R(rSize), -1)
+	b.MovI(isa.R(rTmp2), 5)
+	b.Shr(isa.R(rTmp1), isa.R(rTmp1), isa.R(rTmp2)) // class
+	b.MovI(isa.R(rTmp2), 3)
+	b.Shl(isa.R(rTmp2), isa.R(rTmp1), isa.R(rTmp2)) // class*8
+	b.Add(isa.R(rTmp2), isa.R(rMeta), isa.R(rTmp2)) // &heads[class]
+	// ptr = heads[class]; heads[class] = *ptr
+	b.Load(isa.R(rPtr), isa.R(rTmp2), 0)
+	b.Load(isa.R(rTmp3), isa.R(rPtr), 0)
+	b.Store(isa.R(rTmp3), isa.R(rTmp2), 0)
+	// stats[class]++
+	b.Load(isa.R(rTmp3), isa.R(rTmp2), heapStatsBase-heapMetaBase)
+	b.AddI(isa.R(rTmp3), isa.R(rTmp3), 1)
+	b.Store(isa.R(rTmp3), isa.R(rTmp2), heapStatsBase-heapMetaBase)
+	emitBookkeeping(b, mallocUops-(b.Len()-start))
+}
+
+// emitSoftwareFree inlines the TCMalloc free fast path: page-map class
+// lookup and free-list push, padded to the measured 37 uops.
+// Input: rPtr.
+func emitSoftwareFree(b *isa.Builder) {
+	start := b.Len()
+	// class = pmap[(ptr - arena) >> pageBits]
+	b.AddI(isa.R(rTmp1), isa.R(rPtr), -heapArenaBase)
+	b.MovI(isa.R(rTmp2), heapPageBits)
+	b.Shr(isa.R(rTmp1), isa.R(rTmp1), isa.R(rTmp2))
+	b.MovI(isa.R(rTmp2), 3)
+	b.Shl(isa.R(rTmp1), isa.R(rTmp1), isa.R(rTmp2))
+	b.Add(isa.R(rTmp1), isa.R(rPmap), isa.R(rTmp1))
+	b.Load(isa.R(rTmp1), isa.R(rTmp1), 0) // class
+	// push: *ptr = heads[class]; heads[class] = ptr
+	b.MovI(isa.R(rTmp2), 3)
+	b.Shl(isa.R(rTmp2), isa.R(rTmp1), isa.R(rTmp2))
+	b.Add(isa.R(rTmp2), isa.R(rMeta), isa.R(rTmp2))
+	b.Load(isa.R(rTmp3), isa.R(rTmp2), 0)
+	b.Store(isa.R(rTmp3), isa.R(rPtr), 0)
+	b.Store(isa.R(rPtr), isa.R(rTmp2), 0)
+	emitBookkeeping(b, freeUops-(b.Len()-start))
+}
+
+// emitBookkeeping pads a software routine to the measured uop budget with
+// the check-and-count work (thread-cache length checks, sampling counters)
+// that makes up the rest of TCMalloc's cost. One in four instructions
+// extends a dependence chain through the routine's outputs (giving the
+// routine latency); the rest are independent, so the padding's ILP matches
+// the surrounding code and removing it does not shift the program's
+// non-accelerated IPC — the model's §III assumption.
+func emitBookkeeping(b *isa.Builder, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("workload: software routine exceeds budget by %d uops", -n))
+	}
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			b.Add(isa.R(rTmp3), isa.R(rTmp3), isa.R(rPtr))
+		case 1:
+			b.AddI(isa.R(22+i%6), isa.R(22+(i+1)%6), 13)
+		case 2:
+			b.Xor(isa.R(22+(i+2)%6), isa.R(22+(i+3)%6), isa.R(22+(i+4)%6))
+		default:
+			b.Add(isa.R(22+(i+5)%6), isa.R(22+i%6), isa.R(22+(i+2)%6))
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+)
+
+// SyntheticConfig parameterizes the §V-A adaptive microbenchmark.
+type SyntheticConfig struct {
+	// Units is the number of non-acceleratable filler units.
+	Units int
+	// UnitLen is the instruction count of one filler unit.
+	UnitLen int
+	// Regions is the number of acceleratable regions; sweeping it raises
+	// invocation frequency and coverage together, as the paper does.
+	Regions int
+	// RegionLen is the baseline instruction count of one region.
+	RegionLen int
+	// AccelLatency is the fixed device latency replacing a region.
+	AccelLatency int
+	// Seed drives region placement and filler mix.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c SyntheticConfig) Validate() error {
+	switch {
+	case c.Units < 1 || c.UnitLen < 1:
+		return fmt.Errorf("workload: synthetic needs units/unitLen >= 1")
+	case c.Regions < 1 || c.RegionLen < 2:
+		return fmt.Errorf("workload: synthetic needs regions >= 1, regionLen >= 2")
+	case c.AccelLatency < 1:
+		return fmt.Errorf("workload: synthetic needs accel latency >= 1")
+	}
+	return nil
+}
+
+// Synthetic builds the adaptive microbenchmark pair. Regions are placed at
+// random positions between filler units ("randomly distributed within the
+// program to see how our model performs while violating our assumption of
+// uniform TCA distribution").
+func Synthetic(cfg SyntheticConfig) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Random slot for each region among the Units+Regions sequence
+	// positions.
+	total := cfg.Units + cfg.Regions
+	isRegion := make([]bool, total)
+	for _, idx := range rng.Perm(total)[:cfg.Regions] {
+		isRegion[idx] = true
+	}
+
+	build := func(accelerated bool) *isa.Program {
+		// Re-derive the same per-unit instruction mix in both programs.
+		mixRng := rand.New(rand.NewSource(cfg.Seed + 1))
+		b := isa.NewBuilder()
+		emitPrologue(b)
+		for _, region := range isRegion {
+			if region {
+				// The acceleratable region uses the same mix as the
+				// filler: the microbenchmark validates the model, whose
+				// first-order assumption is that IPC is uniform across
+				// acceleratable and non-acceleratable code (§III).
+				if accelerated {
+					b.Accel(isa.R(24), 0, isa.R(24))
+					// Consume the region's random draws so the filler
+					// after the region is identical in both variants.
+					emitFiller(mixRng, nil, cfg.RegionLen)
+				} else {
+					emitFiller(mixRng, b, cfg.RegionLen)
+				}
+				continue
+			}
+			emitFiller(mixRng, b, cfg.UnitLen)
+		}
+		b.Halt()
+		return b.MustBuild()
+	}
+
+	base := build(false)
+	acc := build(true)
+	w := &Workload{
+		Name: "synthetic",
+		Description: fmt.Sprintf("adaptive microbenchmark: %d filler units x %d, %d regions x %d, TCA latency %d",
+			cfg.Units, cfg.UnitLen, cfg.Regions, cfg.RegionLen, cfg.AccelLatency),
+		Baseline:             base,
+		Accelerated:          acc,
+		Acceleratable:        uint64(cfg.Regions * cfg.RegionLen),
+		Invocations:          uint64(cfg.Regions),
+		BaselineInstructions: uint64(len(base.Code)), // straight-line: dynamic == static
+		NewDevice: func() isa.AccelDevice {
+			return accel.NewFixedLatency(cfg.AccelLatency)
+		},
+		AccelLatency: float64(cfg.AccelLatency),
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// prologueLen instructions seed the registers both program variants use.
+const prologueLen = 10
+
+func emitPrologue(b *isa.Builder) {
+	b.MovI(isa.R(15), 0x6000) // scratch memory base
+	for i := 0; i < 8; i++ {
+		b.MovI(isa.R(16+i), int64(3*i+1))
+	}
+	b.MovI(isa.R(24), 1) // region chain seed / accel operand
+}
+
+// emitFiller produces n instructions of mixed ALU work with occasional
+// memory traffic, rotating across r16..r23. A nil builder consumes the
+// random stream without emitting, keeping paired program variants aligned.
+func emitFiller(rng *rand.Rand, b *isa.Builder, n int) {
+	for i := 0; i < n; i++ {
+		d := isa.R(16 + rng.Intn(8))
+		s1 := isa.R(16 + rng.Intn(8))
+		s2 := isa.R(16 + rng.Intn(8))
+		// Mostly independent single-cycle ALU work with a sprinkle of
+		// multiplies and memory traffic: the baseline saturates the
+		// dispatch width, which is the analytical model's operating
+		// assumption (useful dispatch = IPC except during TCA stalls).
+		kind := rng.Intn(16)
+		off := int64(rng.Intn(64)) * 8
+		imm := int64(rng.Intn(100))
+		if b == nil {
+			continue
+		}
+		switch kind {
+		case 0:
+			b.Mul(d, s1, s2)
+		case 1:
+			b.Load(d, isa.R(15), off)
+		case 2:
+			b.Store(s1, isa.R(15), off)
+		case 3, 4:
+			b.Xor(d, s1, s2)
+		case 5, 6, 7:
+			b.AddI(d, s1, imm)
+		default:
+			b.Add(d, s1, s2)
+		}
+	}
+}
