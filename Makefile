@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build test race bench bench-json figures
+
+# The full verification gate: vet + build + race-enabled test suite.
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x .
+
+# Machine-readable benchmark summary (ns/op, B/op, allocs/op per bench).
+bench-json:
+	$(GO) run ./cmd/benchjson -bench . -pkg . -benchtime 1x -out BENCH_PR1.json
+
+figures:
+	$(GO) run ./cmd/figures -fig all

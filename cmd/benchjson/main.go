@@ -1,0 +1,134 @@
+// Command benchjson runs a benchmark selection with -benchmem and writes
+// a machine-readable JSON summary, so perf changes can be tracked without
+// scraping `go test` text output.
+//
+// Usage:
+//
+//	benchjson [-bench REGEX] [-pkg PKG] [-benchtime T] [-count N] [-out FILE]
+//
+// The summary records iterations plus every value/unit pair the benchmark
+// reported (ns/op, B/op, allocs/op, and any custom metrics).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any additional value/unit pairs (custom metrics).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Summary is the file layout.
+type Summary struct {
+	Command    string      `json:"command"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Date       string      `json:"date"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark selection regex (go test -bench)")
+		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		count     = flag.Int("count", 1, "go test -count value")
+		out       = flag.String("out", "BENCH_PR1.json", "output JSON path")
+	)
+	flag.Parse()
+
+	if err := run(*bench, *pkg, *benchtime, *count, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, pkg, benchtime string, count int, out string) error {
+	args := []string{
+		"test", "-run", "^$", "-bench", bench, "-benchmem",
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), pkg,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	benches := parse(string(raw))
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines matched -bench %q in %s", bench, pkg)
+	}
+	s := Summary{
+		Command:    "go " + strings.Join(args, " "),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: benches,
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), out)
+	return nil
+}
+
+// parse extracts benchmark result lines of the form
+//
+//	BenchmarkName-4   10   12345 ns/op   678 B/op   9 allocs/op
+//
+// tolerating any number of trailing value/unit pairs.
+func parse(output string) []Benchmark {
+	var benches []Benchmark
+	for _, line := range strings.Split(output, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Extra == nil {
+					b.Extra = make(map[string]float64)
+				}
+				b.Extra[fields[i+1]] = v
+			}
+		}
+		benches = append(benches, b)
+	}
+	return benches
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFig4SyntheticSweep-4   	       2	 512345678 ns/op	 1234567 B/op	    8901 allocs/op
+BenchmarkSimulator   	      10	  12345 ns/op	  42.5 custom/op
+PASS
+ok  	repro	1.234s
+`
+	benches := parse(out)
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkFig4SyntheticSweep-4" || b.Iterations != 2 {
+		t.Errorf("bench 0 header = %q/%d", b.Name, b.Iterations)
+	}
+	if b.NsPerOp != 512345678 || b.BytesPerOp != 1234567 || b.AllocsPerOp != 8901 {
+		t.Errorf("bench 0 metrics = %v %v %v", b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	c := benches[1]
+	if c.NsPerOp != 12345 {
+		t.Errorf("bench 1 ns/op = %v", c.NsPerOp)
+	}
+	if got := c.Extra["custom/op"]; got != 42.5 {
+		t.Errorf("bench 1 custom metric = %v, want 42.5", got)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if benches := parse("PASS\nok  \trepro\t0.1s\n"); len(benches) != 0 {
+		t.Fatalf("parsed %d benchmarks from benchless output", len(benches))
+	}
+}

@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	figures [-fig all|2|3|4|5|6|7|8] [-out DIR] [-matmul-n N] [-quick]
+//	figures [-fig all|2|3|4|5|6|7|8] [-out DIR] [-matmul-n N] [-quick] [-parallel N]
 //
 // Figures 2, 3, 7 and 8 are analytical (instant); figures 4, 5 and 6
 // simulate baseline and accelerated programs in all four TCA modes on the
-// cycle-level core (seconds to minutes depending on -matmul-n).
+// cycle-level core (seconds to minutes depending on -matmul-n). Simulated
+// sweeps fan out across -parallel workers (default: GOMAXPROCS); results
+// are collected in input order, so the stdout artifacts are bit-identical
+// at any worker count. Timing goes to stderr to keep stdout byte-stable.
 package main
 
 import (
@@ -15,7 +18,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -25,20 +30,24 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: all, 2, 3, 4, 5, 6, 7, 8, e1, e2, e3, e4, e5, a1, a2")
-		out     = flag.String("out", "", "directory for CSV output (default: none, stdout only)")
-		matmulN = flag.Int("matmul-n", 64, "matrix edge for Fig 6 (paper: 512)")
-		quick   = flag.Bool("quick", false, "shrink simulated sweeps for a fast smoke run")
+		fig      = flag.String("fig", "all", "figure to regenerate: all, 2, 3, 4, 5, 6, 7, 8, e1, e2, e3, e4, e5, a1, a2")
+		out      = flag.String("out", "", "directory for CSV output (default: none, stdout only)")
+		matmulN  = flag.Int("matmul-n", 64, "matrix edge for Fig 6 (paper: 512)")
+		quick    = flag.Bool("quick", false, "shrink simulated sweeps for a fast smoke run")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for simulated sweeps (1 = serial)")
 	)
 	flag.Parse()
 
-	if err := run(*fig, *out, *matmulN, *quick); err != nil {
+	start := time.Now()
+	if err := run(*fig, *out, *matmulN, *quick, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "figures: total %v (parallel=%d)\n",
+		time.Since(start).Round(time.Millisecond), *parallel)
 }
 
-func run(fig, out string, matmulN int, quick bool) error {
+func run(fig, out string, matmulN int, quick bool, parallel int) error {
 	want := func(id string) bool { return fig == "all" || fig == id }
 	saveCSV := func(name, data string) error {
 		if out == "" {
@@ -49,7 +58,21 @@ func run(fig, out string, matmulN int, quick bool) error {
 		}
 		return os.WriteFile(filepath.Join(out, name), []byte(data), 0o644)
 	}
+	// Per-figure timing goes to stderr when the next section opens (and
+	// once more at return), keeping the stdout artifact byte-stable.
+	var secTitle string
+	var secStart time.Time
+	closeSection := func() {
+		if secTitle != "" {
+			fmt.Fprintf(os.Stderr, "figures: %v  %s\n",
+				time.Since(secStart).Round(time.Millisecond), secTitle)
+		}
+		secTitle = ""
+	}
+	defer closeSection()
 	section := func(title string) {
+		closeSection()
+		secTitle, secStart = title, time.Now()
 		fmt.Printf("\n%s\n%s\n\n", title, strings.Repeat("=", len(title)))
 	}
 
@@ -80,6 +103,7 @@ func run(fig, out string, matmulN int, quick bool) error {
 	if want("4") {
 		section("Figure 4 — model error on the synthetic microbenchmark (simulated)")
 		cfg := experiments.DefaultFig4()
+		cfg.Parallel = parallel
 		if quick {
 			cfg.RegionCounts = []int{5, 40, 320}
 		}
@@ -97,6 +121,7 @@ func run(fig, out string, matmulN int, quick bool) error {
 	if want("5") {
 		section("Figure 5 — heap manager TCA validation (simulated)")
 		cfg := experiments.DefaultFig5()
+		cfg.Parallel = parallel
 		if quick {
 			cfg.Operations = 200
 			cfg.FillerCounts = []int{0, 20, 160}
@@ -115,6 +140,7 @@ func run(fig, out string, matmulN int, quick bool) error {
 	if want("6") {
 		section("Figure 6 — DGEMM TCA validation (simulated)")
 		cfg := experiments.DefaultFig6()
+		cfg.Parallel = parallel
 		cfg.N = matmulN
 		if quick {
 			cfg.N = 32
@@ -142,7 +168,9 @@ func run(fig, out string, matmulN int, quick bool) error {
 			return err
 		}
 		// Spot-check the red/blue boundary on the simulator.
-		sv, err := experiments.Fig7Sim(experiments.DefaultFig7Sim())
+		svCfg := experiments.DefaultFig7Sim()
+		svCfg.Parallel = parallel
+		sv, err := experiments.Fig7Sim(svCfg)
 		if err != nil {
 			return err
 		}
@@ -189,6 +217,7 @@ func run(fig, out string, matmulN int, quick bool) error {
 	if want("e3") {
 		section("Extension E3 — confidence-gated partial TCA speculation (simulated)")
 		cfg := experiments.DefaultE3()
+		cfg.Parallel = parallel
 		if quick {
 			cfg.Iterations = 150
 			cfg.SkipEvery = []int{3, 8}
@@ -206,6 +235,7 @@ func run(fig, out string, matmulN int, quick bool) error {
 	if want("e4") {
 		section("Extension E4 — hash-map and string-compare TCA validation (simulated)")
 		cfg := experiments.DefaultE4()
+		cfg.Parallel = parallel
 		if quick {
 			cfg.Operations = 200
 			cfg.FillerCounts = []int{5, 80}
@@ -224,6 +254,7 @@ func run(fig, out string, matmulN int, quick bool) error {
 	if want("e5") {
 		section("Extension E5 — heterogeneous multi-TCA complex (simulated)")
 		cfg := experiments.DefaultE5()
+		cfg.Parallel = parallel
 		if quick {
 			cfg.Calls = 60
 			cfg.FillerCounts = []int{50, 800}
@@ -248,7 +279,7 @@ func run(fig, out string, matmulN int, quick bool) error {
 			return err
 		}
 		if want("a1") {
-			res, err := experiments.MeasureWorkload(sim.HighPerfConfig(), w)
+			res, err := experiments.MeasureWorkloadParallel(sim.HighPerfConfig(), w, parallel)
 			if err != nil {
 				return err
 			}
@@ -260,7 +291,7 @@ func run(fig, out string, matmulN int, quick bool) error {
 			fmt.Println()
 		}
 		if want("a2") {
-			ab, err := experiments.LoadOrdering(sim.HighPerfConfig(), w)
+			ab, err := experiments.LoadOrderingParallel(sim.HighPerfConfig(), w, parallel)
 			if err != nil {
 				return err
 			}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/accel"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -54,20 +56,26 @@ func DrainAblation(res *WorkloadResult) ([]DrainAblationRow, error) {
 		{DrainPowerLaw, 0},
 		{DrainZero, 1e-9},
 	}
-	rows := make([]DrainAblationRow, 0, len(variants))
-	for _, v := range variants {
-		p := res.Params
-		p.DrainTime = v.drain
-		b, err := p.Evaluate()
-		if err != nil {
-			return nil, fmt.Errorf("experiments: drain ablation %s: %w", v.name, err)
-		}
-		rows = append(rows, DrainAblationRow{
-			Variant:   v.name,
-			DrainUsed: b.TDrain,
-			NLTError:  (b.TBaseline/b.Times.NLT - simNLT) / simNLT,
-			NLNTError: (b.TBaseline/b.Times.NLNT - simNLNT) / simNLNT,
+	rows, _, err := runner.Map(context.Background(), 0, variants,
+		func(_ context.Context, _ int, v struct {
+			name  DrainVariant
+			drain float64
+		}) (DrainAblationRow, error) {
+			p := res.Params
+			p.DrainTime = v.drain
+			b, err := p.Evaluate()
+			if err != nil {
+				return DrainAblationRow{}, fmt.Errorf("experiments: drain ablation %s: %w", v.name, err)
+			}
+			return DrainAblationRow{
+				Variant:   v.name,
+				DrainUsed: b.TDrain,
+				NLTError:  (b.TBaseline/b.Times.NLT - simNLT) / simNLT,
+				NLNTError: (b.TBaseline/b.Times.NLNT - simNLNT) / simNLNT,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -101,23 +109,40 @@ type LoadOrderingAblation struct {
 
 // LoadOrdering runs the A2 ablation on the given workload's baseline.
 func LoadOrdering(cfg sim.Config, w *workload.Workload) (*LoadOrderingAblation, error) {
-	run := func(conservative bool) (*sim.Result, error) {
-		c := cfg
-		c.ConservativeLoadOrdering = conservative
-		core, err := sim.New(c, w.Baseline, nil)
-		if err != nil {
-			return nil, err
-		}
-		return core.Run(maxCycles)
+	return LoadOrderingParallel(cfg, w, 0)
+}
+
+// LoadOrderingParallel is LoadOrdering with an explicit worker count
+// (<= 0 selects GOMAXPROCS); both policy runs fan out as one job each.
+func LoadOrderingParallel(cfg sim.Config, w *workload.Workload, parallel int) (*LoadOrderingAblation, error) {
+	policies := []struct {
+		name         string
+		conservative bool
+	}{
+		{"decoupled", false},
+		{"conservative", true},
 	}
-	dec, err := run(false)
+	results, _, err := runner.Map(context.Background(), parallel, policies,
+		func(_ context.Context, _ int, p struct {
+			name         string
+			conservative bool
+		}) (*sim.Result, error) {
+			c := cfg
+			c.ConservativeLoadOrdering = p.conservative
+			core, err := sim.New(c, w.Baseline, nil)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: load ordering (%s): %w", p.name, err)
+			}
+			res, err := core.Run(maxCycles)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: load ordering (%s): %w", p.name, err)
+			}
+			return res, nil
+		})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: load ordering (decoupled): %w", err)
+		return nil, err
 	}
-	con, err := run(true)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: load ordering (conservative): %w", err)
-	}
+	dec, con := results[0], results[1]
 	return &LoadOrderingAblation{
 		DecoupledCycles:    dec.Stats.Cycles,
 		ConservativeCycles: con.Stats.Cycles,

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/accel"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -21,6 +23,8 @@ type E4Config struct {
 	FillerCounts []int
 	Operations   int
 	Seed         int64
+	// Parallel is the study's worker count (<= 0 selects GOMAXPROCS).
+	Parallel int
 }
 
 // DefaultE4 sizes the study for the harness. Operation counts keep the
@@ -47,50 +51,55 @@ type E4Result struct {
 	Rows []E4Row
 }
 
-// E4 measures both workloads across the frequency sweep.
+// e4Job is one (workload kind, filler) validation point; the flattened
+// job list preserves the study's original row order.
+type e4Job struct {
+	kind   string
+	filler int
+}
+
+// E4 measures the three workloads across the frequency sweep, fanning
+// every (workload, frequency) pair out as its own job.
 func E4(cfg E4Config) (*E4Result, error) {
-	out := &E4Result{}
+	jobs := make([]e4Job, 0, 3*len(cfg.FillerCounts))
 	for _, filler := range cfg.FillerCounts {
-		kv, err := workload.KVStore(workload.KVStoreConfig{
-			Operations: cfg.Operations, FillerPerOp: filler,
-			Buckets: 256, Keys: 128, LookupPct: 70, KeyWords: 4, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		kvRes, err := MeasureWorkload(cfg.Core, kv)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: E4 kvstore filler=%d: %w", filler, err)
-		}
-		out.Rows = append(out.Rows, E4Row{Workload: "kvstore", Filler: filler, Result: kvRes})
-
-		sm, err := workload.StringMatch(workload.StringMatchConfig{
-			Comparisons: cfg.Operations, FillerPerOp: filler,
-			Dictionary: 32, MinWords: 4, MaxWords: 24, SharedPrefix: 3, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		smRes, err := MeasureWorkload(cfg.Core, sm)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: E4 stringmatch filler=%d: %w", filler, err)
-		}
-		out.Rows = append(out.Rows, E4Row{Workload: "stringmatch", Filler: filler, Result: smRes})
-
-		re, err := workload.RegexMatch(workload.RegexMatchConfig{
-			Pattern: "[ab]*abb", Matches: cfg.Operations, FillerPerOp: filler,
-			Inputs: 32, MaxLen: 28, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		reRes, err := MeasureWorkload(cfg.Core, re)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: E4 regex filler=%d: %w", filler, err)
-		}
-		out.Rows = append(out.Rows, E4Row{Workload: "regexmatch", Filler: filler, Result: reRes})
+		jobs = append(jobs,
+			e4Job{"kvstore", filler}, e4Job{"stringmatch", filler}, e4Job{"regexmatch", filler})
 	}
-	return out, nil
+	rows, _, err := runner.Map(context.Background(), cfg.Parallel, jobs,
+		func(_ context.Context, _ int, job e4Job) (E4Row, error) {
+			var w *workload.Workload
+			var err error
+			switch job.kind {
+			case "kvstore":
+				w, err = workload.KVStore(workload.KVStoreConfig{
+					Operations: cfg.Operations, FillerPerOp: job.filler,
+					Buckets: 256, Keys: 128, LookupPct: 70, KeyWords: 4, Seed: cfg.Seed,
+				})
+			case "stringmatch":
+				w, err = workload.StringMatch(workload.StringMatchConfig{
+					Comparisons: cfg.Operations, FillerPerOp: job.filler,
+					Dictionary: 32, MinWords: 4, MaxWords: 24, SharedPrefix: 3, Seed: cfg.Seed,
+				})
+			case "regexmatch":
+				w, err = workload.RegexMatch(workload.RegexMatchConfig{
+					Pattern: "[ab]*abb", Matches: cfg.Operations, FillerPerOp: job.filler,
+					Inputs: 32, MaxLen: 28, Seed: cfg.Seed,
+				})
+			}
+			if err != nil {
+				return E4Row{}, err
+			}
+			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			if err != nil {
+				return E4Row{}, fmt.Errorf("experiments: E4 %s filler=%d: %w", job.kind, job.filler, err)
+			}
+			return E4Row{Workload: job.kind, Filler: job.filler, Result: res}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &E4Result{Rows: rows}, nil
 }
 
 // Render tabulates measured vs estimated speedups per mode.

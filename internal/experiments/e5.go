@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/accel"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -21,6 +23,8 @@ type E5Config struct {
 	FillerCounts []int
 	Calls        int
 	Seed         int64
+	// Parallel is the study's worker count (<= 0 selects GOMAXPROCS).
+	Parallel int
 }
 
 // DefaultE5 sizes the study.
@@ -44,25 +48,29 @@ type E5Result struct {
 	Rows []E5Row
 }
 
-// E5 measures the multi-TCA workload across invocation frequencies.
+// E5 measures the multi-TCA workload across invocation frequencies, one
+// job per frequency point.
 func E5(cfg E5Config) (*E5Result, error) {
-	out := &E5Result{}
-	for _, filler := range cfg.FillerCounts {
-		mc := workload.DefaultMultiTCA()
-		mc.Calls = cfg.Calls
-		mc.FillerPerCall = filler
-		mc.Seed = cfg.Seed
-		w, err := workload.MultiTCA(mc)
-		if err != nil {
-			return nil, err
-		}
-		res, err := MeasureWorkload(cfg.Core, w)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: E5 filler=%d: %w", filler, err)
-		}
-		out.Rows = append(out.Rows, E5Row{Filler: filler, Result: res})
+	rows, _, err := runner.Map(context.Background(), cfg.Parallel, cfg.FillerCounts,
+		func(_ context.Context, _, filler int) (E5Row, error) {
+			mc := workload.DefaultMultiTCA()
+			mc.Calls = cfg.Calls
+			mc.FillerPerCall = filler
+			mc.Seed = cfg.Seed
+			w, err := workload.MultiTCA(mc)
+			if err != nil {
+				return E5Row{}, err
+			}
+			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			if err != nil {
+				return E5Row{}, fmt.Errorf("experiments: E5 filler=%d: %w", filler, err)
+			}
+			return E5Row{Filler: filler, Result: res}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &E5Result{Rows: rows}, nil
 }
 
 // Render tabulates measured vs estimated speedups per mode.

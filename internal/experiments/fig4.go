@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -24,6 +26,10 @@ type Fig4Config struct {
 	// RegionCounts is the sweep: one workload instance per count.
 	RegionCounts []int
 	Seed         int64
+	// Parallel is the worker count for the sweep (<= 0 selects
+	// GOMAXPROCS, 1 forces the serial path). Any width produces
+	// bit-identical results; see internal/runner.
+	Parallel int
 }
 
 // DefaultFig4 sizes the sweep for the default harness.
@@ -51,28 +57,32 @@ type Fig4Result struct {
 }
 
 // Fig4 generates the sweep workloads, validates the model against the
-// simulator on each, and reports per-mode errors.
+// simulator on each, and reports per-mode errors. Sweep points fan out
+// across cfg.Parallel workers; each builds its own workload instance.
 func Fig4(cfg Fig4Config) (*Fig4Result, error) {
-	out := &Fig4Result{}
-	for i, n := range cfg.RegionCounts {
-		w, err := workload.Synthetic(workload.SyntheticConfig{
-			Units:        cfg.Units,
-			UnitLen:      cfg.UnitLen,
-			Regions:      n,
-			RegionLen:    cfg.RegionLen,
-			AccelLatency: cfg.AccelLatency,
-			Seed:         cfg.Seed + int64(i), // vary placement per instance
+	rows, _, err := runner.Map(context.Background(), cfg.Parallel, cfg.RegionCounts,
+		func(_ context.Context, i, n int) (Fig4Row, error) {
+			w, err := workload.Synthetic(workload.SyntheticConfig{
+				Units:        cfg.Units,
+				UnitLen:      cfg.UnitLen,
+				Regions:      n,
+				RegionLen:    cfg.RegionLen,
+				AccelLatency: cfg.AccelLatency,
+				Seed:         cfg.Seed + int64(i), // vary placement per instance
+			})
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			return Fig4Row{AccelInstructions: n, Result: res}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := MeasureWorkload(cfg.Core, w)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, Fig4Row{AccelInstructions: n, Result: res})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig4Result{Rows: rows}, nil
 }
 
 // Chart plots |error| per mode against the accelerator-instruction count.

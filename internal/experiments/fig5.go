@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/accel"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -20,6 +22,8 @@ type Fig5Config struct {
 	FillerCounts []int
 	Prefill      int
 	Seed         int64
+	// Parallel is the sweep's worker count (<= 0 selects GOMAXPROCS).
+	Parallel int
 }
 
 // DefaultFig5 sizes the sweep for the default harness.
@@ -45,26 +49,30 @@ type Fig5Result struct {
 	Rows []Fig5Row
 }
 
-// Fig5 runs the heap-manager study.
+// Fig5 runs the heap-manager study, fanning the frequency sweep across
+// cfg.Parallel workers.
 func Fig5(cfg Fig5Config) (*Fig5Result, error) {
-	out := &Fig5Result{}
-	for _, filler := range cfg.FillerCounts {
-		w, err := workload.Heap(workload.HeapConfig{
-			Operations:    cfg.Operations,
-			FillerPerCall: filler,
-			Prefill:       cfg.Prefill,
-			Seed:          cfg.Seed,
+	rows, _, err := runner.Map(context.Background(), cfg.Parallel, cfg.FillerCounts,
+		func(_ context.Context, _, filler int) (Fig5Row, error) {
+			w, err := workload.Heap(workload.HeapConfig{
+				Operations:    cfg.Operations,
+				FillerPerCall: filler,
+				Prefill:       cfg.Prefill,
+				Seed:          cfg.Seed,
+			})
+			if err != nil {
+				return Fig5Row{}, err
+			}
+			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			if err != nil {
+				return Fig5Row{}, err
+			}
+			return Fig5Row{FillerPerCall: filler, Result: res}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := MeasureWorkload(cfg.Core, w)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, Fig5Row{FillerPerCall: filler, Result: res})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig5Result{Rows: rows}, nil
 }
 
 // panel builds one chart over invocation frequency.

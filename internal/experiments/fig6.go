@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/accel"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -18,6 +20,8 @@ type Fig6Config struct {
 	Block int
 	Tiles []int
 	Seed  int64
+	// Parallel is the study's worker count (<= 0 selects GOMAXPROCS).
+	Parallel int
 }
 
 // DefaultFig6 keeps the paper's 32×32 blocking on a simulator-practical
@@ -44,23 +48,26 @@ type Fig6Result struct {
 	Rows   []Fig6Row
 }
 
-// Fig6 runs the DGEMM validation for each tile size.
+// Fig6 runs the DGEMM validation for each tile size, one worker per tile.
 func Fig6(cfg Fig6Config) (*Fig6Result, error) {
-	out := &Fig6Result{Config: cfg}
-	for _, tile := range cfg.Tiles {
-		w, err := workload.MatMul(workload.MatMulConfig{
-			N: cfg.N, Block: cfg.Block, Tile: tile, Seed: cfg.Seed,
+	rows, _, err := runner.Map(context.Background(), cfg.Parallel, cfg.Tiles,
+		func(_ context.Context, _, tile int) (Fig6Row, error) {
+			w, err := workload.MatMul(workload.MatMulConfig{
+				N: cfg.N, Block: cfg.Block, Tile: tile, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return Fig6Row{}, err
+			}
+			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			if err != nil {
+				return Fig6Row{}, err
+			}
+			return Fig6Row{Tile: tile, Result: res}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := MeasureWorkload(cfg.Core, w)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, Fig6Row{Tile: tile, Result: res})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig6Result{Config: cfg, Rows: rows}, nil
 }
 
 // Chart plots measured and estimated speedup per (tile, mode) on a log-y

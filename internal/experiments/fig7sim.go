@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/accel"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -31,6 +33,8 @@ type Fig7SimConfig struct {
 	// acceleration lands blue (slowdown), coarse or strong lands red.
 	Points []struct{ Granularity, AccelLatency int }
 	Seed   int64
+	// Parallel is the study's worker count (<= 0 selects GOMAXPROCS).
+	Parallel int
 }
 
 // DefaultFig7Sim picks points clearly on either side of the NL_NT
@@ -61,36 +65,39 @@ type Fig7SimResult struct {
 // check that the heatmap's red/blue boundary is real, not a model
 // artifact.
 func Fig7Sim(cfg Fig7SimConfig) (*Fig7SimResult, error) {
-	out := &Fig7SimResult{}
-	for i, pt := range cfg.Points {
-		w, err := workload.Synthetic(workload.SyntheticConfig{
-			Units:        300,
-			UnitLen:      25,
-			Regions:      60,
-			RegionLen:    pt.Granularity,
-			AccelLatency: pt.AccelLatency,
-			Seed:         cfg.Seed + int64(i),
+	pts, _, err := runner.Map(context.Background(), cfg.Parallel, cfg.Points,
+		func(_ context.Context, i int, pt struct{ Granularity, AccelLatency int }) (Fig7SimPoint, error) {
+			w, err := workload.Synthetic(workload.SyntheticConfig{
+				Units:        300,
+				UnitLen:      25,
+				Regions:      60,
+				RegionLen:    pt.Granularity,
+				AccelLatency: pt.AccelLatency,
+				Seed:         cfg.Seed + int64(i),
+			})
+			if err != nil {
+				return Fig7SimPoint{}, err
+			}
+			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			if err != nil {
+				return Fig7SimPoint{}, err
+			}
+			mm := res.Mode(accel.NLNT)
+			const band = 0.02 // treat ±2% as "at the boundary": either sign accepted
+			agrees := (mm.ModelSpeedup >= 1-band && mm.SimSpeedup >= 1-band) ||
+				(mm.ModelSpeedup <= 1+band && mm.SimSpeedup <= 1+band)
+			return Fig7SimPoint{
+				Granularity:  pt.Granularity,
+				AccelLatency: pt.AccelLatency,
+				ModelSpeedup: mm.ModelSpeedup,
+				SimSpeedup:   mm.SimSpeedup,
+				SignAgrees:   agrees,
+			}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := MeasureWorkload(cfg.Core, w)
-		if err != nil {
-			return nil, err
-		}
-		mm := res.Mode(accel.NLNT)
-		const band = 0.02 // treat ±2% as "at the boundary": either sign accepted
-		agrees := (mm.ModelSpeedup >= 1-band && mm.SimSpeedup >= 1-band) ||
-			(mm.ModelSpeedup <= 1+band && mm.SimSpeedup <= 1+band)
-		out.Points = append(out.Points, Fig7SimPoint{
-			Granularity:  pt.Granularity,
-			AccelLatency: pt.AccelLatency,
-			ModelSpeedup: mm.ModelSpeedup,
-			SimSpeedup:   mm.SimSpeedup,
-			SignAgrees:   agrees,
-		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig7SimResult{Points: pts}, nil
 }
 
 // Render tabulates the check.

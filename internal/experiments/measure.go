@@ -15,11 +15,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/interval"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -65,61 +67,103 @@ func archOf(cfg sim.Config) core.CoreParams {
 	}
 }
 
+// measureRun is the outcome of one simulation job inside MeasureWorkload:
+// either the baseline run or one accelerated mode.
+type measureRun struct {
+	baseline *sim.Result
+	cycles   int64
+	// L_T extras: mean ROB occupancy, and the measured mean TCA service
+	// time when the run recorded its event trace.
+	occupancy   float64
+	meanService float64
+	hasService  bool
+}
+
 // MeasureWorkload runs the full paper methodology for one workload:
 // simulate the baseline, calibrate the model from it via interval
 // analysis, simulate the accelerated program in all four modes, and
-// compare speedups.
+// compare speedups. The five simulations fan out across GOMAXPROCS
+// workers; use MeasureWorkloadParallel to control the width.
 func MeasureWorkload(cfg sim.Config, w *workload.Workload) (*WorkloadResult, error) {
+	return MeasureWorkloadParallel(cfg, w, 0)
+}
+
+// MeasureWorkloadParallel is MeasureWorkload with an explicit worker
+// count (<= 0 selects GOMAXPROCS, 1 forces the serial path). The five
+// runs — baseline plus four modes — are independent: each builds its own
+// core, memory image, and device, so any width produces bit-identical
+// results.
+func MeasureWorkloadParallel(cfg sim.Config, w *workload.Workload, parallel int) (*WorkloadResult, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 
-	baseCore, err := sim.New(cfg, w.Baseline, nil)
+	// Job 0 is the baseline; jobs 1..4 are the accelerated modes. The
+	// L_T run records the event trace so memory-dependent accelerators
+	// get a measured latency, and its mean ROB occupancy calibrates the
+	// drain estimate: the window the NL modes drain holds the accelerated
+	// program's non-accelerated instruction population, whose occupancy
+	// the baseline (with its software regions still inline) overstates.
+	runs, _, err := runner.Sweep(context.Background(), parallel, 1+len(accel.AllModes),
+		func(_ context.Context, i int) (measureRun, error) {
+			if i == 0 {
+				baseCore, err := sim.New(cfg, w.Baseline, nil)
+				if err != nil {
+					return measureRun{}, fmt.Errorf("experiments: %s baseline: %w", w.Name, err)
+				}
+				baseRes, err := baseCore.Run(maxCycles)
+				if err != nil {
+					return measureRun{}, fmt.Errorf("experiments: %s baseline run: %w", w.Name, err)
+				}
+				return measureRun{baseline: baseRes}, nil
+			}
+			m := accel.AllModes[i-1]
+			mcfg := cfg
+			mcfg.Mode = m
+			mcfg.RecordAccelEvents = m == accel.LT && w.AccelLatency == 0
+			c, err := sim.New(mcfg, w.Accelerated, w.NewDevice())
+			if err != nil {
+				return measureRun{}, fmt.Errorf("experiments: %s %s: %w", w.Name, m, err)
+			}
+			res, err := c.Run(maxCycles)
+			if err != nil {
+				return measureRun{}, fmt.Errorf("experiments: %s %s run: %w", w.Name, m, err)
+			}
+			run := measureRun{cycles: res.Stats.Cycles}
+			if m == accel.LT {
+				run.occupancy = res.Stats.AvgROBOccupancy()
+			}
+			if mcfg.RecordAccelEvents {
+				svc, err := interval.AnalyzeEvents(res.Stats.AccelEvents)
+				if err != nil {
+					return measureRun{}, fmt.Errorf("experiments: %s: %w", w.Name, err)
+				}
+				run.meanService = svc.MeanService
+				run.hasService = true
+			}
+			return run, nil
+		})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s baseline: %w", w.Name, err)
-	}
-	baseRes, err := baseCore.Run(maxCycles)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s baseline run: %w", w.Name, err)
+		return nil, err
 	}
 
+	baseRes := runs[0].baseline
 	out := &WorkloadResult{
 		Workload:       w,
 		Config:         cfg,
 		BaselineCycles: baseRes.Stats.Cycles,
 		BaselineIPC:    baseRes.Stats.IPC(),
 	}
-
-	// Simulate each mode. The L_T run records the event trace so
-	// memory-dependent accelerators get a measured latency, and its mean
-	// ROB occupancy calibrates the drain estimate: the window the NL
-	// modes drain holds the accelerated program's non-accelerated
-	// instruction population, whose occupancy the baseline (with its
-	// software regions still inline) overstates.
 	simCycles := make(map[accel.Mode]int64, len(accel.AllModes))
 	var ltOccupancy float64
-	for _, m := range accel.AllModes {
-		mcfg := cfg
-		mcfg.Mode = m
-		mcfg.RecordAccelEvents = m == accel.LT && w.AccelLatency == 0
-		c, err := sim.New(mcfg, w.Accelerated, w.NewDevice())
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s %s: %w", w.Name, m, err)
-		}
-		res, err := c.Run(maxCycles)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s %s run: %w", w.Name, m, err)
-		}
-		simCycles[m] = res.Stats.Cycles
+	for i, m := range accel.AllModes {
+		run := runs[1+i]
+		simCycles[m] = run.cycles
 		if m == accel.LT {
-			ltOccupancy = res.Stats.AvgROBOccupancy()
+			ltOccupancy = run.occupancy
 		}
-		if mcfg.RecordAccelEvents {
-			svc, err := interval.AnalyzeEvents(res.Stats.AccelEvents)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s: %w", w.Name, err)
-			}
-			out.MeasuredAccelLatency = svc.MeanService
+		if run.hasService {
+			out.MeasuredAccelLatency = run.meanService
 		}
 	}
 
@@ -142,6 +186,7 @@ func MeasureWorkload(cfg sim.Config, w *workload.Workload) (*WorkloadResult, err
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s model: %w", w.Name, err)
 	}
+	out.Modes = make([]ModeMeasurement, 0, len(accel.AllModes))
 	for _, m := range accel.AllModes {
 		simSp := float64(baseRes.Stats.Cycles) / float64(simCycles[m])
 		modSp := model.Get(m)

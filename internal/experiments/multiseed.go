@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"repro/internal/accel"
+	"repro/internal/runner"
 	"repro/internal/textplot"
 )
 
@@ -54,27 +56,35 @@ type MultiSeedResult struct {
 	Samples []ErrorSample
 }
 
-// Fig4MultiSeed runs the synthetic validation across seeds and aggregates
-// per-mode errors over all (seed, sweep-point) observations.
+// Fig4MultiSeed runs the synthetic validation across seeds, one job per
+// seed, and aggregates per-mode errors over all (seed, sweep-point)
+// observations in seed order so the statistics stay deterministic.
 func Fig4MultiSeed(cfg Fig4Config, seeds int) (*MultiSeedResult, error) {
 	if seeds < 2 {
 		return nil, fmt.Errorf("experiments: multi-seed study needs >= 2 seeds")
 	}
+	results, _, err := runner.Sweep(context.Background(), cfg.Parallel, seeds,
+		func(_ context.Context, s int) (*Fig4Result, error) {
+			c := cfg
+			c.Seed = cfg.Seed + int64(1000*s)
+			res, err := Fig4(c)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: multi-seed seed %d: %w", s, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	errs := make(map[accel.Mode][]float64, 4)
-	for s := 0; s < seeds; s++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(1000*s)
-		res, err := Fig4(c)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: multi-seed seed %d: %w", s, err)
-		}
+	for _, res := range results {
 		for _, row := range res.Rows {
 			for _, mm := range row.Result.Modes {
 				errs[mm.Mode] = append(errs[mm.Mode], mm.Error)
 			}
 		}
 	}
-	out := &MultiSeedResult{Seeds: seeds}
+	out := &MultiSeedResult{Seeds: seeds, Samples: make([]ErrorSample, 0, len(accel.AllModes))}
 	for _, m := range accel.AllModes {
 		out.Samples = append(out.Samples, summarize(m, errs[m]))
 	}

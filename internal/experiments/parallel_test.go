@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// detFig4 is a sweep sized for the determinism test: three points is
+// enough to exercise worker interleaving without a long run.
+func detFig4(parallel int) Fig4Config {
+	return Fig4Config{
+		Core:         sim.HighPerfConfig(),
+		Units:        120,
+		UnitLen:      25,
+		RegionLen:    60,
+		AccelLatency: 12,
+		RegionCounts: []int{5, 20, 80},
+		Seed:         42,
+		Parallel:     parallel,
+	}
+}
+
+func detFig5(parallel int) Fig5Config {
+	cfg := DefaultFig5()
+	cfg.Operations = 150
+	cfg.FillerCounts = []int{0, 40}
+	cfg.Parallel = parallel
+	return cfg
+}
+
+// TestParallelMatchesSerial asserts the acceptance property of the
+// parallel runner: any worker count produces byte-identical artifacts to
+// the serial path, for both the rendered text and the CSV data.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated sweep")
+	}
+
+	serial4, err := Fig4(detFig4(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par4, err := Fig4(detFig4(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial4.CSV(), par4.CSV(); s != p {
+		t.Errorf("Fig4 CSV differs between parallel 1 and 8:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+	if s, p := serial4.Render(), par4.Render(); s != p {
+		t.Error("Fig4 render differs between parallel 1 and 8")
+	}
+
+	serial5, err := Fig5(detFig5(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par5, err := Fig5(detFig5(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial5.CSV(), par5.CSV(); s != p {
+		t.Errorf("Fig5 CSV differs between parallel 1 and 8:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+	if s, p := serial5.Render(), par5.Render(); s != p {
+		t.Error("Fig5 render differs between parallel 1 and 8")
+	}
+}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/accel"
 	"repro/internal/isa"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/tcmalloc"
 	"repro/internal/textplot"
@@ -21,6 +23,8 @@ type E3Config struct {
 	// SkipEvery makes the guard branch taken once every N iterations
 	// (lower = less predictable pressure on speculative invocations).
 	SkipEvery []int
+	// Parallel is the study's worker count (<= 0 selects GOMAXPROCS).
+	Parallel int
 }
 
 // DefaultE3 sweeps branch surprise rates.
@@ -80,9 +84,9 @@ func e3Device() isa.AccelDevice {
 }
 
 // E3 measures full speculation, confidence-gated partial speculation, and
-// no speculation on the simulator.
+// no speculation on the simulator. Each surprise-rate point is one job;
+// the three policy runs inside a point fan out as a nested sweep.
 func E3(cfg E3Config) (*E3Result, error) {
-	out := &E3Result{Config: cfg}
 	run := func(prog *isa.Program, mode accel.Mode, partial bool) (sim.Stats, error) {
 		c := cfg.Core
 		c.Mode = mode
@@ -98,31 +102,45 @@ func E3(cfg E3Config) (*E3Result, error) {
 		}
 		return res.Stats, nil
 	}
-	for _, se := range cfg.SkipEvery {
-		prog := e3Program(cfg.Iterations, se)
-		full, err := run(prog, accel.LT, false)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: E3 full skip=%d: %w", se, err)
-		}
-		part, err := run(prog, accel.LT, true)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: E3 partial skip=%d: %w", se, err)
-		}
-		nl, err := run(prog, accel.NLT, false)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: E3 NL skip=%d: %w", se, err)
-		}
-		out.Points = append(out.Points, E3Point{
-			SkipEvery:       se,
-			FullCycles:      full.Cycles,
-			PartialCycles:   part.Cycles,
-			NLCycles:        nl.Cycles,
-			FullSquashed:    full.AccelSquashed,
-			PartialSquashed: part.AccelSquashed,
-			ConfidenceHeld:  part.AccelConfidenceWait,
-		})
+	policies := []struct {
+		name    string
+		mode    accel.Mode
+		partial bool
+	}{
+		{"full", accel.LT, false},
+		{"partial", accel.LT, true},
+		{"NL", accel.NLT, false},
 	}
-	return out, nil
+	points, _, err := runner.Map(context.Background(), cfg.Parallel, cfg.SkipEvery,
+		func(_ context.Context, _, se int) (E3Point, error) {
+			prog := e3Program(cfg.Iterations, se)
+			stats, _, err := runner.Sweep(context.Background(), cfg.Parallel, len(policies),
+				func(_ context.Context, i int) (sim.Stats, error) {
+					p := policies[i]
+					s, err := run(prog, p.mode, p.partial)
+					if err != nil {
+						return sim.Stats{}, fmt.Errorf("experiments: E3 %s skip=%d: %w", p.name, se, err)
+					}
+					return s, nil
+				})
+			if err != nil {
+				return E3Point{}, err
+			}
+			full, part, nl := stats[0], stats[1], stats[2]
+			return E3Point{
+				SkipEvery:       se,
+				FullCycles:      full.Cycles,
+				PartialCycles:   part.Cycles,
+				NLCycles:        nl.Cycles,
+				FullSquashed:    full.AccelSquashed,
+				PartialSquashed: part.AccelSquashed,
+				ConfidenceHeld:  part.AccelConfidenceWait,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &E3Result{Config: cfg, Points: points}, nil
 }
 
 // Render tabulates the study.

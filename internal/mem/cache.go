@@ -123,12 +123,19 @@ func NewCache(cfg CacheConfig, next Level) *Cache {
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
+	// MSHR occupancy is bounded by the config (or stays small when
+	// unlimited), so sizing the list up front keeps Access append-free.
+	fillCap := cfg.MSHRs
+	if fillCap < 8 {
+		fillCap = 8
+	}
 	return &Cache{
 		cfg:      cfg,
 		next:     next,
 		sets:     sets,
 		setMask:  uint64(numSets - 1),
 		lineBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		fills:    make([]inflight, 0, fillCap),
 	}
 }
 

@@ -64,7 +64,11 @@ type Core struct {
 	lsqCount    int
 	issuedCount int // entries in sIssued (executing) state
 
+	// fetchQ is consumed from fetchHead instead of re-slicing the front,
+	// so dispatch pops keep the backing array (fetch compacts it once the
+	// dead prefix grows past the queue capacity).
 	fetchQ        []fetchedInst
+	fetchHead     int
 	fetchPC       int
 	fetchResumeAt int64
 	fetchStopped  bool  // saw (possibly wrong-path) halt
@@ -119,6 +123,9 @@ func New(cfg Config, prog *isa.Program, dev isa.AccelDevice) (*Core, error) {
 		rob:  newROBQueue(cfg.ROBSize),
 	}
 	c.curFetchLine = -1
+	// Compaction keeps the live window within one capacity of the head,
+	// so 2x capacity never reallocates.
+	c.fetchQ = make([]fetchedInst, 0, 2*cfg.FetchWidth*(cfg.FrontEndDepth+2))
 	c.fu[fuALU] = make([]int64, cfg.IntALUs)
 	c.fu[fuMul] = make([]int64, cfg.IntMuls)
 	c.fu[fuFP] = make([]int64, cfg.FPUs)
@@ -254,9 +261,10 @@ func (c *Core) noteIssued(readyCycle int64) {
 }
 
 // wake delivers a completed result to every dependent operand. Dependents
-// are strictly younger, so the scan starts after the producer's position.
+// are strictly younger, so the scan starts after the producer's position
+// and stops as soon as the producer's wakeUses consumers are all served.
 func (c *Core) wake(pos int, e *robEntry) {
-	for i := pos + 1; i < c.rob.len(); i++ {
+	for i := pos + 1; e.wakeUses > 0 && i < c.rob.len(); i++ {
 		d := c.rob.at(i)
 		if d.state != sWaiting {
 			continue
@@ -265,6 +273,7 @@ func (c *Core) wake(pos int, e *robEntry) {
 			if d.srcs[s].pending && d.srcs[s].producer == e.seq {
 				d.srcs[s].pending = false
 				d.srcs[s].value = e.val
+				e.wakeUses--
 			}
 		}
 	}
@@ -273,6 +282,7 @@ func (c *Core) wake(pos int, e *robEntry) {
 // redirect restarts fetch at pc on the next cycle.
 func (c *Core) redirect(pc int) {
 	c.fetchQ = c.fetchQ[:0]
+	c.fetchHead = 0
 	c.fetchPC = pc
 	c.fetchResumeAt = c.now + 1
 	c.fetchStopped = false
@@ -302,6 +312,15 @@ func (c *Core) squashAfter(keep int) {
 	for i := first; i < c.rob.len(); i++ {
 		e := c.rob.at(i)
 		c.stats.Squashed++
+		// Release this entry's claims on its producers' wake counters;
+		// every producer (surviving or squashed) is still resident here.
+		for s := range e.srcs {
+			if e.srcs[s].pending {
+				if p := c.rob.bySeq(e.srcs[s].producer); p != nil {
+					p.wakeUses--
+				}
+			}
+		}
 		switch e.state {
 		case sWaiting:
 			c.iqCount--

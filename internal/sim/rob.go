@@ -38,6 +38,11 @@ type robEntry struct {
 
 	val uint64 // result value
 
+	// wakeUses counts pending dependent operands waiting on this entry's
+	// result, so wake() can stop scanning once every consumer is served
+	// (and skip the scan entirely for results nobody waits on).
+	wakeUses int
+
 	// Branch bookkeeping.
 	predTaken     bool
 	predConfident bool // prediction was high confidence at fetch

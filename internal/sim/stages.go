@@ -210,7 +210,7 @@ func (c *Core) dispatch() {
 			c.stats.DispatchStalls.Barrier++
 			return
 		}
-		if len(c.fetchQ) == 0 || c.fetchQ[0].availAt > c.now {
+		if c.fetchHead >= len(c.fetchQ) || c.fetchQ[c.fetchHead].availAt > c.now {
 			c.stats.DispatchStalls.FrontEnd++
 			return
 		}
@@ -222,12 +222,12 @@ func (c *Core) dispatch() {
 			c.stats.DispatchStalls.IQFull++
 			return
 		}
-		f := c.fetchQ[0]
+		f := c.fetchQ[c.fetchHead]
 		if f.in.Op.IsMem() && c.lsqCount >= c.cfg.LSQSize {
 			c.stats.DispatchStalls.LSQFull++
 			return
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fetchHead++
 
 		e := c.rob.push()
 		*e = robEntry{
@@ -252,6 +252,7 @@ func (c *Core) dispatch() {
 			if rn := c.rename[r]; rn.valid {
 				if p := c.rob.bySeq(rn.seq); p != nil && p.state != sDone {
 					e.srcs[i] = operand{pending: true, producer: rn.seq}
+					p.wakeUses++
 					continue
 				} else if p != nil {
 					e.srcs[i] = operand{value: p.val}
@@ -305,7 +306,18 @@ func (c *Core) fetch() {
 		return
 	}
 	capacity := c.cfg.FetchWidth * (c.cfg.FrontEndDepth + 2)
-	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) < capacity; n++ {
+	// Reclaim the consumed prefix so appends reuse the backing array.
+	if c.fetchHead > 0 {
+		if c.fetchHead == len(c.fetchQ) {
+			c.fetchQ = c.fetchQ[:0]
+			c.fetchHead = 0
+		} else if c.fetchHead >= capacity {
+			n := copy(c.fetchQ, c.fetchQ[c.fetchHead:])
+			c.fetchQ = c.fetchQ[:n]
+			c.fetchHead = 0
+		}
+	}
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ)-c.fetchHead < capacity; n++ {
 		if c.fetchPC < 0 || c.fetchPC >= len(c.prog.Code) {
 			// Wrong-path fetch ran off the program; stall until a
 			// squash redirects fetch.

@@ -83,9 +83,14 @@ func (c Chart) Render() string {
 	if ymax == ymin {
 		ymax = ymin + 1
 	}
+	// One backing slab for the whole grid instead of a slice per row.
+	slab := make([]rune, h*w)
+	for i := range slab {
+		slab[i] = ' '
+	}
 	grid := make([][]rune, h)
 	for r := range grid {
-		grid[r] = []rune(strings.Repeat(" ", w))
+		grid[r] = slab[r*w : (r+1)*w]
 	}
 	for si, s := range c.Series {
 		mark := seriesMarks[si%len(seriesMarks)]
@@ -109,6 +114,7 @@ func (c Chart) Render() string {
 		}
 		return fmt.Sprintf("%9.3g", v)
 	}
+	b.Grow((h + 4) * (w + 16))
 	for r := 0; r < h; r++ {
 		var label string
 		switch r {
@@ -119,7 +125,12 @@ func (c Chart) Render() string {
 		default:
 			label = strings.Repeat(" ", 9)
 		}
-		fmt.Fprintf(&b, "%s |%s|\n", label, string(grid[r]))
+		b.WriteString(label)
+		b.WriteString(" |")
+		for _, ch := range grid[r] {
+			b.WriteRune(ch)
+		}
+		b.WriteString("|\n")
 	}
 	xl := xmin
 	xr := xmax
@@ -218,6 +229,9 @@ func (h Heatmap) Render() string {
 		b.WriteString("(no data)\n")
 		return b.String()
 	}
+	if len(h.Cells) > 0 {
+		b.Grow(len(h.Cells)*(len(h.Cells[0])+1) + 160)
+	}
 	for _, row := range h.Cells {
 		for _, v := range row {
 			b.WriteRune(h.cellRune(v, lo, hi))
@@ -287,6 +301,11 @@ func Table(header []string, rows [][]string) string {
 		}
 	}
 	var b strings.Builder
+	lineWidth := 1
+	for _, w := range widths {
+		lineWidth += w + 2
+	}
+	b.Grow(lineWidth * (len(rows) + 2))
 	writeRow := func(cells []string) {
 		for i, cell := range cells {
 			if i > 0 {

@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: vet, build, and the whole
+# test suite under the race detector. Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
