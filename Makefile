@@ -1,10 +1,14 @@
 GO ?= go
 
-.PHONY: check build test race bench bench-json figures
+.PHONY: check build test race bench bench-json figures lint
 
-# The full verification gate: vet + build + race-enabled test suite.
+# The full verification gate: vet + lint + build + race-enabled test suite.
 check:
 	./scripts/check.sh
+
+# Determinism & simulator-invariant static analysis (see LINT.md).
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,156 @@
+// Command simlint runs the repository's determinism and simulator-invariant
+// static analyzer (internal/lint) over package patterns.
+//
+// Usage:
+//
+//	simlint [-json] [-rules R1,R3] [packages...]
+//
+// Patterns default to ./... and support the "./dir/..." form. Output is one
+// compiler-style line per finding (file:line:col: message [RULE]); with
+// -json a machine-readable summary in the style of cmd/benchjson is written
+// to stdout instead.
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 load/usage error. The
+// rule catalog and the //lint:ignore suppression syntax are documented in
+// LINT.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/lint"
+)
+
+// JSONDiagnostic is one finding in -json output.
+type JSONDiagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// Summary is the -json file layout, mirroring cmd/benchjson's envelope.
+type Summary struct {
+	Tool        string           `json:"tool"`
+	GoVersion   string           `json:"go_version"`
+	Date        string           `json:"date"`
+	Module      string           `json:"module"`
+	Packages    []string         `json:"packages"`
+	Rules       []string         `json:"rules"`
+	Diagnostics []JSONDiagnostic `json:"diagnostics"`
+}
+
+func main() {
+	var (
+		asJSON  = flag.Bool("json", false, "emit a machine-readable JSON summary on stdout")
+		ruleSel = flag.String("rules", "", "comma-separated rule IDs to run (default: all)")
+	)
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, summary, err := run(patterns, *ruleSel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s\n", data)
+	} else {
+		for _, d := range diags {
+			fmt.Println(shorten(d))
+		}
+	}
+	if len(diags) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(os.Stderr, "simlint: %d diagnostic(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func run(patterns []string, ruleSel string) ([]lint.Diagnostic, *Summary, error) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		return nil, nil, err
+	}
+	rules := lint.AllRules()
+	if ruleSel != "" {
+		rules = rules[:0:0]
+		for _, id := range strings.Split(ruleSel, ",") {
+			r := lint.RuleByID(strings.TrimSpace(id))
+			if r == nil {
+				return nil, nil, fmt.Errorf("unknown rule %q", id)
+			}
+			rules = append(rules, r)
+		}
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags := lint.Run(pkgs, rules)
+
+	s := &Summary{
+		Tool:      "simlint",
+		GoVersion: runtime.Version(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Module:    loader.ModulePath,
+		Packages:  paths,
+	}
+	for _, r := range rules {
+		s.Rules = append(s.Rules, r.ID)
+	}
+	s.Diagnostics = []JSONDiagnostic{}
+	for _, d := range diags {
+		s.Diagnostics = append(s.Diagnostics, JSONDiagnostic{
+			Rule:    d.Rule,
+			File:    relPath(d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Message: d.Message,
+		})
+	}
+	return diags, s, nil
+}
+
+// shorten rewrites a diagnostic with a cwd-relative file path.
+func shorten(d lint.Diagnostic) string {
+	d.Pos.Filename = relPath(d.Pos.Filename)
+	return d.String()
+}
+
+func relPath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	rel, err := filepath.Rel(wd, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return name
+	}
+	return rel
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRunCleanPackage checks the happy path and the JSON summary shape on
+// a package that must be lint-clean (the analyzer's own package).
+func TestRunCleanPackage(t *testing.T) {
+	diags, summary, err := run([]string{"./internal/lint"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("internal/lint should be clean, got %v", diags)
+	}
+	if summary.Tool != "simlint" || summary.Module != "repro" {
+		t.Errorf("summary envelope: %+v", summary)
+	}
+	if len(summary.Rules) != len(lint.AllRules()) {
+		t.Errorf("summary rules %v, want all %d", summary.Rules, len(lint.AllRules()))
+	}
+	if summary.Diagnostics == nil {
+		t.Error("Diagnostics must marshal as [] rather than null")
+	}
+	data, err := json.Marshal(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"diagnostics": []`) && !strings.Contains(string(data), `"diagnostics":[]`) {
+		t.Errorf("JSON output missing empty diagnostics array: %s", data)
+	}
+}
+
+// TestRunRuleSelection covers -rules filtering and its error path.
+func TestRunRuleSelection(t *testing.T) {
+	_, summary, err := run([]string{"./internal/lint"}, "R1,R3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summary.Rules) != 2 || summary.Rules[0] != "R1" || summary.Rules[1] != "R3" {
+		t.Errorf("rule selection got %v, want [R1 R3]", summary.Rules)
+	}
+	if _, _, err := run([]string{"./internal/lint"}, "R9"); err == nil {
+		t.Error("unknown rule must be an error")
+	}
+}

@@ -88,7 +88,7 @@ func (p Params) Validate() error {
 // Granularity returns a/v, the average number of baseline instructions
 // replaced per invocation.
 func (p Params) Granularity() float64 {
-	if p.InvocationFreq == 0 {
+	if p.InvocationFreq == 0 { //lint:ignore R4 exact sentinel: v is user-set, zero means "no invocations", never a rounded result
 		return 0
 	}
 	return p.AcceleratableFrac / p.InvocationFreq
@@ -171,6 +171,7 @@ func (p Params) Evaluate() (Breakdown, error) {
 	b.TCommit = p.CommitStall
 	b.TROBFill = float64(p.ROBSize) / float64(p.IssueWidth)
 
+	//lint:ignore R4 exact sentinels: a and v are user-set inputs, zero means "no acceleration", never a rounded result
 	if p.AcceleratableFrac == 0 || p.InvocationFreq == 0 {
 		// No acceleration: every mode equals the baseline. Interval
 		// analysis needs v>0, so treat the whole program as one
@@ -229,7 +230,7 @@ func (p Params) Evaluate() (Breakdown, error) {
 // other window sizes in sweeps that vary ROB size at fixed IPC.
 func (p Params) drainPowerLaw() float64 {
 	beta := p.DrainBeta
-	if beta == 0 {
+	if beta == 0 { //lint:ignore R4 exact sentinel: zero means DrainBeta was left unset, select the default exponent
 		beta = 2
 	}
 	w := float64(p.ROBSize)

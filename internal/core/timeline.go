@@ -79,7 +79,7 @@ func (t Timeline) String() string {
 			n = 1
 		}
 		ch := "#"
-		if s.Rate == 0 {
+		if s.Rate == 0 { //lint:ignore R4 exact sentinel: stall segments are built with a literal zero rate, never computed
 			ch = "."
 		}
 		b.WriteString(strings.Repeat(ch, n))

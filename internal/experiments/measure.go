@@ -120,6 +120,7 @@ func MeasureWorkloadParallel(cfg sim.Config, w *workload.Workload, parallel int)
 			m := accel.AllModes[i-1]
 			mcfg := cfg
 			mcfg.Mode = m
+			//lint:ignore R4 exact sentinel: AccelLatency zero means "unset, measure it", never a computed value
 			mcfg.RecordAccelEvents = m == accel.LT && w.AccelLatency == 0
 			c, err := sim.New(mcfg, w.Accelerated, w.NewDevice())
 			if err != nil {
@@ -169,7 +170,7 @@ func MeasureWorkloadParallel(cfg sim.Config, w *workload.Workload, parallel int)
 
 	// Calibrate the model from the baseline measurement.
 	lat := w.AccelLatency
-	if lat == 0 {
+	if lat == 0 { //lint:ignore R4 exact sentinel: AccelLatency zero means "unset, use the measured latency"
 		lat = out.MeasuredAccelLatency
 	}
 	meas := interval.FromBaselineRun(baseRes, w.Acceleratable, w.Invocations)

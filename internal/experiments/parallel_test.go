@@ -67,3 +67,35 @@ func TestParallelMatchesSerial(t *testing.T) {
 		t.Error("Fig5 render differs between parallel 1 and 8")
 	}
 }
+
+// TestParallelMatchesSerialMultiSeed exercises the same property across
+// several workload seeds: the dynamic counterpart of simlint's static
+// determinism rules. A seed that leaked shared state (global rand, map
+// order) would make some seed diverge between worker counts even if the
+// default seed happened to agree.
+func TestParallelMatchesSerialMultiSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated sweep")
+	}
+	for _, seed := range []int64{7, 42, 1234} {
+		serialCfg := detFig4(1)
+		serialCfg.Seed = seed
+		parCfg := detFig4(8)
+		parCfg.Seed = seed
+
+		serial, err := Fig4(serialCfg)
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		par, err := Fig4(parCfg)
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if s, p := serial.CSV(), par.CSV(); s != p {
+			t.Errorf("seed %d: Fig4 CSV differs between parallel 1 and 8:\nserial:\n%s\nparallel:\n%s", seed, s, p)
+		}
+		if s, p := serial.Render(), par.Render(); s != p {
+			t.Errorf("seed %d: Fig4 render differs between parallel 1 and 8", seed)
+		}
+	}
+}

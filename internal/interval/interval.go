@@ -132,7 +132,7 @@ func AnalyzeEvents(events []sim.AccelEvent) (ServiceStats, error) {
 // SpeedupError is the relative error of a model prediction against a
 // simulator measurement: (model - sim) / sim.
 func SpeedupError(model, simulated float64) float64 {
-	if simulated == 0 {
+	if simulated == 0 { //lint:ignore R4 division guard against the exact zero; any nonzero measurement divides fine
 		return math.Inf(1)
 	}
 	return (model - simulated) / simulated
@@ -159,6 +159,7 @@ func PowerLawFit(windows, paths []float64) (alpha, beta float64, err error) {
 		sxy += x * y
 	}
 	den := n*sxx - sx*sx
+	//lint:ignore R4 division guard: the degenerate all-equal-samples case yields an exact zero determinant
 	if den == 0 {
 		return 0, 0, fmt.Errorf("interval: degenerate samples (all critical paths equal)")
 	}

@@ -3,6 +3,7 @@ package isa
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -143,9 +144,14 @@ func checkRegClasses(in Instruction) error {
 // Disassemble renders the whole program, one instruction per line, with
 // label annotations.
 func (p *Program) Disassemble() string {
-	byIndex := make(map[int][]string)
-	for name, idx := range p.Labels {
-		byIndex[idx] = append(byIndex[idx], name)
+	names := make([]string, 0, len(p.Labels))
+	for name := range p.Labels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	byIndex := make(map[int][]string, len(p.Labels))
+	for _, name := range names {
+		byIndex[p.Labels[name]] = append(byIndex[p.Labels[name]], name)
 	}
 	var b strings.Builder
 	for i, in := range p.Code {
@@ -289,7 +295,13 @@ func (b *Builder) Build() (*Program, error) {
 	}
 	code := make([]Instruction, len(b.code))
 	copy(code, b.code)
-	for idx, label := range b.fixups {
+	idxs := make([]int, 0, len(b.fixups))
+	for idx := range b.fixups {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		label := b.fixups[idx]
 		target, ok := b.labels[label]
 		if !ok {
 			return nil, fmt.Errorf("isa: undefined label %q at @%d", label, idx)

@@ -1,0 +1,166 @@
+// Package lint is a from-scratch static analyzer for this repository's
+// determinism and simulator-invariant contracts, built only on the standard
+// library's go/ast, go/parser and go/types.
+//
+// PR 1's parallel experiment engine requires every sweep to be bit-identical
+// regardless of worker count. DESIGN.md documents that contract; this package
+// enforces it at the source level: all randomness flows through seeded
+// *rand.Rand values, no wall-clock reads inside simulation paths, no map
+// iteration order leaking into results, no float equality in model code, and
+// no mutation of shared configuration after simulators are constructed.
+//
+// The framework loads and type-checks packages offline (no network, no
+// module cache) and applies Rules, each of which reports Diagnostics.
+// Diagnostics can be suppressed at the source line with
+//
+//	//lint:ignore R3 reason why this site is order-independent
+//
+// placed on the offending line or on the line directly above it. The reason
+// is mandatory; a malformed ignore comment is itself reported (rule R0).
+// See LINT.md at the repository root for the rule catalog.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line:col output.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the conventional compiler-style line.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// Rule is one analysis pass. Applies filters by module-relative package
+// path ("internal/sim"); a nil Applies runs everywhere.
+type Rule struct {
+	ID      string // stable short identifier, e.g. "R1"
+	Name    string // human slug, e.g. "no-global-rand"
+	Doc     string // one-line rationale
+	Applies func(relPath string) bool
+	Check   func(pass *Pass)
+}
+
+// Pass gives a Rule access to one type-checked package and a reporter.
+type Pass struct {
+	Pkg    *Package
+	rule   *Rule
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Rule:    p.rule.ID,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every rule to every package, drops suppressed findings, and
+// returns the remainder sorted by file, line, column, rule. The sort keeps
+// output stable no matter how packages or rules are ordered — the analyzer
+// holds itself to the determinism contract it enforces.
+func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup, supDiags := suppressions(pkg)
+		diags = append(diags, supDiags...)
+		for _, r := range rules {
+			if r.Applies != nil && !r.Applies(pkg.Rel) {
+				continue
+			}
+			pass := &Pass{
+				Pkg:  pkg,
+				rule: r,
+				report: func(d Diagnostic) {
+					if !sup.covers(d.Rule, d.Pos) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			r.Check(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// suppressionSet maps "file:line" to the rule IDs ignored on that line.
+type suppressionSet map[string]map[string]bool
+
+func (s suppressionSet) covers(rule string, pos token.Position) bool {
+	rules := s[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+	return rules[rule]
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// suppressions scans a package's comments for //lint:ignore directives.
+// A directive names one or more comma-separated rule IDs and a mandatory
+// free-text reason; it covers its own line and the line directly below,
+// so both trailing and standalone-above placements work. Malformed
+// directives are reported under rule R0 so they cannot silently fail to
+// suppress.
+func suppressions(pkg *Package) (suppressionSet, []Diagnostic) {
+	set := suppressionSet{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Rule:    "R0",
+						Pos:     pos,
+						Message: "malformed lint:ignore: want `//lint:ignore RULE[,RULE...] reason`",
+					})
+					continue
+				}
+				for _, id := range strings.Split(fields[0], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						if set[key] == nil {
+							set[key] = map[string]bool{}
+						}
+						set[key][id] = true
+					}
+				}
+			}
+		}
+	}
+	return set, diags
+}
+
+// eachFile runs fn over every file of the pass's package.
+func (p *Pass) eachFile(fn func(*ast.File)) {
+	for _, f := range p.Pkg.Files {
+		fn(f)
+	}
+}

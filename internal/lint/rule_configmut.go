@@ -1,0 +1,74 @@
+package lint
+
+import "go/ast"
+
+// sharedConfigTypes are the configuration structs that sweep jobs share.
+// Both are designed to be copied by value (`mcfg := cfg; mcfg.Mode = m`);
+// a field write through a pointer mutates state another parallel job may
+// be reading, which is exactly the coupling the parallel runner's
+// bit-identical guarantee forbids.
+var sharedConfigTypes = []struct{ pkgSuffix, name, display string }{
+	{"internal/sim", "Config", "sim.Config"},
+	{"internal/core", "Params", "core.Params"},
+}
+
+// ruleConfigMut (R5) flags field writes through a *sim.Config or
+// *core.Params anywhere outside the defining packages (which own
+// construction and presets). The whole selector chain is checked, so
+// `job.Cfg.ROBSize = n` is caught when job.Cfg is a pointer.
+var ruleConfigMut = &Rule{
+	ID:   "R5",
+	Name: "config-mutation",
+	Doc:  "sim.Config / core.Params are copied by value per job; never written through a pointer after construction",
+	Applies: func(rel string) bool {
+		return !underAny(rel, "internal/sim", "internal/core")
+	},
+	Check: func(pass *Pass) {
+		pass.eachFile(func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						checkConfigWrite(pass, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkConfigWrite(pass, st.X)
+				}
+				return true
+			})
+		})
+	},
+}
+
+// checkConfigWrite walks the selector chain of an assignment target and
+// reports if any base along the way is a pointer to a shared config type.
+// A write to the pointer variable itself (`cfg = other`) rebinds rather
+// than mutates and is fine.
+func checkConfigWrite(pass *Pass, lhs ast.Expr) {
+	for {
+		var base ast.Expr
+		switch x := lhs.(type) {
+		case *ast.SelectorExpr:
+			base = x.X
+		case *ast.IndexExpr:
+			base = x.X
+		case *ast.StarExpr:
+			base = x.X
+		case *ast.ParenExpr:
+			lhs = x.X
+			continue
+		default:
+			return
+		}
+		if tv, ok := pass.Pkg.Info.Types[base]; ok && tv.Type != nil {
+			for _, ct := range sharedConfigTypes {
+				if namedPtrTo(tv.Type, ct.pkgSuffix, ct.name) {
+					pass.Reportf(lhs.Pos(),
+						"writes through a *%s after construction; copy the config by value before changing it", ct.display)
+					return
+				}
+			}
+		}
+		lhs = base
+	}
+}

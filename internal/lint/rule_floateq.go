@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ruleFloatEq (R4) forbids ==/!= between floating-point operands in model
+// and experiment code. IPC, speedup and error figures come out of divisions
+// and power laws; exact equality on them is either a bug (rounding makes it
+// flaky) or a sentinel test against an exact stored constant — the latter
+// keeps a //lint:ignore R4 explaining why bit-exact comparison is sound.
+// Comparisons where both operands are compile-time constants fold exactly
+// and are not flagged.
+var ruleFloatEq = &Rule{
+	ID:   "R4",
+	Name: "float-equality",
+	Doc:  "float64 comparisons in model/experiment code use tolerances, not ==/!=",
+	Applies: func(rel string) bool {
+		return underAny(rel,
+			"internal/core", "internal/sim", "internal/experiments",
+			"internal/interval", "internal/logca")
+	},
+	Check: func(pass *Pass) {
+		pass.eachFile(func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				xt, yt := pass.Pkg.Info.Types[be.X], pass.Pkg.Info.Types[be.Y]
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant-folded, exact
+				}
+				if isFloat(xt.Type) || isFloat(yt.Type) {
+					pass.Reportf(be.OpPos,
+						"%s on floating-point operands; compare with a tolerance (|a-b| <= eps)", be.Op)
+				}
+				return true
+			})
+		})
+	},
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ruleMapRange (R3) flags `range` loops over maps whose bodies do
+// order-sensitive work — the classic way Go map iteration order leaks into
+// simulator output and breaks bit-identical sweeps. The analysis is
+// necessarily heuristic; LINT.md spells out exactly what counts:
+//
+//   - appending values derived from the loop variables into state declared
+//     outside the loop, unless the collecting slice is handed to sort/slices
+//     later in the same block (the sanctioned collect-then-sort idiom);
+//   - writing output (fmt.Fprint*/Print*, Write* methods) with loop-derived
+//     arguments;
+//   - selecting into an outer scalar (`best = k`) or accumulating a float
+//     or string (`sum += v`) from the loop variables — integer accumulation
+//     commutes, float addition does not;
+//   - returning a loop-derived value ("pick an arbitrary element").
+//
+// Keyed writes (`other[k] = v`) commute across iterations and are allowed.
+// Genuinely order-independent sites (set fixpoints, unique-key argmin) keep
+// a //lint:ignore R3 with the proof obligation written in the reason.
+var ruleMapRange = &Rule{
+	ID:    "R3",
+	Name:  "ordered-map-iteration",
+	Doc:   "map iteration order must not reach slices, output, scalar selections or float accumulators without sorting",
+	Check: checkMapRange,
+}
+
+func checkMapRange(pass *Pass) {
+	pass.eachFile(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, st := range block.List {
+				if ls, ok := st.(*ast.LabeledStmt); ok {
+					st = ls.Stmt
+				}
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok || !rangesOverMap(pass, rs) {
+					continue
+				}
+				checkOneMapRange(pass, rs, block.List[i+1:])
+			}
+			return true
+		})
+	})
+}
+
+func rangesOverMap(pass *Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.Pkg.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// collectCandidate is an append into an outer slice that may be excused by
+// a later sort.
+type collectCandidate struct {
+	obj types.Object
+	pos token.Pos
+}
+
+func checkOneMapRange(pass *Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			} else if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+
+	var candidates []collectCandidate
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				var rhs ast.Expr
+				if i < len(st.Rhs) {
+					rhs = st.Rhs[i]
+				}
+				checkMapRangeAssign(pass, rs, st.Tok, lhs, rhs, loopVars, &candidates)
+			}
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, st, loopVars)
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if refsAnyObject(pass, res, loopVars) {
+					pass.Reportf(res.Pos(),
+						"returns a value picked by map iteration order; iterate sorted keys or make the result order-independent")
+					break
+				}
+			}
+		}
+		return true
+	})
+
+	// Excuse collect-then-sort: the appended-to slice is passed to a
+	// sort or slices call later in the same block.
+	sorted := map[types.Object]bool{}
+	for _, st := range following {
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := pkgFuncCall(pass, call, "sort", "slices"); !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok {
+						if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+							sorted[obj] = true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	for _, c := range candidates {
+		if !sorted[c.obj] {
+			pass.Reportf(c.pos,
+				"appends %s in map iteration order; sort %s afterwards or iterate sorted keys", c.obj.Name(), c.obj.Name())
+		}
+	}
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, tok token.Token, lhs, rhs ast.Expr, loopVars map[types.Object]bool, candidates *[]collectCandidate) {
+	if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+		if !refsAnyObject(pass, call, loopVars) {
+			return
+		}
+		if obj := outerScalarTarget(pass, rs, lhs); obj != nil {
+			if _, isIdent := lhs.(*ast.Ident); isIdent {
+				*candidates = append(*candidates, collectCandidate{obj: obj, pos: lhs.Pos()})
+				return
+			}
+		}
+		if isKeyedWrite(pass, lhs, loopVars) || outerScalarTarget(pass, rs, lhs) != nil {
+			pass.Reportf(lhs.Pos(),
+				"appends in map iteration order into %s; collect keys into a slice and sort first", exprString(lhs))
+		}
+		return
+	}
+
+	obj := outerScalarTarget(pass, rs, lhs)
+	if obj == nil || isKeyedWrite(pass, lhs, loopVars) {
+		return
+	}
+	switch {
+	case tok == token.ASSIGN:
+		if refsAnyObject(pass, rhs, loopVars) {
+			pass.Reportf(lhs.Pos(),
+				"assigns a loop-dependent value to %s: selection by map iteration order; iterate sorted keys", exprString(lhs))
+		}
+	default: // compound: +=, -=, *=, ...
+		if !refsAnyObject(pass, rhs, loopVars) {
+			return
+		}
+		if t := pass.Pkg.Info.Types[lhs].Type; t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok &&
+				(b.Info()&types.IsFloat != 0 || b.Info()&types.IsString != 0 || b.Info()&types.IsComplex != 0) {
+				pass.Reportf(lhs.Pos(),
+					"accumulates %s over a map in iteration order; float/string reduction does not commute — iterate sorted keys", exprString(lhs))
+			}
+		}
+	}
+}
+
+// checkMapRangeCall flags output written in iteration order.
+func checkMapRangeCall(pass *Pass, call *ast.CallExpr, loopVars map[types.Object]bool) {
+	if !refsAnyObject(pass, call, loopVars) {
+		return
+	}
+	if name, ok := pkgFuncCall(pass, call, "fmt"); ok {
+		if strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print") {
+			pass.Reportf(call.Pos(),
+				"fmt.%s emits output in map iteration order; iterate sorted keys", name)
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if _, isPkg := pass.Pkg.Info.Uses[rootIdent(sel.X)].(*types.PkgName); !isPkg || rootIdent(sel.X) == nil {
+			if strings.HasPrefix(sel.Sel.Name, "Write") {
+				pass.Reportf(call.Pos(),
+					"%s.%s writes in map iteration order; iterate sorted keys", exprString(sel.X), sel.Sel.Name)
+			}
+		}
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// outerScalarTarget resolves an assignment target (ident or selector/index
+// chain) to its root object when that object is declared outside the range
+// body; nil otherwise.
+func outerScalarTarget(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr) types.Object {
+	id := rootIdent(lhs)
+	if id == nil {
+		return nil
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rs.Body.Pos() && obj.Pos() < rs.Body.End() {
+		return nil // loop-local temporary
+	}
+	return obj
+}
+
+// isKeyedWrite reports whether lhs is an index expression whose index is
+// derived from the loop variables — `other[k] = v` commutes and is fine.
+func isKeyedWrite(pass *Pass, lhs ast.Expr, loopVars map[types.Object]bool) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	return ok && refsAnyObject(pass, ix.Index, loopVars)
+}
+
+// rootIdent walks selector/index/paren/star chains to the base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders small expressions for messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import "go/ast"
+
+// seededConstructors are the math/rand package-level functions that do not
+// touch the global generator: they build or parameterize explicitly seeded
+// sources, which is exactly what the contract demands.
+var seededConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// ruleGlobalRand (R1) forbids the process-global math/rand generator in
+// simulation, workload-generation and experiment code. The global source is
+// shared mutable state: two sweep jobs drawing from it interleave
+// nondeterministically under the parallel runner, so every random stream
+// must come from an explicitly seeded *rand.Rand.
+var ruleGlobalRand = &Rule{
+	ID:   "R1",
+	Name: "no-global-rand",
+	Doc:  "randomness in sim/workload/experiment code must flow through a seeded *rand.Rand, never the global math/rand functions",
+	Applies: func(rel string) bool {
+		return underAny(rel, "internal/sim", "internal/workload", "internal/proggen", "internal/experiments")
+	},
+	Check: func(pass *Pass) {
+		pass.eachFile(func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := pkgFuncCall(pass, call, "math/rand", "math/rand/v2")
+				if ok && !seededConstructors[name] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the process-global generator; route randomness through a seeded *rand.Rand", name)
+				}
+				return true
+			})
+		})
+	},
+}

@@ -1,0 +1,42 @@
+package lint
+
+import "go/ast"
+
+// wallClockFuncs are the time package entry points that read the host
+// clock. Timers and sleeps are caught by the same list: any of them makes
+// behavior depend on scheduling.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// ruleWallClock (R2) forbids wall-clock reads outside the experiment
+// runner and the CLI layer. Simulated time is the core's cycle counter;
+// a time.Now in a model path either leaks host timing into results or
+// tempts someone to seed randomness from it. Only internal/runner (which
+// reports per-job wall timing) and cmd/ (which prints it) may look at the
+// host clock.
+var ruleWallClock = &Rule{
+	ID:   "R2",
+	Name: "no-wallclock-in-sim",
+	Doc:  "time.Now/Since/Until only in internal/runner and cmd/; simulation code keeps to simulated cycles",
+	Applies: func(rel string) bool {
+		return !underAny(rel, "internal/runner", "cmd")
+	},
+	Check: func(pass *Pass) {
+		pass.eachFile(func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := pkgFuncCall(pass, call, "time"); ok && wallClockFuncs[name] {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock in simulation code; timing belongs to internal/runner or cmd/", name)
+				}
+				return true
+			})
+		})
+	},
+}

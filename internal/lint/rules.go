@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AllRules returns the project rule set, in ID order. The catalog with
+// rationale and suppression guidance lives in LINT.md.
+func AllRules() []*Rule {
+	return []*Rule{
+		ruleGlobalRand,
+		ruleWallClock,
+		ruleMapRange,
+		ruleFloatEq,
+		ruleConfigMut,
+	}
+}
+
+// RuleByID returns the rule with the given ID, or nil.
+func RuleByID(id string) *Rule {
+	for _, r := range AllRules() {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// underAny reports whether a module-relative package path equals or sits
+// beneath one of the given directory prefixes.
+func underAny(rel string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFuncCall matches a call to a package-level function: it returns the
+// selector name when fun is pkg.Name with pkg resolving to an import of
+// one of the given paths.
+func pkgFuncCall(pass *Pass, call *ast.CallExpr, pkgPaths ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	for _, p := range pkgPaths {
+		if pn.Imported().Path() == p {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// namedPtrTo reports whether t is a pointer to a named type with the given
+// name whose defining package path ends in pkgSuffix. Matching by suffix
+// keeps rules independent of the module name, which fixture packages remap.
+func namedPtrTo(t types.Type, pkgSuffix, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != name {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// refsAnyObject reports whether node mentions any of the given objects.
+func refsAnyObject(pass *Pass, node ast.Node, objs map[types.Object]bool) bool {
+	if node == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Pkg.Info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,26 @@
+// Fixture for R1 no-global-rand. Loaded by lint_test.go under an
+// in-scope module path (internal/workload/...). Marker comments name the
+// lines the rule must flag.
+package fixture
+
+import "math/rand"
+
+// globals draws from the process-global generator — every call is a leak.
+func globals() int {
+	n := rand.Intn(10)                 // want:R1
+	f := rand.Float64()                // want:R1
+	rand.Shuffle(n, func(i, j int) {}) // want:R1
+	return n + int(f)
+}
+
+// seeded is the sanctioned pattern: an explicit source, injectable seed.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// suppressed documents a deliberate exception.
+func suppressed() int {
+	//lint:ignore R1 fixture: demonstrates a justified exception
+	return rand.Int()
+}

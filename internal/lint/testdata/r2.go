@@ -1,0 +1,20 @@
+// Fixture for R2 no-wallclock-in-sim. Loaded once under an in-scope path
+// (internal/sim/...) where the markers apply, and once under cmd/ where
+// the same calls are legal and nothing may be reported.
+package fixture2
+
+import "time"
+
+func wall() time.Duration {
+	start := time.Now()      // want:R2
+	_ = time.Until(start)    // want:R2
+	return time.Since(start) // want:R2
+}
+
+// simulatedTime is fine: cycle arithmetic, no host clock.
+func simulatedTime(cycles int64) int64 { return cycles + 1 }
+
+func suppressedWall() time.Time {
+	//lint:ignore R2 fixture: demonstrates a justified exception
+	return time.Now()
+}

@@ -1,0 +1,117 @@
+// Fixture for R3 ordered-map-iteration: every way map order can leak,
+// next to the sanctioned order-independent forms.
+package fixture3
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// leakAppend collects in iteration order and never sorts.
+func leakAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want:R3
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned idiom and must not be flagged.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keyedWrites commute and must not be flagged.
+func keyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// intSum commutes and must not be flagged.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// floatSum does not commute.
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want:R3
+	}
+	return total
+}
+
+// selection picks whichever key the runtime serves last.
+func selection(m map[string]int) string {
+	var best string
+	for k, v := range m {
+		if v > 0 {
+			best = k // want:R3
+		}
+	}
+	return best
+}
+
+// emit writes output in iteration order.
+func emit(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v) // want:R3
+	}
+}
+
+// writeMethod hits the Write* method check.
+func writeMethod(m map[string]bool, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want:R3
+	}
+}
+
+// arbitrary returns "some element".
+func arbitrary(m map[string]int) string {
+	for k := range m {
+		return k // want:R3
+	}
+	return ""
+}
+
+// constantReturn is order-independent: the result does not depend on
+// which iteration returns.
+func constantReturn(m map[string]int) bool {
+	for range m {
+		return true
+	}
+	return false
+}
+
+// appendIntoMap is the Disassemble-style leak: slices inside a map pick up
+// iteration order.
+func appendIntoMap(m map[string]int) map[int][]string {
+	byIdx := make(map[int][]string)
+	for name, idx := range m {
+		byIdx[idx] = append(byIdx[idx], name) // want:R3
+	}
+	return byIdx
+}
+
+// suppressedWorklist documents an order-independent fixpoint.
+func suppressedWorklist(set map[int]bool) []int {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		//lint:ignore R3 fixture: worklist order does not change the fixpoint
+		stack = append(stack, s)
+	}
+	return stack
+}

@@ -1,0 +1,38 @@
+// Fixture for R4 float-equality. Loaded under an in-scope model path
+// (internal/core/...).
+package fixture4
+
+const eps = 1e-9
+
+func compare(a, b float64) bool {
+	if a == b { // want:R4
+		return true
+	}
+	if a != 0 { // want:R4
+		return false
+	}
+	return a-b < eps && b-a < eps // tolerance form: fine
+}
+
+// intCompare is exact and fine.
+func intCompare(a, b int) bool { return a == b }
+
+// constFold compares two compile-time constants exactly; not flagged.
+func constFold() bool { return 0.1+0.2 == 0.3 }
+
+// mixed flags when only one side is floating point.
+func mixed(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		if x == 1.0 { // want:R4
+			n++
+		}
+	}
+	return n
+}
+
+// suppressed documents an exact-sentinel exception.
+func suppressed(v float64) bool {
+	//lint:ignore R4 fixture: zero is an exact user-set sentinel here
+	return v == 0
+}

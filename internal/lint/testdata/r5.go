@@ -1,0 +1,45 @@
+// Fixture for R5 config-mutation. Loaded under internal/experiments/...
+// (outside the defining packages) so pointer writes to the shared config
+// structs are illegal.
+package fixture5
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+type job struct {
+	Cfg *sim.Config
+}
+
+func mutatePointer(cfg *sim.Config, p *core.Params) {
+	cfg.ROBSize = 128       // want:R5
+	cfg.Memory.L1D.Ways = 4 // want:R5
+	p.IPC = 1.5             // want:R5
+	p.ROBSize++             // want:R5
+}
+
+// mutateNested catches pointers buried in a selector chain.
+func mutateNested(j job) {
+	j.Cfg.IssueWidth = 2 // want:R5
+}
+
+// valueCopy is the sanctioned pattern: copy, then specialize the copy.
+func valueCopy(cfg sim.Config) sim.Config {
+	mcfg := cfg
+	mcfg.ROBSize = 64
+	mcfg.Name = "copy"
+	return mcfg
+}
+
+// rebind only repoints the pointer variable; it mutates nothing shared.
+func rebind(cfg *sim.Config, other *sim.Config) *sim.Config {
+	cfg = other
+	return cfg
+}
+
+// suppressed documents a deliberate in-place edit.
+func suppressed(cfg *sim.Config) {
+	//lint:ignore R5 fixture: demonstrates a justified exception
+	cfg.Name = "patched"
+}

@@ -1,0 +1,30 @@
+// Fixture for the suppression machinery itself: both placements work,
+// multiple rules per directive work, and a directive without a reason is
+// reported as R0 instead of silently doing nothing.
+package fixture6
+
+import "time"
+
+func trailing() time.Time {
+	return time.Now() //lint:ignore R2 fixture: trailing placement
+}
+
+func above() time.Time {
+	//lint:ignore R2 fixture: standalone placement on the line above
+	return time.Now()
+}
+
+func multiRule() time.Duration {
+	//lint:ignore R2,R4 fixture: one directive, several rules
+	d := time.Since(time.Now())
+	return d
+}
+
+// The directive below is malformed (no reason); the test expects R0 on its
+// line, located by the MALFORMEDFIXTURE token, and the time.Now it fails
+// to suppress still fires.
+//
+//lint:ignore MALFORMEDFIXTURE
+func malformed() time.Time {
+	return time.Now() // want:R2
+}

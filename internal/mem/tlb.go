@@ -106,7 +106,7 @@ func (t *TLB) insert(page uint64) {
 		oldest := ^uint64(0)
 		for p, stamp := range t.pages {
 			if stamp < oldest {
-				oldest = stamp
+				oldest = stamp //lint:ignore R3 stamps are unique (t.stamp++ per access), so the argmin is the same in any iteration order
 				victim = p
 			}
 		}

@@ -222,6 +222,7 @@ func determinize(n *nfa, start int) *DFA {
 	closure := func(set map[int]bool) {
 		stack := make([]int, 0, len(set))
 		for s := range set {
+			//lint:ignore R3 worklist seeding: the epsilon-closure fixpoint is the same set in any traversal order
 			stack = append(stack, s)
 		}
 		for len(stack) > 0 {

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> simlint ./... (determinism & invariant rules, see LINT.md)"
+go run ./cmd/simlint ./...
+
 echo "==> go build ./..."
 go build ./...
 
