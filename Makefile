@@ -22,9 +22,10 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x .
 
-# Machine-readable benchmark summary (ns/op, B/op, allocs/op per bench).
+# Machine-readable benchmark summary (ns/op, B/op, allocs/op per bench)
+# across the figure suite and the simulator's per-stage microbenchmarks.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench . -pkg . -benchtime 1x -out BENCH_PR1.json
+	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR3.json
 
 figures:
 	$(GO) run ./cmd/figures -fig all

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,22 +30,59 @@ import (
 )
 
 func main() {
+	// Deferred profile writers must run before the process exits, so the
+	// exit code travels out of realMain instead of calling os.Exit there.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		fig      = flag.String("fig", "all", "figure to regenerate: all, 2, 3, 4, 5, 6, 7, 8, e1, e2, e3, e4, e5, a1, a2")
 		out      = flag.String("out", "", "directory for CSV output (default: none, stdout only)")
 		matmulN  = flag.Int("matmul-n", 64, "matrix edge for Fig 6 (paper: 512)")
 		quick    = flag.Bool("quick", false, "shrink simulated sweeps for a fast smoke run")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for simulated sweeps (1 = serial)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+			}
+		}()
+	}
 
 	start := time.Now()
 	if err := run(*fig, *out, *matmulN, *quick, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "figures: total %v (parallel=%d)\n",
 		time.Since(start).Round(time.Millisecond), *parallel)
+	return 0
 }
 
 func run(fig, out string, matmulN int, quick bool, parallel int) error {

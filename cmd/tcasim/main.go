@@ -32,6 +32,7 @@ func main() {
 		coreSel = flag.String("core", "hp", "core preset: hp, lp, a72")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		trace   = flag.Int("trace", 0, "render a pipeline diagram for the first N committed instructions")
+		noFF    = flag.Bool("no-fast-forward", false, "simulate every cycle instead of event-horizon skipping (results are identical; for debugging and A/B timing)")
 
 		synUnits   = flag.Int("syn-units", 400, "synthetic: filler units")
 		synRegions = flag.Int("syn-regions", 40, "synthetic: acceleratable regions")
@@ -91,6 +92,7 @@ func main() {
 		w.BaselineInstructions, w.CoverageFrac(), w.InvocationFreq(), w.Granularity())
 
 	cfg.PipeTraceLimit = *trace
+	cfg.NoFastForward = *noFF
 	c, err := sim.New(cfg, prog, dev)
 	if err != nil {
 		fail(err)

@@ -55,7 +55,7 @@ func (p Params) Timeline(mode accel.Mode) (Timeline, error) {
 		if stall < 0 {
 			stall = 0
 		}
-		add("dispatch continues", minF(b.TNonAccl, tl.Total), p.IPC)
+		add("dispatch continues", min(b.TNonAccl, tl.Total), p.IPC)
 		add("ROB full / accel completes", stall, 0)
 	case accel.LT:
 		stall := b.Times.LT - b.TNonAccl
@@ -89,11 +89,4 @@ func (t Timeline) String() string {
 		fmt.Fprintf(&b, "  [%s %.1f]", s.Label, s.Cycles)
 	}
 	return b.String()
-}
-
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestMeasureWorkloadFastForwardInvariant pins the harness-level
+// consequence of the event-horizon scheduler's transparency: the entire
+// measurement pipeline — baseline calibration, model parameters, and all
+// four mode comparisons — produces identical numbers whether the simulator
+// skips idle cycles or walks every one.
+func TestMeasureWorkloadFastForwardInvariant(t *testing.T) {
+	w, err := workload.Heap(workload.HeapConfig{
+		Operations: 200, FillerPerCall: 30, Prefill: 128, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(noFF bool) *WorkloadResult {
+		cfg := sim.LowPerfConfig()
+		cfg.NoFastForward = noFF
+		res, err := MeasureWorkload(cfg, w)
+		if err != nil {
+			t.Fatalf("MeasureWorkload(noFF=%v): %v", noFF, err)
+		}
+		return res
+	}
+	ff := measure(false)
+	slow := measure(true)
+
+	// Blank out the one field that legitimately differs (the config
+	// carries the flag itself); everything measured must match exactly.
+	ff.Config.NoFastForward = false
+	slow.Config.NoFastForward = false
+	if !reflect.DeepEqual(ff, slow) {
+		t.Errorf("measurement diverges under fast-forward:\nfast-forward: %+v\ncycle-by-cycle: %+v", ff, slow)
+	}
+}

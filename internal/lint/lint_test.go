@@ -69,6 +69,8 @@ func TestRuleFixtures(t *testing.T) {
 		{name: "R4-out-of-scope", file: "r4.go", as: "internal/isa/fixture", ignores: true},
 		{name: "R5-in-scope", file: "r5.go", as: "internal/experiments/fixture"},
 		{name: "R5-allowed-in-defining-pkg", file: "r5.go", as: "internal/sim/fixture", ignores: true},
+		{name: "R6-in-scope", file: "r6.go", as: "internal/sim/fixture"},
+		{name: "R6-out-of-scope", file: "r6.go", as: "internal/mem/fixture", ignores: true},
 	}
 	loader := fixtureLoader(t)
 	for _, tc := range cases {
@@ -132,7 +134,7 @@ func compareDiags(t *testing.T, want []string, diags []Diagnostic) {
 // TestRuleMetadata guards the published rule catalog: stable IDs, names
 // and docs that LINT.md documents.
 func TestRuleMetadata(t *testing.T) {
-	wantIDs := []string{"R1", "R2", "R3", "R4", "R5"}
+	wantIDs := []string{"R1", "R2", "R3", "R4", "R5", "R6"}
 	rules := AllRules()
 	if len(rules) != len(wantIDs) {
 		t.Fatalf("AllRules: got %d rules, want %d", len(rules), len(wantIDs))

@@ -15,6 +15,7 @@ func AllRules() []*Rule {
 		ruleMapRange,
 		ruleFloatEq,
 		ruleConfigMut,
+		ruleNowWrite,
 	}
 }
 

@@ -285,6 +285,20 @@ func (c *Cache) fill(la uint64, write bool, when int64, prefetched bool) {
 	set[victim] = cacheLine{tag: la, valid: true, dirty: write, prefetched: prefetched, lru: c.stamp}
 }
 
+// NextFillTime returns the earliest completion cycle strictly after now
+// among this cache's in-flight line fills, or -1 when none is pending. It
+// is a pure observation used by the simulator's event-horizon scheduler;
+// fills themselves only take effect through Access calls.
+func (c *Cache) NextFillTime(now int64) int64 {
+	next := int64(-1)
+	for _, f := range c.fills {
+		if f.done > now && (next < 0 || f.done < next) {
+			next = f.done
+		}
+	}
+	return next
+}
+
 // Contains reports whether the line holding addr is resident (test hook).
 func (c *Cache) Contains(addr uint64) bool {
 	la := c.lineAddr(addr)

@@ -147,6 +147,23 @@ func (h *Hierarchy) IFetch(now int64, addr uint64) int64 {
 // IFetchEnabled reports whether instruction-side timing is modeled.
 func (h *Hierarchy) IFetchEnabled() bool { return h.L1I != nil }
 
+// NextFillTime returns the earliest in-flight line-fill completion
+// strictly after now across every cache level, or -1 when nothing is in
+// flight. The event-horizon scheduler folds it into its minimum so a skip
+// never jumps over a fill return.
+func (h *Hierarchy) NextFillTime(now int64) int64 {
+	next := int64(-1)
+	for _, c := range []*Cache{h.L1I, h.L1D, h.L2} {
+		if c == nil {
+			continue
+		}
+		if t := c.NextFillTime(now); t > 0 && (next < 0 || t < next) {
+			next = t
+		}
+	}
+	return next
+}
+
 // Name implements Level.
 func (h *Hierarchy) Name() string { return "hierarchy" }
 

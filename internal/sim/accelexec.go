@@ -86,14 +86,19 @@ func (c *Core) tryStartAccel(pos int, e *robEntry, olderStorePending, olderAccel
 		return false
 	}
 	if !c.cfg.Mode.Leading() && pos != 0 {
-		// Held by the NL restriction while operands were ready.
+		// Held by the NL restriction while operands were ready. Only the
+		// oldest waiting invocation reaches here (younger ones fail the
+		// olderAccelPending check above), so at most one entry per cycle
+		// records the hold — fastForward replicates it per skipped cycle.
 		e.accelHeld++
+		c.cycleHeldAccel = e
 		return false
 	}
 	// Partial speculation (§VIII future work): hold speculative starts
 	// while a low-confidence branch is unresolved ahead of us.
 	if lowConfidencePath && pos != 0 {
 		c.stats.AccelConfidenceWait++
+		c.cycleConfWait = true
 		return false
 	}
 	// Only devices that read program memory must wait for older writes to

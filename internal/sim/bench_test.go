@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+)
+
+// benchRun simulates one program/device/mode combination to completion.
+// check: "skip" demands the scheduler engaged, "noskip" that it never did,
+// "any" imposes nothing.
+func benchRun(b *testing.B, cfg Config, prog *isa.Program, dev func() isa.AccelDevice, check string) {
+	b.Helper()
+	var lastSkipped int64
+	for i := 0; i < b.N; i++ {
+		var d isa.AccelDevice
+		if dev != nil {
+			d = dev()
+		}
+		core, err := New(cfg, prog, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(2_000_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastSkipped = res.Stats.FastForwardedCycles
+	}
+	switch check {
+	case "skip":
+		if lastSkipped == 0 {
+			b.Fatal("fast-forward never engaged on a bench built to exercise it")
+		}
+	case "noskip":
+		if lastSkipped != 0 {
+			b.Fatalf("NoFastForward bench skipped %d cycles", lastSkipped)
+		}
+	}
+}
+
+// BenchmarkRunFineGrain measures the per-cycle cost on a fine-grained
+// workload: short TCA invocations (15 cycles) amid ALU filler, fully
+// speculative, so most cycles have real work and fast-forwarding rarely
+// engages. This guards the scheduler's overhead on busy code.
+func BenchmarkRunFineGrain(b *testing.B) {
+	prog := accelProgram(200, 20)
+	cfg := HighPerfConfig()
+	cfg.Mode = accel.LT
+	dev := func() isa.AccelDevice { return accel.NewFixedLatency(15) }
+	b.Run("FastForward", func(b *testing.B) {
+		benchRun(b, cfg, prog, dev, "any")
+	})
+	cfgSlow := cfg
+	cfgSlow.NoFastForward = true
+	b.Run("NoFastForward", func(b *testing.B) {
+		benchRun(b, cfgSlow, prog, dev, "noskip")
+	})
+}
+
+// BenchmarkRunCoarseGrainNL_NT measures the scenario the event-horizon
+// scheduler targets: 40 coarse-grained invocations (20k cycles each) under
+// the NL drain and NT dispatch barrier, where almost every simulated cycle
+// is idle. The FastForward variant must beat NoFastForward by >= 3x — the
+// PR's headline acceptance criterion, recorded in BENCH_PR3.json.
+func BenchmarkRunCoarseGrainNL_NT(b *testing.B) {
+	prog := accelProgram(40, 30)
+	cfg := LowPerfConfig()
+	cfg.Mode = accel.NLNT
+	dev := func() isa.AccelDevice { return accel.NewFixedLatency(20_000) }
+	b.Run("FastForward", func(b *testing.B) {
+		benchRun(b, cfg, prog, dev, "skip")
+	})
+	cfgSlow := cfg
+	cfgSlow.NoFastForward = true
+	b.Run("NoFastForward", func(b *testing.B) {
+		benchRun(b, cfgSlow, prog, dev, "noskip")
+	})
+}

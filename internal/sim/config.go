@@ -129,6 +129,14 @@ type Config struct {
 	// Memory is the data hierarchy configuration.
 	Memory mem.HierarchyConfig
 
+	// NoFastForward disables the event-horizon scheduler: the core ticks
+	// every cycle even through provably idle stall regions. Results and
+	// statistics are bit-identical either way (the differential tests
+	// assert it); the escape hatch exists for auditing the optimization
+	// and for timing comparisons. See DESIGN.md "Event-horizon
+	// fast-forward".
+	NoFastForward bool
+
 	// RecordAccelEvents enables the per-invocation event trace used by
 	// interval analysis (costs memory on long runs).
 	RecordAccelEvents bool

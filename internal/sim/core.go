@@ -86,9 +86,19 @@ type Core struct {
 	halted          bool
 	lastCommitCycle int64
 
-	// nextComplete is a lower bound on the earliest readyCycle of any
-	// issued entry; complete() skips its scan before that cycle.
-	nextComplete int64
+	// pend schedules pending completions (one record per issue); due is
+	// the reusable scratch batch complete() drains into each cycle.
+	pend compHeap
+	due  []compRecord
+
+	// quiet is true while the current cycle has made no state change; the
+	// cycle trackers record the per-cycle counter increments that
+	// fastForward must replicate for skipped cycles. All four reset at the
+	// top of every Run iteration.
+	quiet          bool
+	cycleStall     *int64
+	cycleHeldAccel *robEntry
+	cycleConfWait  bool
 
 	stats Stats
 }
@@ -142,6 +152,7 @@ func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
 // Run simulates until the program's halt commits, the cycle budget is
 // exhausted, or the deadlock watchdog fires.
 func (c *Core) Run(maxCycles int64) (*Result, error) {
+	ff := !c.cfg.NoFastForward
 	for !c.halted {
 		if c.now >= maxCycles {
 			return nil, fmt.Errorf("%w after %d cycles (%d committed) pc=%d",
@@ -151,6 +162,10 @@ func (c *Core) Run(maxCycles int64) (*Result, error) {
 			return nil, fmt.Errorf("%w for %d cycles at cycle %d: %s",
 				ErrDeadlock, c.now-c.lastCommitCycle, c.now, c.describeHead())
 		}
+		c.quiet = true
+		c.cycleStall = nil
+		c.cycleHeldAccel = nil
+		c.cycleConfWait = false
 		c.complete()
 		c.commit()
 		if c.halted {
@@ -159,8 +174,12 @@ func (c *Core) Run(maxCycles int64) (*Result, error) {
 		c.issue()
 		c.dispatch()
 		c.fetch()
-		c.stats.ROBOccupancySum += int64(c.rob.len())
+		occupancy := int64(c.rob.len())
+		c.stats.ROBOccupancySum += occupancy
 		c.now++
+		if ff && c.quiet {
+			c.fastForward(maxCycles, occupancy)
+		}
 	}
 	c.stats.Cycles = c.now + 1
 	return &Result{Stats: c.stats, Regs: c.arf, Mem: c.mem}, nil
@@ -214,50 +233,55 @@ func (e *robEntry) operandValue(i int) uint64 { return e.srcs[i].value }
 
 // complete transitions issued entries whose results have arrived, wakes
 // dependents, trains the branch predictor, and handles mispredict squashes.
+//
+// Pending completions live in the pend min-heap (one record pushed per
+// issue via noteIssued), so a cycle with nothing due is an O(1) peek
+// instead of an O(ROB) scan. Records are not removed on squash: a popped
+// record is acted on only if the resident entry with that sequence number
+// is still sIssued with the recorded readyCycle. (Sequence numbers are
+// reused after squashes; a coincidental match is still a correct
+// completion, since the entry is then genuinely due.) The due batch is
+// processed in sequence order — the tick-scan's ROB-position order — so
+// predictor update order and the choice of squashing branch are preserved.
 func (c *Core) complete() {
-	if c.now < c.nextComplete {
+	if len(c.pend) == 0 || c.pend[0].cycle > c.now {
 		return
 	}
-	next := int64(1<<62 - 1)
-	left := c.issuedCount
-	for i := 0; i < c.rob.len() && left > 0; i++ {
-		e := c.rob.at(i)
-		if e.state != sIssued {
-			continue
+	c.due = c.due[:0]
+	for len(c.pend) > 0 && c.pend[0].cycle <= c.now {
+		c.due = append(c.due, c.popPend())
+	}
+	sortDueBySeq(c.due)
+	for _, r := range c.due {
+		pos := c.rob.indexOf(r.seq)
+		if pos < 0 {
+			continue // squashed
 		}
-		left--
-		if e.readyCycle > c.now {
-			if e.readyCycle < next {
-				next = e.readyCycle
-			}
-			continue
+		e := c.rob.at(pos)
+		if e.state != sIssued || e.readyCycle != r.cycle {
+			continue // duplicate record, or the seq was reused
 		}
 		e.state = sDone
 		c.issuedCount--
-		c.wake(i, e)
+		c.quiet = false
+		c.wake(pos, e)
 		if e.in.Op.IsCondBranch() {
 			c.pred.Update(uint64(e.pc), e.actualTaken)
 			if e.mispredict {
 				c.stats.Mispredicts++
-				c.squashAfter(i)
+				c.squashAfter(pos)
 				c.redirect(e.nextPC)
-				// Entries after i are gone; nothing younger remains
-				// to complete. The bound may now be stale-early,
-				// which only costs a wasted scan.
-				c.nextComplete = c.now
+				// The unprocessed remainder of the batch is strictly
+				// younger (seq order), hence squashed; drop it.
 				return
 			}
 		}
 	}
-	c.nextComplete = next
 }
 
-// noteIssued records a newly scheduled completion time so complete() does
-// not skip it.
-func (c *Core) noteIssued(readyCycle int64) {
-	if readyCycle < c.nextComplete {
-		c.nextComplete = readyCycle
-	}
+// noteIssued schedules the completion of a newly issued entry.
+func (c *Core) noteIssued(e *robEntry) {
+	c.pushPend(compRecord{cycle: e.readyCycle, seq: e.seq})
 }
 
 // wake delivers a completed result to every dependent operand. Dependents
@@ -416,6 +440,7 @@ func (c *Core) commit() {
 		}
 		c.recordPipeEvent(e)
 		c.rob.popHead()
+		c.quiet = false
 		c.stats.Committed++
 		c.lastCommitCycle = c.now
 		if c.halted {

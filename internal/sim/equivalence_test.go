@@ -73,6 +73,39 @@ func TestSimEquivalenceWithHeapAccel(t *testing.T) {
 	}
 }
 
+// TestSimEquivalenceWithPartialSpeculation repeats the accelerated
+// differential test with the confidence gate active: in the L modes the
+// gate delays speculative invocation starts behind low-confidence
+// branches, reshaping squash/replay timing without ever being allowed to
+// change architectural results.
+func TestSimEquivalenceWithPartialSpeculation(t *testing.T) {
+	opt := proggen.DefaultOptions()
+	opt.AccelEvery = 2
+	opt.HeapAccel = true
+	for seed := int64(400); seed < 408; seed++ {
+		prog := proggen.Generate(seed, opt)
+		for _, m := range []accel.Mode{accel.LNT, accel.LT} {
+			for _, kind := range []string{"bimodal", "gshare"} {
+				t.Run(fmt.Sprintf("seed%d-%s-%s", seed, m, kind), func(t *testing.T) {
+					cfg := HighPerfConfig()
+					cfg.Mode = m
+					cfg.PartialSpeculation = true
+					cfg.Predictor = PredictorConfig{Kind: kind}
+					runBoth(t, cfg, prog, func() isa.AccelDevice {
+						a := tcmalloc.New(0x200000, 1<<22)
+						for c := 0; c < tcmalloc.NumClasses; c++ {
+							if err := a.Refill(c, 256); err != nil {
+								panic(err)
+							}
+						}
+						return accel.NewHeap(a)
+					})
+				})
+			}
+		}
+	}
+}
+
 // TestSimEquivalenceStressSmallStructures shrinks every structure to force
 // constant back-pressure (ROB/IQ/LSQ full, port conflicts), which is where
 // queue-accounting bugs hide.

@@ -126,14 +126,24 @@ func (q *robQueue) at(i int) *robEntry {
 
 // bySeq returns the resident entry with the given sequence number, or nil.
 func (q *robQueue) bySeq(seq uint64) *robEntry {
+	if i := q.indexOf(seq); i >= 0 {
+		return q.at(i)
+	}
+	return nil
+}
+
+// indexOf returns the position (0 = head) of the resident entry with the
+// given sequence number, or -1. Residents are seq-contiguous, so this is
+// O(1).
+func (q *robQueue) indexOf(seq uint64) int {
 	if q.count == 0 {
-		return nil
+		return -1
 	}
 	first := q.at(0).seq
 	if seq < first || seq >= first+uint64(q.count) {
-		return nil
+		return -1
 	}
-	return q.at(int(seq - first))
+	return int(seq - first)
 }
 
 // push appends a new entry and returns it for initialization.

@@ -49,6 +49,7 @@ func (c *Core) issue() {
 			if !e.addrKnown && !e.srcs[0].pending {
 				e.addr = e.operandValue(0) + uint64(e.in.Imm)
 				e.addrKnown = true
+				c.quiet = false // a state change even when the store stays waiting
 			}
 			ok = c.tryIssueStore(e)
 		default:
@@ -58,7 +59,8 @@ func (c *Core) issue() {
 			e.issueCycle = c.now
 			c.iqCount--
 			c.issuedCount++
-			c.noteIssued(e.readyCycle)
+			c.noteIssued(e)
+			c.quiet = false
 			issued++
 			continue
 		}
@@ -168,7 +170,7 @@ func (c *Core) tryIssueLoad(pos int, e *robEntry, olderStoreAddrUnknown, olderMe
 		e.state = sIssued
 		e.forwarded = true
 		e.val = v
-		e.readyCycle = maxI64(c.now+2, when+1)
+		e.readyCycle = max(c.now+2, when+1)
 		return true
 	}
 	e.state = sIssued
@@ -205,29 +207,38 @@ func (c *Core) forwardScan(pos int, word uint64) (val uint64, when int64, status
 // issue queue, renaming their sources. It models the NT barrier: while a
 // non-trailing TCA is in flight, dispatch is frozen.
 func (c *Core) dispatch() {
+	// Each stall return records the incremented counter: on a quiet cycle
+	// dispatch increments exactly one, and the cause is pinned until the
+	// event horizon, so fastForward replicates it per skipped cycle.
 	for n := 0; n < c.cfg.DispatchWidth; n++ {
 		if c.barrierActive {
 			c.stats.DispatchStalls.Barrier++
+			c.cycleStall = &c.stats.DispatchStalls.Barrier
 			return
 		}
 		if c.fetchHead >= len(c.fetchQ) || c.fetchQ[c.fetchHead].availAt > c.now {
 			c.stats.DispatchStalls.FrontEnd++
+			c.cycleStall = &c.stats.DispatchStalls.FrontEnd
 			return
 		}
 		if c.rob.full() {
 			c.stats.DispatchStalls.ROBFull++
+			c.cycleStall = &c.stats.DispatchStalls.ROBFull
 			return
 		}
 		if c.iqCount >= c.cfg.IQSize {
 			c.stats.DispatchStalls.IQFull++
+			c.cycleStall = &c.stats.DispatchStalls.IQFull
 			return
 		}
 		f := c.fetchQ[c.fetchHead]
 		if f.in.Op.IsMem() && c.lsqCount >= c.cfg.LSQSize {
 			c.stats.DispatchStalls.LSQFull++
+			c.cycleStall = &c.stats.DispatchStalls.LSQFull
 			return
 		}
 		c.fetchHead++
+		c.quiet = false
 
 		e := c.rob.push()
 		*e = robEntry{
@@ -318,6 +329,9 @@ func (c *Core) fetch() {
 		}
 	}
 	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ)-c.fetchHead < capacity; n++ {
+		// Every path below changes state (stop, I-line switch, or an
+		// append), so reaching the body at all marks the cycle active.
+		c.quiet = false
 		if c.fetchPC < 0 || c.fetchPC >= len(c.prog.Code) {
 			// Wrong-path fetch ran off the program; stall until a
 			// squash redirects fetch.
@@ -365,11 +379,4 @@ func (c *Core) fetch() {
 			c.fetchPC++
 		}
 	}
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -65,6 +65,13 @@ type Stats struct {
 	// ROBOccupancySum accumulates per-cycle occupancy for averaging.
 	ROBOccupancySum int64
 
+	// FastForwardedCycles counts cycles elided by the event-horizon
+	// scheduler (zero under Config.NoFastForward); FastForwardJumps
+	// counts the jumps. Every other statistic is independent of them —
+	// host-time observability counters, not simulated-machine state.
+	FastForwardedCycles int64
+	FastForwardJumps    int64
+
 	// AccelEvents is populated when Config.RecordAccelEvents is set.
 	AccelEvents []AccelEvent
 
@@ -151,6 +158,10 @@ func (s Stats) String() string {
 	if s.AccelCommitted > 0 || s.AccelSquashed > 0 {
 		fmt.Fprintf(&b, "accel             %d committed, %d squashed, %d busy cycles, %d mem ops, %d drain-wait cycles\n",
 			s.AccelCommitted, s.AccelSquashed, s.AccelBusyCycles, s.AccelMemOps, s.AccelDrainWait)
+	}
+	if s.FastForwardJumps > 0 {
+		fmt.Fprintf(&b, "fast-forward      %d cycles skipped in %d jumps\n",
+			s.FastForwardedCycles, s.FastForwardJumps)
 	}
 	return b.String()
 }
