@@ -23,9 +23,10 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x .
 
 # Machine-readable benchmark summary (ns/op, B/op, allocs/op per bench)
-# across the figure suite and the simulator's per-stage microbenchmarks.
+# across the figure suite, the simulator's per-stage microbenchmarks, and
+# the scenario store's cached-vs-uncached pairs.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR4.json
 
 figures:
 	$(GO) run ./cmd/figures -fig all

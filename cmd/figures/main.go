@@ -4,6 +4,7 @@
 // Usage:
 //
 //	figures [-fig all|2|3|4|5|6|7|8] [-out DIR] [-matmul-n N] [-quick] [-parallel N]
+//	        [-cache-dir DIR] [-no-cache]
 //
 // Figures 2, 3, 7 and 8 are analytical (instant); figures 4, 5 and 6
 // simulate baseline and accelerated programs in all four TCA modes on the
@@ -11,6 +12,13 @@
 // sweeps fan out across -parallel workers (default: GOMAXPROCS); results
 // are collected in input order, so the stdout artifacts are bit-identical
 // at any worker count. Timing goes to stderr to keep stdout byte-stable.
+//
+// Every simulation routes through a scenario store (internal/scenario):
+// identical runs within and across figures execute once and share the
+// result. -cache-dir persists results as content-addressed JSON blobs so
+// reruns skip unchanged simulations entirely; -no-cache disables the
+// store. The stdout artifact is byte-identical with the cache off, cold,
+// or warm — the store's hit/miss report goes to stderr.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -42,6 +51,8 @@ func realMain() int {
 		matmulN  = flag.Int("matmul-n", 64, "matrix edge for Fig 6 (paper: 512)")
 		quick    = flag.Bool("quick", false, "shrink simulated sweeps for a fast smoke run")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for simulated sweeps (1 = serial)")
+		cacheDir = flag.String("cache-dir", "", "persist simulation results as content-addressed blobs in this directory")
+		noCache  = flag.Bool("no-cache", false, "disable the scenario store (results are identical, just slower)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -75,17 +86,30 @@ func realMain() int {
 		}()
 	}
 
+	var store *scenario.Store
+	if !*noCache {
+		var err error
+		store, err = scenario.NewStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+	}
+
 	start := time.Now()
-	if err := run(*fig, *out, *matmulN, *quick, *parallel); err != nil {
+	if err := run(*fig, *out, *matmulN, *quick, *parallel, store); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "figures: total %v (parallel=%d)\n",
 		time.Since(start).Round(time.Millisecond), *parallel)
+	if store != nil {
+		fmt.Fprintln(os.Stderr, "figures:", store.Metrics())
+	}
 	return 0
 }
 
-func run(fig, out string, matmulN int, quick bool, parallel int) error {
+func run(fig, out string, matmulN int, quick bool, parallel int, store *scenario.Store) error {
 	want := func(id string) bool { return fig == "all" || fig == id }
 	saveCSV := func(name, data string) error {
 		if out == "" {
@@ -142,6 +166,7 @@ func run(fig, out string, matmulN int, quick bool, parallel int) error {
 		section("Figure 4 — model error on the synthetic microbenchmark (simulated)")
 		cfg := experiments.DefaultFig4()
 		cfg.Parallel = parallel
+		cfg.Store = store
 		if quick {
 			cfg.RegionCounts = []int{5, 40, 320}
 		}
@@ -160,6 +185,7 @@ func run(fig, out string, matmulN int, quick bool, parallel int) error {
 		section("Figure 5 — heap manager TCA validation (simulated)")
 		cfg := experiments.DefaultFig5()
 		cfg.Parallel = parallel
+		cfg.Store = store
 		if quick {
 			cfg.Operations = 200
 			cfg.FillerCounts = []int{0, 20, 160}
@@ -179,6 +205,7 @@ func run(fig, out string, matmulN int, quick bool, parallel int) error {
 		section("Figure 6 — DGEMM TCA validation (simulated)")
 		cfg := experiments.DefaultFig6()
 		cfg.Parallel = parallel
+		cfg.Store = store
 		cfg.N = matmulN
 		if quick {
 			cfg.N = 32
@@ -208,6 +235,7 @@ func run(fig, out string, matmulN int, quick bool, parallel int) error {
 		// Spot-check the red/blue boundary on the simulator.
 		svCfg := experiments.DefaultFig7Sim()
 		svCfg.Parallel = parallel
+		svCfg.Store = store
 		sv, err := experiments.Fig7Sim(svCfg)
 		if err != nil {
 			return err
@@ -256,6 +284,7 @@ func run(fig, out string, matmulN int, quick bool, parallel int) error {
 		section("Extension E3 — confidence-gated partial TCA speculation (simulated)")
 		cfg := experiments.DefaultE3()
 		cfg.Parallel = parallel
+		cfg.Store = store
 		if quick {
 			cfg.Iterations = 150
 			cfg.SkipEvery = []int{3, 8}
@@ -274,6 +303,7 @@ func run(fig, out string, matmulN int, quick bool, parallel int) error {
 		section("Extension E4 — hash-map and string-compare TCA validation (simulated)")
 		cfg := experiments.DefaultE4()
 		cfg.Parallel = parallel
+		cfg.Store = store
 		if quick {
 			cfg.Operations = 200
 			cfg.FillerCounts = []int{5, 80}
@@ -293,6 +323,7 @@ func run(fig, out string, matmulN int, quick bool, parallel int) error {
 		section("Extension E5 — heterogeneous multi-TCA complex (simulated)")
 		cfg := experiments.DefaultE5()
 		cfg.Parallel = parallel
+		cfg.Store = store
 		if quick {
 			cfg.Calls = 60
 			cfg.FillerCounts = []int{50, 800}
@@ -317,7 +348,7 @@ func run(fig, out string, matmulN int, quick bool, parallel int) error {
 			return err
 		}
 		if want("a1") {
-			res, err := experiments.MeasureWorkloadParallel(sim.HighPerfConfig(), w, parallel)
+			res, err := experiments.MeasureWorkloadStore(store, sim.HighPerfConfig(), w, parallel)
 			if err != nil {
 				return err
 			}
@@ -329,7 +360,7 @@ func run(fig, out string, matmulN int, quick bool, parallel int) error {
 			fmt.Println()
 		}
 		if want("a2") {
-			ab, err := experiments.LoadOrderingParallel(sim.HighPerfConfig(), w, parallel)
+			ab, err := experiments.LoadOrderingStore(store, sim.HighPerfConfig(), w, parallel)
 			if err != nil {
 				return err
 			}

@@ -12,6 +12,10 @@
 //	tcasim -workload heap -mode L_T -heap-filler 20
 //	tcasim -workload matmul -mode NL_NT -matmul-n 64 -matmul-tile 4
 //	tcasim -workload synthetic -mode baseline
+//
+// -dump-scenario prints the canonical scenario description and
+// content digest of the run the flags select — the identity the
+// scenario store caches under — without simulating anything.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/isa"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -33,6 +38,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		trace   = flag.Int("trace", 0, "render a pipeline diagram for the first N committed instructions")
 		noFF    = flag.Bool("no-fast-forward", false, "simulate every cycle instead of event-horizon skipping (results are identical; for debugging and A/B timing)")
+		dump    = flag.Bool("dump-scenario", false, "print the canonical scenario spec and digest for this run, then exit without simulating")
 
 		synUnits   = flag.Int("syn-units", 400, "synthetic: filler units")
 		synRegions = flag.Int("syn-regions", 40, "synthetic: acceleratable regions")
@@ -76,8 +82,11 @@ func main() {
 
 	prog := w.Accelerated
 	var dev isa.AccelDevice
+	newDev := w.NewDevice
+	devKey := w.DeviceKey
 	if *mode == "baseline" {
 		prog = w.Baseline
+		newDev, devKey = nil, ""
 	} else {
 		m, perr := accel.ParseMode(*mode)
 		if perr != nil {
@@ -85,6 +94,24 @@ func main() {
 		}
 		cfg.Mode = m
 		dev = w.NewDevice()
+	}
+
+	if *dump {
+		cfg.PipeTraceLimit = *trace
+		cfg.NoFastForward = *noFF
+		spec := scenario.Spec{
+			Config:    cfg,
+			Program:   prog,
+			NewDevice: newDev,
+			DeviceKey: devKey,
+			MaxCycles: 1 << 40,
+		}
+		if err := spec.Validate(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("workload:    %s — %s\n", w.Name, w.Description)
+		spec.Describe(os.Stdout)
+		return
 	}
 
 	fmt.Printf("workload: %s — %s\n", w.Name, w.Description)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -109,12 +110,19 @@ type LoadOrderingAblation struct {
 
 // LoadOrdering runs the A2 ablation on the given workload's baseline.
 func LoadOrdering(cfg sim.Config, w *workload.Workload) (*LoadOrderingAblation, error) {
-	return LoadOrderingParallel(cfg, w, 0)
+	return LoadOrderingStore(nil, cfg, w, 0)
 }
 
 // LoadOrderingParallel is LoadOrdering with an explicit worker count
 // (<= 0 selects GOMAXPROCS); both policy runs fan out as one job each.
 func LoadOrderingParallel(cfg sim.Config, w *workload.Workload, parallel int) (*LoadOrderingAblation, error) {
+	return LoadOrderingStore(nil, cfg, w, parallel)
+}
+
+// LoadOrderingStore is LoadOrderingParallel through a scenario store:
+// the decoupled run is digest-identical to the workload's measurement
+// baseline, so with a shared store one of the two executions is free.
+func LoadOrderingStore(store *scenario.Store, cfg sim.Config, w *workload.Workload, parallel int) (*LoadOrderingAblation, error) {
 	policies := []struct {
 		name         string
 		conservative bool
@@ -126,28 +134,28 @@ func LoadOrderingParallel(cfg sim.Config, w *workload.Workload, parallel int) (*
 		func(_ context.Context, _ int, p struct {
 			name         string
 			conservative bool
-		}) (*sim.Result, error) {
+		}) (sim.Stats, error) {
 			c := cfg
 			c.ConservativeLoadOrdering = p.conservative
-			core, err := sim.New(c, w.Baseline, nil)
+			stats, err := store.RunStats(scenario.Spec{
+				Config:    c,
+				Program:   w.Baseline,
+				MaxCycles: maxCycles,
+			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: load ordering (%s): %w", p.name, err)
+				return sim.Stats{}, fmt.Errorf("experiments: load ordering (%s): %w", p.name, err)
 			}
-			res, err := core.Run(maxCycles)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: load ordering (%s): %w", p.name, err)
-			}
-			return res, nil
+			return stats, nil
 		})
 	if err != nil {
 		return nil, err
 	}
 	dec, con := results[0], results[1]
 	return &LoadOrderingAblation{
-		DecoupledCycles:    dec.Stats.Cycles,
-		ConservativeCycles: con.Stats.Cycles,
-		DecoupledIPC:       dec.Stats.IPC(),
-		ConservativeIPC:    con.Stats.IPC(),
+		DecoupledCycles:    dec.Cycles,
+		ConservativeCycles: con.Cycles,
+		DecoupledIPC:       dec.IPC(),
+		ConservativeIPC:    con.IPC(),
 	}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -25,6 +26,9 @@ type E4Config struct {
 	Seed         int64
 	// Parallel is the study's worker count (<= 0 selects GOMAXPROCS).
 	Parallel int
+	// Store optionally caches and deduplicates runs; nil executes
+	// everything directly with identical results.
+	Store *scenario.Store
 }
 
 // DefaultE4 sizes the study for the harness. Operation counts keep the
@@ -90,7 +94,7 @@ func E4(cfg E4Config) (*E4Result, error) {
 			if err != nil {
 				return E4Row{}, err
 			}
-			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			res, err := MeasureWorkloadStore(cfg.Store, cfg.Core, w, cfg.Parallel)
 			if err != nil {
 				return E4Row{}, fmt.Errorf("experiments: E4 %s filler=%d: %w", job.kind, job.filler, err)
 			}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -25,6 +26,9 @@ type E5Config struct {
 	Seed         int64
 	// Parallel is the study's worker count (<= 0 selects GOMAXPROCS).
 	Parallel int
+	// Store optionally caches and deduplicates runs; nil executes
+	// everything directly with identical results.
+	Store *scenario.Store
 }
 
 // DefaultE5 sizes the study.
@@ -61,7 +65,7 @@ func E5(cfg E5Config) (*E5Result, error) {
 			if err != nil {
 				return E5Row{}, err
 			}
-			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			res, err := MeasureWorkloadStore(cfg.Store, cfg.Core, w, cfg.Parallel)
 			if err != nil {
 				return E5Row{}, fmt.Errorf("experiments: E5 filler=%d: %w", filler, err)
 			}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -30,6 +31,9 @@ type Fig4Config struct {
 	// GOMAXPROCS, 1 forces the serial path). Any width produces
 	// bit-identical results; see internal/runner.
 	Parallel int
+	// Store optionally caches and deduplicates runs; nil executes
+	// everything directly with identical results.
+	Store *scenario.Store
 }
 
 // DefaultFig4 sizes the sweep for the default harness.
@@ -73,7 +77,7 @@ func Fig4(cfg Fig4Config) (*Fig4Result, error) {
 			if err != nil {
 				return Fig4Row{}, err
 			}
-			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			res, err := MeasureWorkloadStore(cfg.Store, cfg.Core, w, cfg.Parallel)
 			if err != nil {
 				return Fig4Row{}, err
 			}

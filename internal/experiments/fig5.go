@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -24,6 +25,9 @@ type Fig5Config struct {
 	Seed         int64
 	// Parallel is the sweep's worker count (<= 0 selects GOMAXPROCS).
 	Parallel int
+	// Store optionally caches and deduplicates runs; nil executes
+	// everything directly with identical results.
+	Store *scenario.Store
 }
 
 // DefaultFig5 sizes the sweep for the default harness.
@@ -63,7 +67,7 @@ func Fig5(cfg Fig5Config) (*Fig5Result, error) {
 			if err != nil {
 				return Fig5Row{}, err
 			}
-			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			res, err := MeasureWorkloadStore(cfg.Store, cfg.Core, w, cfg.Parallel)
 			if err != nil {
 				return Fig5Row{}, err
 			}

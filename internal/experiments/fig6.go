@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -22,6 +23,9 @@ type Fig6Config struct {
 	Seed  int64
 	// Parallel is the study's worker count (<= 0 selects GOMAXPROCS).
 	Parallel int
+	// Store optionally caches and deduplicates runs; nil executes
+	// everything directly with identical results.
+	Store *scenario.Store
 }
 
 // DefaultFig6 keeps the paper's 32×32 blocking on a simulator-practical
@@ -58,7 +62,7 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 			if err != nil {
 				return Fig6Row{}, err
 			}
-			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			res, err := MeasureWorkloadStore(cfg.Store, cfg.Core, w, cfg.Parallel)
 			if err != nil {
 				return Fig6Row{}, err
 			}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -35,6 +36,9 @@ type Fig7SimConfig struct {
 	Seed   int64
 	// Parallel is the study's worker count (<= 0 selects GOMAXPROCS).
 	Parallel int
+	// Store optionally caches and deduplicates runs; nil executes
+	// everything directly with identical results.
+	Store *scenario.Store
 }
 
 // DefaultFig7Sim picks points clearly on either side of the NL_NT
@@ -78,7 +82,7 @@ func Fig7Sim(cfg Fig7SimConfig) (*Fig7SimResult, error) {
 			if err != nil {
 				return Fig7SimPoint{}, err
 			}
-			res, err := MeasureWorkloadParallel(cfg.Core, w, cfg.Parallel)
+			res, err := MeasureWorkloadStore(cfg.Store, cfg.Core, w, cfg.Parallel)
 			if err != nil {
 				return Fig7SimPoint{}, err
 			}

@@ -12,6 +12,13 @@
 // Each figure function returns typed rows/series that render to an ASCII
 // chart and CSV, so `cmd/figures` can regenerate the paper's artifacts in
 // one run.
+//
+// Every simulation a driver issues goes through a scenario.Spec and an
+// optional scenario.Store, so identical runs are described identically,
+// deduplicated within and across sweeps, and (with a disk-backed store)
+// reused across processes. A nil store reproduces the uncached behavior
+// exactly — the contract, enforced by tests and scripts/check.sh, is
+// byte-identical figure output with the cache off, cold, or warm.
 package experiments
 
 import (
@@ -22,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -30,31 +38,18 @@ import (
 const maxCycles = 4_000_000_000
 
 // ModeMeasurement is one (workload, mode) comparison of the simulator
-// against the model.
-type ModeMeasurement struct {
-	Mode         accel.Mode
-	SimCycles    int64
-	SimSpeedup   float64
-	ModelSpeedup float64
-	// Error is (model - sim) / sim.
-	Error float64
-}
+// against the model. It is the scenario layer's ModeResult: the record
+// a store caches is exactly what the drivers report.
+type ModeMeasurement = scenario.ModeResult
 
 // WorkloadResult is the full validation record for one workload on one
-// core configuration.
+// core configuration: the cacheable measurement plus the identity it
+// was measured under.
 type WorkloadResult struct {
 	Workload *workload.Workload
 	Config   sim.Config
 
-	BaselineCycles int64
-	BaselineIPC    float64
-	// MeasuredAccelLatency is the mean TCA service time observed in the
-	// L_T run's event trace (used for the model when the workload has no
-	// intrinsic latency).
-	MeasuredAccelLatency float64
-
-	Params core.Params
-	Modes  []ModeMeasurement
+	scenario.MeasureRecord
 }
 
 // archOf extracts the model's architecture constants from a simulator
@@ -67,11 +62,11 @@ func archOf(cfg sim.Config) core.CoreParams {
 	}
 }
 
-// measureRun is the outcome of one simulation job inside MeasureWorkload:
+// measureRun is the outcome of one simulation job inside measureCompute:
 // either the baseline run or one accelerated mode.
 type measureRun struct {
-	baseline *sim.Result
-	cycles   int64
+	stats  sim.Stats
+	cycles int64
 	// L_T extras: mean ROB occupancy, and the measured mean TCA service
 	// time when the run recorded its event trace.
 	occupancy   float64
@@ -85,18 +80,42 @@ type measureRun struct {
 // compare speedups. The five simulations fan out across GOMAXPROCS
 // workers; use MeasureWorkloadParallel to control the width.
 func MeasureWorkload(cfg sim.Config, w *workload.Workload) (*WorkloadResult, error) {
-	return MeasureWorkloadParallel(cfg, w, 0)
+	return MeasureWorkloadStore(nil, cfg, w, 0)
 }
 
 // MeasureWorkloadParallel is MeasureWorkload with an explicit worker
-// count (<= 0 selects GOMAXPROCS, 1 forces the serial path). The five
-// runs — baseline plus four modes — are independent: each builds its own
-// core, memory image, and device, so any width produces bit-identical
-// results.
+// count (<= 0 selects GOMAXPROCS, 1 forces the serial path).
 func MeasureWorkloadParallel(cfg sim.Config, w *workload.Workload, parallel int) (*WorkloadResult, error) {
+	return MeasureWorkloadStore(nil, cfg, w, parallel)
+}
+
+// MeasureWorkloadStore is the primary entry point: MeasureWorkload
+// through a scenario store. The whole measurement caches as one record
+// keyed by the canonical (config, workload) digest; on a measure-level
+// miss the five constituent runs — baseline plus four modes — go
+// through the store's run-level cache individually, so a baseline
+// shared between sweeps still executes only once. A nil store executes
+// everything directly. Any store state and any worker count produce
+// bit-identical results: the five runs are independent, each building
+// its own core, memory image, and device.
+func MeasureWorkloadStore(store *scenario.Store, cfg sim.Config, w *workload.Workload, parallel int) (*WorkloadResult, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	spec := scenario.MeasureSpec{Config: cfg, Workload: w, MaxCycles: maxCycles}
+	rec, err := store.Measure(spec, func() (scenario.MeasureRecord, error) {
+		return measureCompute(store, cfg, w, parallel)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WorkloadResult{Workload: w, Config: cfg, MeasureRecord: rec}, nil
+}
+
+// measureCompute performs the actual five-run measurement and model
+// comparison. Each run is issued as a scenario.Spec through the store.
+func measureCompute(store *scenario.Store, cfg sim.Config, w *workload.Workload, parallel int) (scenario.MeasureRecord, error) {
+	var rec scenario.MeasureRecord
 
 	// Job 0 is the baseline; jobs 1..4 are the accelerated modes. The
 	// L_T run records the event trace so memory-dependent accelerators
@@ -107,35 +126,37 @@ func MeasureWorkloadParallel(cfg sim.Config, w *workload.Workload, parallel int)
 	runs, _, err := runner.Sweep(context.Background(), parallel, 1+len(accel.AllModes),
 		func(_ context.Context, i int) (measureRun, error) {
 			if i == 0 {
-				baseCore, err := sim.New(cfg, w.Baseline, nil)
+				stats, err := store.RunStats(scenario.Spec{
+					Config:    cfg,
+					Program:   w.Baseline,
+					MaxCycles: maxCycles,
+				})
 				if err != nil {
 					return measureRun{}, fmt.Errorf("experiments: %s baseline: %w", w.Name, err)
 				}
-				baseRes, err := baseCore.Run(maxCycles)
-				if err != nil {
-					return measureRun{}, fmt.Errorf("experiments: %s baseline run: %w", w.Name, err)
-				}
-				return measureRun{baseline: baseRes}, nil
+				return measureRun{stats: stats}, nil
 			}
 			m := accel.AllModes[i-1]
 			mcfg := cfg
 			mcfg.Mode = m
 			//lint:ignore R4 exact sentinel: AccelLatency zero means "unset, measure it", never a computed value
 			mcfg.RecordAccelEvents = m == accel.LT && w.AccelLatency == 0
-			c, err := sim.New(mcfg, w.Accelerated, w.NewDevice())
+			stats, err := store.RunStats(scenario.Spec{
+				Config:    mcfg,
+				Program:   w.Accelerated,
+				NewDevice: w.NewDevice,
+				DeviceKey: w.DeviceKey,
+				MaxCycles: maxCycles,
+			})
 			if err != nil {
 				return measureRun{}, fmt.Errorf("experiments: %s %s: %w", w.Name, m, err)
 			}
-			res, err := c.Run(maxCycles)
-			if err != nil {
-				return measureRun{}, fmt.Errorf("experiments: %s %s run: %w", w.Name, m, err)
-			}
-			run := measureRun{cycles: res.Stats.Cycles}
+			run := measureRun{cycles: stats.Cycles}
 			if m == accel.LT {
-				run.occupancy = res.Stats.AvgROBOccupancy()
+				run.occupancy = stats.AvgROBOccupancy()
 			}
 			if mcfg.RecordAccelEvents {
-				svc, err := interval.AnalyzeEvents(res.Stats.AccelEvents)
+				svc, err := interval.AnalyzeEvents(stats.AccelEvents)
 				if err != nil {
 					return measureRun{}, fmt.Errorf("experiments: %s: %w", w.Name, err)
 				}
@@ -145,16 +166,12 @@ func MeasureWorkloadParallel(cfg sim.Config, w *workload.Workload, parallel int)
 			return run, nil
 		})
 	if err != nil {
-		return nil, err
+		return rec, err
 	}
 
-	baseRes := runs[0].baseline
-	out := &WorkloadResult{
-		Workload:       w,
-		Config:         cfg,
-		BaselineCycles: baseRes.Stats.Cycles,
-		BaselineIPC:    baseRes.Stats.IPC(),
-	}
+	baseStats := runs[0].stats
+	rec.BaselineCycles = baseStats.Cycles
+	rec.BaselineIPC = baseStats.IPC()
 	simCycles := make(map[accel.Mode]int64, len(accel.AllModes))
 	var ltOccupancy float64
 	for i, m := range accel.AllModes {
@@ -164,34 +181,34 @@ func MeasureWorkloadParallel(cfg sim.Config, w *workload.Workload, parallel int)
 			ltOccupancy = run.occupancy
 		}
 		if run.hasService {
-			out.MeasuredAccelLatency = run.meanService
+			rec.MeasuredAccelLatency = run.meanService
 		}
 	}
 
 	// Calibrate the model from the baseline measurement.
 	lat := w.AccelLatency
 	if lat == 0 { //lint:ignore R4 exact sentinel: AccelLatency zero means "unset, use the measured latency"
-		lat = out.MeasuredAccelLatency
+		lat = rec.MeasuredAccelLatency
 	}
-	meas := interval.FromBaselineRun(baseRes, w.Acceleratable, w.Invocations)
+	meas := interval.FromBaselineStats(baseStats, w.Acceleratable, w.Invocations)
 	if ltOccupancy > 0 {
 		meas.AvgROBOccupancy = ltOccupancy
 	}
 	params, err := interval.Calibrate(meas, archOf(cfg), 0, lat)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s calibrate: %w", w.Name, err)
+		return rec, fmt.Errorf("experiments: %s calibrate: %w", w.Name, err)
 	}
-	out.Params = params
+	rec.Params = params
 
 	model, err := params.Speedups()
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s model: %w", w.Name, err)
+		return rec, fmt.Errorf("experiments: %s model: %w", w.Name, err)
 	}
-	out.Modes = make([]ModeMeasurement, 0, len(accel.AllModes))
+	rec.Modes = make([]ModeMeasurement, 0, len(accel.AllModes))
 	for _, m := range accel.AllModes {
-		simSp := float64(baseRes.Stats.Cycles) / float64(simCycles[m])
+		simSp := float64(baseStats.Cycles) / float64(simCycles[m])
 		modSp := model.Get(m)
-		out.Modes = append(out.Modes, ModeMeasurement{
+		rec.Modes = append(rec.Modes, ModeMeasurement{
 			Mode:         m,
 			SimCycles:    simCycles[m],
 			SimSpeedup:   simSp,
@@ -199,30 +216,5 @@ func MeasureWorkloadParallel(cfg sim.Config, w *workload.Workload, parallel int)
 			Error:        interval.SpeedupError(modSp, simSp),
 		})
 	}
-	return out, nil
-}
-
-// MaxAbsError returns the largest |error| across modes.
-func (r *WorkloadResult) MaxAbsError() float64 {
-	var worst float64
-	for _, m := range r.Modes {
-		e := m.Error
-		if e < 0 {
-			e = -e
-		}
-		if e > worst {
-			worst = e
-		}
-	}
-	return worst
-}
-
-// Mode returns the measurement for one mode.
-func (r *WorkloadResult) Mode(m accel.Mode) ModeMeasurement {
-	for _, mm := range r.Modes {
-		if mm.Mode == m {
-			return mm
-		}
-	}
-	panic(fmt.Sprintf("experiments: mode %v not measured", m))
+	return rec, nil
 }

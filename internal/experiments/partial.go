@@ -8,6 +8,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/isa"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/tcmalloc"
 	"repro/internal/textplot"
@@ -25,6 +26,9 @@ type E3Config struct {
 	SkipEvery []int
 	// Parallel is the study's worker count (<= 0 selects GOMAXPROCS).
 	Parallel int
+	// Store optionally caches and deduplicates runs; nil executes
+	// everything directly with identical results.
+	Store *scenario.Store
 }
 
 // DefaultE3 sweeps branch surprise rates.
@@ -83,6 +87,10 @@ func e3Device() isa.AccelDevice {
 	return accel.NewHeap(a)
 }
 
+// e3DeviceKey canonically names e3Device's construction for the
+// scenario store.
+const e3DeviceKey = "heap:arena=0x100000,size=4194304,refill=1x128"
+
 // E3 measures full speculation, confidence-gated partial speculation, and
 // no speculation on the simulator. Each surprise-rate point is one job;
 // the three policy runs inside a point fan out as a nested sweep.
@@ -92,15 +100,13 @@ func E3(cfg E3Config) (*E3Result, error) {
 		c.Mode = mode
 		c.PartialSpeculation = partial
 		c.Predictor = sim.PredictorConfig{Kind: "bimodal"}
-		core, err := sim.New(c, prog, e3Device())
-		if err != nil {
-			return sim.Stats{}, err
-		}
-		res, err := core.Run(maxCycles)
-		if err != nil {
-			return sim.Stats{}, err
-		}
-		return res.Stats, nil
+		return cfg.Store.RunStats(scenario.Spec{
+			Config:    c,
+			Program:   prog,
+			NewDevice: e3Device,
+			DeviceKey: e3DeviceKey,
+			MaxCycles: maxCycles,
+		})
 	}
 	policies := []struct {
 		name    string

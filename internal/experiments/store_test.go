@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// storeTestWorkload is one small synthetic workload for the cache
+// equivalence tests.
+func storeTestWorkload(t testing.TB) *workload.Workload {
+	t.Helper()
+	w, err := workload.Synthetic(workload.SyntheticConfig{
+		Units: 40, UnitLen: 25, Regions: 8, RegionLen: 60,
+		AccelLatency: 12, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestMeasureWorkloadStoreMatchesDirect is the core cache contract at
+// the measurement level: nil store, cold store and warm store must
+// produce identical records, and the warm request must not simulate.
+func TestMeasureWorkloadStoreMatchesDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated measurement")
+	}
+	w := storeTestWorkload(t)
+	cfg := sim.HighPerfConfig()
+
+	direct, err := MeasureWorkload(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := scenario.NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := MeasureWorkloadStore(store, cfg, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := MeasureWorkloadStore(store, cfg, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(direct.MeasureRecord, cold.MeasureRecord) {
+		t.Errorf("cold store record differs from direct:\ndirect: %+v\ncold:   %+v",
+			direct.MeasureRecord, cold.MeasureRecord)
+	}
+	if !reflect.DeepEqual(cold.MeasureRecord, warm.MeasureRecord) {
+		t.Errorf("warm store record differs from cold:\ncold: %+v\nwarm: %+v",
+			cold.MeasureRecord, warm.MeasureRecord)
+	}
+
+	m := store.Metrics()
+	if m.MeasureMisses != 1 || m.MeasureHits != 1 {
+		t.Errorf("measure counters %+v, want exactly 1 miss + 1 hit", m)
+	}
+	// The miss ran baseline + four modes; the hit ran nothing.
+	if m.RunMisses != 5 {
+		t.Errorf("run misses %d, want 5 (baseline + 4 modes)", m.RunMisses)
+	}
+	if m.DedupRatio() <= 0 {
+		t.Errorf("dedup ratio %.2f, want > 0 after a warm request", m.DedupRatio())
+	}
+}
+
+// TestDiskStoreMatchesAcrossProcesses: a figure driver fed from a
+// fresh store over a populated directory must render byte-identical
+// artifacts while simulating nothing.
+func TestDiskStoreMatchesAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated sweep")
+	}
+	dir := t.TempDir()
+
+	uncached, err := Fig4(detFig4(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldStore, err := scenario.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCfg := detFig4(8)
+	coldCfg.Store = coldStore
+	cold, err := Fig4(coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warmStore, err := scenario.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := detFig4(1)
+	warmCfg.Store = warmStore
+	warm, err := Fig4(warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := uncached.CSV(), cold.CSV(); a != b {
+		t.Errorf("cold-store CSV differs from uncached:\nuncached:\n%s\ncold:\n%s", a, b)
+	}
+	if a, b := uncached.CSV(), warm.CSV(); a != b {
+		t.Errorf("warm-store CSV differs from uncached:\nuncached:\n%s\nwarm:\n%s", a, b)
+	}
+	if a, b := uncached.Render(), warm.Render(); a != b {
+		t.Error("warm-store render differs from uncached")
+	}
+
+	m := warmStore.Metrics()
+	if m.RunMisses != 0 || m.MeasureMisses != 0 {
+		t.Errorf("warm store simulated: %+v, want zero misses", m)
+	}
+	if m.MeasureDiskHits == 0 {
+		t.Errorf("warm store metrics %+v, want measure-level disk hits", m)
+	}
+}
+
+// The measurement-level cached-vs-uncached pair: a full five-run
+// measurement versus the same request served from a warm store.
+
+func BenchmarkMeasureWorkloadUncached(b *testing.B) {
+	w := storeTestWorkload(b)
+	cfg := sim.HighPerfConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasureWorkload(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeasureWorkloadWarm(b *testing.B) {
+	w := storeTestWorkload(b)
+	cfg := sim.HighPerfConfig()
+	store, err := scenario.NewStore("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := MeasureWorkloadStore(store, cfg, w, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasureWorkloadStore(store, cfg, w, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

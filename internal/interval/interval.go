@@ -55,12 +55,19 @@ func (m BaselineMeasurement) Validate() error {
 // FromBaselineRun builds a measurement from a baseline simulation result
 // plus workload-known region counts.
 func FromBaselineRun(res *sim.Result, acceleratable, invocations uint64) BaselineMeasurement {
+	return FromBaselineStats(res.Stats, acceleratable, invocations)
+}
+
+// FromBaselineStats is FromBaselineRun for callers that hold only the
+// run statistics — e.g. results served from the scenario store, which
+// caches sim.Stats rather than whole sim.Results.
+func FromBaselineStats(s sim.Stats, acceleratable, invocations uint64) BaselineMeasurement {
 	return BaselineMeasurement{
-		Cycles:                    res.Stats.Cycles,
-		Instructions:              res.Stats.Committed,
+		Cycles:                    s.Cycles,
+		Instructions:              s.Committed,
 		AcceleratableInstructions: acceleratable,
 		Invocations:               invocations,
-		AvgROBOccupancy:           res.Stats.AvgROBOccupancy(),
+		AvgROBOccupancy:           s.AvgROBOccupancy(),
 	}
 }
 

@@ -71,6 +71,8 @@ func TestRuleFixtures(t *testing.T) {
 		{name: "R5-allowed-in-defining-pkg", file: "r5.go", as: "internal/sim/fixture", ignores: true},
 		{name: "R6-in-scope", file: "r6.go", as: "internal/sim/fixture"},
 		{name: "R6-out-of-scope", file: "r6.go", as: "internal/mem/fixture", ignores: true},
+		{name: "R7-everywhere", file: "r7.go", as: "internal/experiments/fixture"},
+		{name: "R7-in-defining-pkg", file: "r7.go", as: "internal/scenario/fixture"},
 	}
 	loader := fixtureLoader(t)
 	for _, tc := range cases {
@@ -134,7 +136,7 @@ func compareDiags(t *testing.T, want []string, diags []Diagnostic) {
 // TestRuleMetadata guards the published rule catalog: stable IDs, names
 // and docs that LINT.md documents.
 func TestRuleMetadata(t *testing.T) {
-	wantIDs := []string{"R1", "R2", "R3", "R4", "R5", "R6"}
+	wantIDs := []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
 	rules := AllRules()
 	if len(rules) != len(wantIDs) {
 		t.Fatalf("AllRules: got %d rules, want %d", len(rules), len(wantIDs))

@@ -16,6 +16,7 @@ func AllRules() []*Rule {
 		ruleFloatEq,
 		ruleConfigMut,
 		ruleNowWrite,
+		ruleUnkeyedSpec,
 	}
 }
 

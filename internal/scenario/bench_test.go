@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// The cached-vs-uncached pair: BenchmarkRunStatsUncached is the cost of
+// one full simulation; BenchmarkRunStatsWarm is the cost of serving the
+// same spec from the in-memory store (digest + map lookup + stats
+// clone); BenchmarkRunStatsWarmDisk adds a fresh store per iteration so
+// every request pays the blob read. BENCH_PR4.json tracks the spread.
+
+func BenchmarkRunStatsUncached(b *testing.B) {
+	spec := baselineSpec(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s *Store
+		if _, err := s.RunStats(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunStatsWarm(b *testing.B) {
+	s := newTestStore(b, "")
+	spec := baselineSpec(b)
+	if _, err := s.RunStats(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunStats(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunStatsWarmDisk(b *testing.B) {
+	dir := b.TempDir()
+	seed := newTestStore(b, dir)
+	spec := baselineSpec(b)
+	if _, err := seed.RunStats(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newTestStore(b, dir)
+		if _, err := s.RunStats(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDigest(b *testing.B) {
+	spec := baselineSpec(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = spec.Digest()
+	}
+}

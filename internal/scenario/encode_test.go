@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// goldenProgram is a tiny fixed instruction stream with one init word —
+// small enough that the golden digests below are cheap to regenerate,
+// rich enough to exercise every encoded program field.
+func goldenProgram(t testing.TB) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder()
+	b.MovI(isa.R(1), 5)
+	b.MovI(isa.R(2), 7)
+	b.Add(isa.R(3), isa.R(1), isa.R(2))
+	b.MovI(isa.R(4), 0x1000)
+	b.Load(isa.R(5), isa.R(4), 0)
+	b.Add(isa.R(3), isa.R(3), isa.R(5))
+	b.InitWord(0x1000, 42)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestGoldenDigests pins the canonical encoding for the stock core
+// configurations across all four TCA modes. A failure here means the
+// encoding changed — field set, order, width, or canonicalization rule.
+// That is only acceptable together with a SchemeVersion bump (so stale
+// disk blobs miss instead of serving wrong bytes); bump it, then
+// regenerate these constants from the failure output.
+func TestGoldenDigests(t *testing.T) {
+	golden := []struct {
+		core string
+		mode accel.Mode
+		want string
+	}{
+		{"hp", accel.LT, "7b187ea3485ef7888fa8d4ae420c055184a48e2f90d75fbd8d4bcc5b46a423fc"},
+		{"hp", accel.NLT, "2cab94f77a8be7da1fa94041e91d5f002e65960edc96ebb0f6a85bf3eddb8414"},
+		{"hp", accel.LNT, "cc2b8c9b66a1c21b51880b618700fa4dfe7d7870420191021fbe819c475b3b43"},
+		{"hp", accel.NLNT, "c8aae6fe670fa53bb6693a174eb07734b9d99015795dc48ccd2438a805ea4065"},
+		{"lp", accel.LT, "b9f6d95b0337423653a9e28cdfa1fa7845435a671ae25693066b7217d234345a"},
+		{"lp", accel.NLT, "2f862c71ff3add6661ff23531a31cacb74d3fd607bf45e0543743033e358de78"},
+		{"lp", accel.LNT, "5899a450eb6834024f9581e3b376736761985bca049ba5aaddf7d9c11f4f3afc"},
+		{"lp", accel.NLNT, "4e9846b274504f33d1b379eddffd9097f9219f6f182741f4e3102a6c6f3d58c0"},
+	}
+	prog := goldenProgram(t)
+	for _, g := range golden {
+		cfg := sim.HighPerfConfig()
+		if g.core == "lp" {
+			cfg = sim.LowPerfConfig()
+		}
+		cfg.Mode = g.mode
+		spec := Spec{Config: cfg, Program: prog, MaxCycles: 100000}
+		if got := spec.Digest().String(); got != g.want {
+			t.Errorf("%s/%s: digest %s, want %s", g.core, g.mode, got, g.want)
+		}
+	}
+}
+
+// TestDigestIgnoresNeutralFields: fields erased by canonicalization —
+// labels for humans, and NoFastForward, which is bit-identical by the
+// fast-forward contract — must not move the digest.
+func TestDigestIgnoresNeutralFields(t *testing.T) {
+	prog := goldenProgram(t)
+	base := Spec{Config: sim.HighPerfConfig(), Program: prog, MaxCycles: 100000}
+	want := base.Digest()
+
+	mut := base
+	mut.Config.Name = "renamed"
+	mut.Config.NoFastForward = true
+	mut.Config.Memory.L1I.Name = "icache"
+	mut.Config.Memory.L1D.Name = "dcache"
+	mut.Config.Memory.L2.Name = "llc"
+	if got := mut.Digest(); got != want {
+		t.Errorf("neutral-field mutation moved the digest: %s != %s", got, want)
+	}
+
+	// Implicit predictor defaults and their explicit spellings are the
+	// same machine, so they must be the same digest.
+	imp := base
+	imp.Config.Predictor.Kind = ""
+	imp.Config.Predictor.TableBits = 0
+	imp.Config.Predictor.HistBits = 0
+	exp := base
+	exp.Config.Predictor.Kind = "gshare"
+	exp.Config.Predictor.TableBits = 12
+	exp.Config.Predictor.HistBits = 8
+	if imp.Digest() != exp.Digest() {
+		t.Error("implicit and explicit predictor defaults digest differently")
+	}
+}
+
+// TestDigestSensitivity: every semantic field must move the digest.
+func TestDigestSensitivity(t *testing.T) {
+	prog := goldenProgram(t)
+	base := Spec{Config: sim.HighPerfConfig(), Program: prog, MaxCycles: 100000}
+	want := base.Digest()
+
+	muts := map[string]func(*Spec){
+		"rob-size":        func(s *Spec) { s.Config.ROBSize++ },
+		"mode":            func(s *Spec) { s.Config.Mode = accel.NLNT },
+		"partial-spec":    func(s *Spec) { s.Config.PartialSpeculation = true },
+		"load-ordering":   func(s *Spec) { s.Config.ConservativeLoadOrdering = true },
+		"predictor":       func(s *Spec) { s.Config.Predictor.Kind = "bimodal" },
+		"l1d-size":        func(s *Spec) { s.Config.Memory.L1D.SizeBytes *= 2 },
+		"dram-latency":    func(s *Spec) { s.Config.Memory.DRAM.Latency++ },
+		"record-events":   func(s *Spec) { s.Config.RecordAccelEvents = true },
+		"pipetrace-limit": func(s *Spec) { s.Config.PipeTraceLimit = 10 },
+		"max-cycles":      func(s *Spec) { s.MaxCycles++ },
+		"device":          func(s *Spec) { s.NewDevice = func() isa.AccelDevice { return nil }; s.DeviceKey = "k" },
+	}
+	for name, mutate := range muts {
+		s := base
+		mutate(&s)
+		if s.Digest() == want {
+			t.Errorf("%s: mutation did not move the digest", name)
+		}
+	}
+
+	// Program identity: code and init words both count.
+	b := isa.NewBuilder()
+	b.Nop()
+	b.Halt()
+	other, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := base
+	s.Program = other
+	if s.Digest() == want {
+		t.Error("program change did not move the digest")
+	}
+
+	// Device keys distinguish otherwise-identical specs.
+	a, c := base, base
+	a.NewDevice = func() isa.AccelDevice { return nil }
+	c.NewDevice = a.NewDevice
+	a.DeviceKey, c.DeviceKey = "fixed:lat=1", "fixed:lat=2"
+	if a.Digest() == c.Digest() {
+		t.Error("device key change did not move the digest")
+	}
+}
+
+// TestDigestPanicsOnUncacheable: a device without a canonical key has
+// no identity; hashing it anyway would risk cross-device sharing.
+func TestDigestPanicsOnUncacheable(t *testing.T) {
+	spec := Spec{
+		Config:    sim.HighPerfConfig(),
+		Program:   goldenProgram(t),
+		NewDevice: func() isa.AccelDevice { return nil },
+		MaxCycles: 1,
+	}
+	if spec.Cacheable() {
+		t.Fatal("device without key should not be cacheable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Digest on uncacheable spec did not panic")
+		}
+	}()
+	spec.Digest()
+}
+
+// TestDescribe smoke-checks the -dump-scenario rendering: it must show
+// the digest and the canonical (not the spelled) predictor.
+func TestDescribe(t *testing.T) {
+	spec := Spec{Config: sim.HighPerfConfig(), Program: goldenProgram(t), MaxCycles: 100000}
+	var sb strings.Builder
+	spec.Describe(&sb)
+	out := sb.String()
+	if !strings.Contains(out, spec.Digest().String()) {
+		t.Errorf("Describe output missing digest:\n%s", out)
+	}
+	if !strings.Contains(out, "gshare") {
+		t.Errorf("Describe output missing canonical predictor:\n%s", out)
+	}
+
+	spec.NewDevice = func() isa.AccelDevice { return nil }
+	sb.Reset()
+	spec.Describe(&sb)
+	if !strings.Contains(sb.String(), "uncacheable") {
+		t.Errorf("Describe of uncacheable spec should say so:\n%s", sb.String())
+	}
+}

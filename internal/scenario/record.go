@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+)
+
+// ModeResult is one (workload, mode) comparison of the simulator
+// against the analytical model.
+type ModeResult struct {
+	Mode         accel.Mode
+	SimCycles    int64
+	SimSpeedup   float64
+	ModelSpeedup float64
+	// Error is (model - sim) / sim.
+	Error float64
+}
+
+// MeasureRecord is the cacheable outcome of one full measure-workload
+// evaluation: the baseline measurement, the calibrated model
+// parameters, and the per-mode comparison. Every field round-trips
+// exactly through JSON (integers, finite float64s, and slices of
+// same), so disk-cached records reproduce in-memory results
+// byte-for-byte.
+type MeasureRecord struct {
+	BaselineCycles int64
+	BaselineIPC    float64
+	// MeasuredAccelLatency is the mean TCA service time observed in
+	// the L_T run's event trace (used by the model when the workload
+	// has no intrinsic latency).
+	MeasuredAccelLatency float64
+
+	Params core.Params
+	Modes  []ModeResult
+}
+
+// Clone returns a deep copy, so cached records can be handed out
+// without aliasing the store's canonical copy.
+func (r MeasureRecord) Clone() MeasureRecord {
+	out := r
+	out.Modes = append([]ModeResult(nil), r.Modes...)
+	return out
+}
+
+// MaxAbsError returns the largest |error| across modes.
+func (r MeasureRecord) MaxAbsError() float64 {
+	var worst float64
+	for _, m := range r.Modes {
+		e := m.Error
+		if e < 0 {
+			e = -e
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Mode returns the measurement for one mode.
+func (r MeasureRecord) Mode(m accel.Mode) ModeResult {
+	for _, mm := range r.Modes {
+		if mm.Mode == m {
+			return mm
+		}
+	}
+	panic(fmt.Sprintf("scenario: mode %v not measured", m))
+}

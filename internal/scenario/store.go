@@ -1,0 +1,301 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Store is a concurrency-safe, content-addressed cache of simulation
+// results, keyed by canonical spec digests. It caches at two levels —
+// single runs (Spec → sim.Stats) and full measurements (MeasureSpec →
+// MeasureRecord) — in memory always, and in a directory of versioned
+// JSON blobs when one is configured. Identical specs requested
+// concurrently execute once (singleflight); everyone else blocks on
+// the first execution and shares its result.
+//
+// A nil *Store is valid and means "no caching": every method executes
+// the work directly, so callers never branch on cache availability.
+//
+// The disk layer is strictly best-effort and can only produce misses,
+// never wrong results or errors: a blob that is unreadable, corrupt,
+// from another scheme version, or digest-mismatched is ignored and the
+// run re-executes. Run errors are cached in memory for the process
+// lifetime (the spec is deterministic, so retrying cannot help) but
+// never written to disk.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	runs     map[Digest]*runEntry
+	measures map[Digest]*measureEntry
+
+	// Counters are atomics so Metrics can snapshot without the map
+	// lock.
+	runHits, runMisses, runDiskHits, runUncacheable     atomic.Int64
+	measHits, measMisses, measDiskHits, measUncacheable atomic.Int64
+	bytesRead, bytesWritten                             atomic.Int64
+}
+
+type runEntry struct {
+	once  sync.Once
+	stats sim.Stats
+	err   error
+}
+
+type measureEntry struct {
+	once sync.Once
+	rec  MeasureRecord
+	err  error
+}
+
+// NewStore returns a store. dir == "" keeps the cache in memory only;
+// otherwise dir is created if needed and used for persistent blobs.
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("scenario: cache dir: %w", err)
+		}
+	}
+	return &Store{
+		dir:      dir,
+		runs:     make(map[Digest]*runEntry),
+		measures: make(map[Digest]*measureEntry),
+	}, nil
+}
+
+// RunStats executes the spec — or returns the cached sim.Stats of a
+// digest-equal earlier run. The returned Stats is a private copy;
+// callers may mutate it freely.
+func (s *Store) RunStats(spec Spec) (sim.Stats, error) {
+	if s == nil {
+		return spec.run()
+	}
+	if !spec.Cacheable() {
+		s.runUncacheable.Add(1)
+		return spec.run()
+	}
+	d := spec.Digest()
+	s.mu.Lock()
+	e, ok := s.runs[d]
+	if !ok {
+		e = &runEntry{}
+		s.runs[d] = e
+	}
+	s.mu.Unlock()
+
+	ran := false
+	e.once.Do(func() {
+		ran = true
+		if st, ok := s.loadRunBlob(d); ok {
+			e.stats = st
+			s.runDiskHits.Add(1)
+			return
+		}
+		s.runMisses.Add(1)
+		e.stats, e.err = spec.run()
+		if e.err == nil {
+			s.saveRunBlob(d, e.stats)
+		}
+	})
+	if !ran {
+		s.runHits.Add(1)
+	}
+	return cloneStats(e.stats), e.err
+}
+
+// Measure returns the cached MeasureRecord for the spec, or computes
+// it once via compute. The compute closure typically issues its
+// constituent runs through s.RunStats, so run-level deduplication
+// applies even when the measure level misses.
+func (s *Store) Measure(spec MeasureSpec, compute func() (MeasureRecord, error)) (MeasureRecord, error) {
+	if s == nil {
+		return compute()
+	}
+	if !spec.Cacheable() {
+		s.measUncacheable.Add(1)
+		return compute()
+	}
+	d := spec.Digest()
+	s.mu.Lock()
+	e, ok := s.measures[d]
+	if !ok {
+		e = &measureEntry{}
+		s.measures[d] = e
+	}
+	s.mu.Unlock()
+
+	ran := false
+	e.once.Do(func() {
+		ran = true
+		if rec, ok := s.loadMeasureBlob(d); ok {
+			e.rec = rec
+			s.measDiskHits.Add(1)
+			return
+		}
+		s.measMisses.Add(1)
+		e.rec, e.err = compute()
+		if e.err == nil {
+			s.saveMeasureBlob(d, e.rec)
+		}
+	})
+	if !ran {
+		s.measHits.Add(1)
+	}
+	return e.rec.Clone(), e.err
+}
+
+// cloneStats deep-copies a Stats so cached canonical copies are never
+// aliased by callers.
+func cloneStats(st sim.Stats) sim.Stats {
+	out := st
+	out.AccelEvents = append([]sim.AccelEvent(nil), st.AccelEvents...)
+	out.PipeTrace = append([]sim.PipeEvent(nil), st.PipeTrace...)
+	return out
+}
+
+// Metrics is a point-in-time snapshot of store activity.
+type Metrics struct {
+	// Run-level counters. Hits are served from memory, DiskHits from
+	// the blob directory, Misses executed the simulator, Uncacheable
+	// runs bypassed the cache (device without a canonical key).
+	RunHits, RunMisses, RunDiskHits, RunUncacheable int64
+	// Measure-level counters, same meaning.
+	MeasureHits, MeasureMisses, MeasureDiskHits, MeasureUncacheable int64
+	// BytesRead/BytesWritten count disk-blob traffic.
+	BytesRead, BytesWritten int64
+}
+
+// Metrics snapshots the counters. Safe on a nil store (all zero).
+func (s *Store) Metrics() Metrics {
+	if s == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		RunHits:            s.runHits.Load(),
+		RunMisses:          s.runMisses.Load(),
+		RunDiskHits:        s.runDiskHits.Load(),
+		RunUncacheable:     s.runUncacheable.Load(),
+		MeasureHits:        s.measHits.Load(),
+		MeasureMisses:      s.measMisses.Load(),
+		MeasureDiskHits:    s.measDiskHits.Load(),
+		MeasureUncacheable: s.measUncacheable.Load(),
+		BytesRead:          s.bytesRead.Load(),
+		BytesWritten:       s.bytesWritten.Load(),
+	}
+}
+
+// DedupRatio is the fraction of cacheable requests served without
+// executing the simulator: (hits + disk hits) / all cacheable
+// requests, across both levels. Zero when nothing was requested.
+func (m Metrics) DedupRatio() float64 {
+	served := m.RunHits + m.RunDiskHits + m.MeasureHits + m.MeasureDiskHits
+	total := served + m.RunMisses + m.MeasureMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
+}
+
+// String renders the one-line report cmd/figures prints to stderr.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"scenario store: runs %d hit / %d disk / %d miss / %d uncacheable | measures %d hit / %d disk / %d miss / %d uncacheable | %d B read, %d B written | dedup %.1f%%",
+		m.RunHits, m.RunDiskHits, m.RunMisses, m.RunUncacheable,
+		m.MeasureHits, m.MeasureDiskHits, m.MeasureMisses, m.MeasureUncacheable,
+		m.BytesRead, m.BytesWritten, 100*m.DedupRatio())
+}
+
+// diskBlob is the on-disk JSON envelope. Scheme and digest are
+// verified on load; either mismatching turns the blob into a miss.
+type diskBlob struct {
+	Scheme  int            `json:"scheme"`
+	Kind    string         `json:"kind"`
+	Digest  string         `json:"digest"`
+	Run     *sim.Stats     `json:"run,omitempty"`
+	Measure *MeasureRecord `json:"measure,omitempty"`
+}
+
+func (s *Store) blobPath(kind string, d Digest) string {
+	return filepath.Join(s.dir, kind+"-"+d.String()+".json")
+}
+
+// loadBlob reads and verifies one envelope. Any failure is a miss.
+func (s *Store) loadBlob(kind string, d Digest) (diskBlob, bool) {
+	if s.dir == "" {
+		return diskBlob{}, false
+	}
+	data, err := os.ReadFile(s.blobPath(kind, d))
+	if err != nil {
+		return diskBlob{}, false
+	}
+	var b diskBlob
+	if json.Unmarshal(data, &b) != nil {
+		return diskBlob{}, false
+	}
+	if b.Scheme != SchemeVersion || b.Kind != kind || b.Digest != d.String() {
+		return diskBlob{}, false
+	}
+	s.bytesRead.Add(int64(len(data)))
+	return b, true
+}
+
+// saveBlob writes one envelope via temp-file + rename so concurrent
+// processes never observe partial blobs. Failures are silently
+// ignored: the disk layer is an optimization, not a requirement.
+func (s *Store) saveBlob(kind string, d Digest, b diskBlob) {
+	if s.dir == "" {
+		return
+	}
+	b.Scheme = SchemeVersion
+	b.Kind = kind
+	b.Digest = d.String()
+	data, err := json.Marshal(b)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, kind+"-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), s.blobPath(kind, d)) != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	s.bytesWritten.Add(int64(len(data)))
+}
+
+func (s *Store) loadRunBlob(d Digest) (sim.Stats, bool) {
+	b, ok := s.loadBlob("run", d)
+	if !ok || b.Run == nil {
+		return sim.Stats{}, false
+	}
+	return *b.Run, true
+}
+
+func (s *Store) saveRunBlob(d Digest, st sim.Stats) {
+	s.saveBlob("run", d, diskBlob{Run: &st})
+}
+
+func (s *Store) loadMeasureBlob(d Digest) (MeasureRecord, bool) {
+	b, ok := s.loadBlob("measure", d)
+	if !ok || b.Measure == nil {
+		return MeasureRecord{}, false
+	}
+	return *b.Measure, true
+}
+
+func (s *Store) saveMeasureBlob(d Digest, rec MeasureRecord) {
+	s.saveBlob("measure", d, diskBlob{Measure: &rec})
+}

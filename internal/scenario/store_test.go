@@ -1,0 +1,342 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// testWorkload builds a small synthetic workload: a device-bearing
+// accelerated program with a canonical device key, cheap enough for
+// many runs per test.
+func testWorkload(t testing.TB) *workload.Workload {
+	t.Helper()
+	w, err := workload.Synthetic(workload.SyntheticConfig{
+		Units: 8, UnitLen: 12, Regions: 4, RegionLen: 30,
+		AccelLatency: 12, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func baselineSpec(t testing.TB) Spec {
+	return Spec{Config: sim.HighPerfConfig(), Program: testWorkload(t).Baseline, MaxCycles: 1 << 30}
+}
+
+func accelSpec(t testing.TB) Spec {
+	w := testWorkload(t)
+	return Spec{
+		Config:    sim.HighPerfConfig(),
+		Program:   w.Accelerated,
+		NewDevice: w.NewDevice,
+		DeviceKey: w.DeviceKey,
+		MaxCycles: 1 << 30,
+	}
+}
+
+func newTestStore(t testing.TB, dir string) *Store {
+	t.Helper()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestNilStoreExecutesDirectly: a nil store is the no-cache mode every
+// pre-store call path compiles down to.
+func TestNilStoreExecutesDirectly(t *testing.T) {
+	var s *Store
+	spec := baselineSpec(t)
+	direct, err := spec.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.RunStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cloneStats(direct)) {
+		t.Error("nil store run differs from direct execution")
+	}
+	calls := 0
+	if _, err := s.Measure(MeasureSpec{}, func() (MeasureRecord, error) {
+		calls++
+		return MeasureRecord{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("nil store Measure: compute called %d times, want 1", calls)
+	}
+	if m := s.Metrics(); m != (Metrics{}) {
+		t.Errorf("nil store metrics should be zero, got %+v", m)
+	}
+}
+
+// TestRunStatsMemoryCache: a repeated spec is served from memory with
+// identical stats, and the counters say so.
+func TestRunStatsMemoryCache(t *testing.T) {
+	s := newTestStore(t, "")
+	spec := accelSpec(t)
+	first, err := s.RunStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.RunStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached stats differ from first execution")
+	}
+	m := s.Metrics()
+	if m.RunMisses != 1 || m.RunHits != 1 || m.RunDiskHits != 0 {
+		t.Errorf("metrics: %+v, want 1 miss / 1 hit / 0 disk", m)
+	}
+	if m.DedupRatio() != 0.5 {
+		t.Errorf("dedup ratio %.2f, want 0.50", m.DedupRatio())
+	}
+}
+
+// TestRunStatsReturnsPrivateCopies: mutating a returned Stats must not
+// leak into later cache hits.
+func TestRunStatsReturnsPrivateCopies(t *testing.T) {
+	s := newTestStore(t, "")
+	spec := accelSpec(t)
+	spec.Config.RecordAccelEvents = true // populate the AccelEvents slice
+	first, err := s.RunStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.AccelEvents) == 0 {
+		t.Fatal("expected recorded accel events")
+	}
+	first.Cycles = -1
+	first.AccelEvents[0].Start = -1
+	second, err := s.RunStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cycles == -1 || second.AccelEvents[0].Start == -1 {
+		t.Error("cache entry aliased by a caller's mutation")
+	}
+}
+
+// TestRunStatsSingleflight: the same spec requested from many
+// goroutines executes exactly once; distinct specs do not serialize
+// each other. Run under -race this is also the store's data-race test.
+func TestRunStatsSingleflight(t *testing.T) {
+	s := newTestStore(t, "")
+	same := accelSpec(t)
+	const n = 16
+	results := make([]sim.Stats, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Half the goroutines ask for the shared spec, half for a
+			// private variant (distinct MaxCycles → distinct digest).
+			spec := same
+			if i%2 == 1 {
+				spec.MaxCycles += int64(i)
+			}
+			st, err := s.RunStats(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = st
+		}(i)
+	}
+	wg.Wait()
+	for i := 2; i < n; i += 2 {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("goroutine %d saw different stats for an identical spec", i)
+		}
+	}
+	m := s.Metrics()
+	// 1 + n/2 distinct digests; every duplicate request is a hit.
+	if want := int64(1 + n/2); m.RunMisses != want {
+		t.Errorf("misses %d, want %d", m.RunMisses, want)
+	}
+	if want := int64(n/2 - 1); m.RunHits != want {
+		t.Errorf("hits %d, want %d", m.RunHits, want)
+	}
+}
+
+// TestUncacheableCountsAndExecutes: a device without a key bypasses the
+// cache every time — two requests, two executions, zero sharing.
+func TestUncacheableCountsAndExecutes(t *testing.T) {
+	s := newTestStore(t, "")
+	spec := accelSpec(t)
+	spec.DeviceKey = ""
+	a, err := s.RunStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("uncacheable runs of the same spec should still be deterministic")
+	}
+	m := s.Metrics()
+	if m.RunUncacheable != 2 || m.RunHits != 0 || m.RunMisses != 0 {
+		t.Errorf("metrics: %+v, want 2 uncacheable and nothing cached", m)
+	}
+}
+
+// TestDiskRoundtrip: a second store over the same directory — a fresh
+// process in disguise — serves the run from disk, byte-identically.
+func TestDiskRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := accelSpec(t)
+
+	cold := newTestStore(t, dir)
+	first, err := cold.RunStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := cold.Metrics(); m.BytesWritten == 0 {
+		t.Fatal("cold store wrote no blob")
+	}
+
+	warm := newTestStore(t, dir)
+	second, err := warm.RunStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("disk-served stats differ from the original execution")
+	}
+	m := warm.Metrics()
+	if m.RunDiskHits != 1 || m.RunMisses != 0 {
+		t.Errorf("warm metrics: %+v, want 1 disk hit / 0 misses", m)
+	}
+	if m.BytesRead == 0 {
+		t.Error("disk hit read no bytes")
+	}
+}
+
+// TestBadBlobsAreMisses: corrupt, truncated, stale-scheme and
+// digest-mismatched blobs must silently re-execute, never error.
+func TestBadBlobsAreMisses(t *testing.T) {
+	spec := accelSpec(t)
+	want, err := spec.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string]func(path string, valid []byte) []byte{
+		"garbage":      func(string, []byte) []byte { return []byte("not json at all {") },
+		"truncated":    func(_ string, valid []byte) []byte { return valid[:len(valid)/2] },
+		"empty":        func(string, []byte) []byte { return nil },
+		"stale-scheme": func(string, []byte) []byte { return []byte(`{"scheme":999,"kind":"run","digest":"x"}`) },
+		"wrong-kind": func(path string, valid []byte) []byte {
+			return []byte(`{"scheme":1,"kind":"measure","digest":"` + filepath.Base(path) + `"}`)
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			seed := newTestStore(t, dir)
+			if _, err := seed.RunStats(spec); err != nil {
+				t.Fatal(err)
+			}
+			path := seed.blobPath("run", spec.Digest())
+			valid, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(path, valid), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s := newTestStore(t, dir)
+			got, err := s.RunStats(spec)
+			if err != nil {
+				t.Fatalf("corrupt blob surfaced an error: %v", err)
+			}
+			if !reflect.DeepEqual(got, cloneStats(want)) {
+				t.Error("re-executed stats differ from direct execution")
+			}
+			m := s.Metrics()
+			if m.RunDiskHits != 0 || m.RunMisses != 1 {
+				t.Errorf("metrics: %+v, want the corrupt blob to be a miss", m)
+			}
+		})
+	}
+}
+
+// TestMeasureCacheAndClone: measure-level hits skip compute entirely,
+// and the returned record's slice is a private copy.
+func TestMeasureCacheAndClone(t *testing.T) {
+	s := newTestStore(t, "")
+	spec := MeasureSpec{Config: sim.HighPerfConfig(), Workload: testWorkload(t), MaxCycles: 1 << 30}
+	calls := 0
+	compute := func() (MeasureRecord, error) {
+		calls++
+		return MeasureRecord{
+			BaselineCycles: 123,
+			Modes:          []ModeResult{{SimCycles: 7}},
+		}, nil
+	}
+	first, err := s.Measure(spec, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Modes[0].SimCycles = -1
+	second, err := s.Measure(spec, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("compute called %d times, want 1", calls)
+	}
+	if second.Modes[0].SimCycles != 7 {
+		t.Error("cached record aliased by a caller's mutation")
+	}
+	m := s.Metrics()
+	if m.MeasureMisses != 1 || m.MeasureHits != 1 {
+		t.Errorf("metrics: %+v, want 1 measure miss / 1 hit", m)
+	}
+}
+
+// TestMeasureErrorCachedInMemoryOnly: a failed computation is
+// remembered (the spec is deterministic — retrying cannot help) but
+// never written to disk.
+func TestMeasureErrorCachedInMemoryOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore(t, dir)
+	spec := MeasureSpec{Config: sim.HighPerfConfig(), Workload: testWorkload(t), MaxCycles: 1 << 30}
+	calls := 0
+	compute := func() (MeasureRecord, error) {
+		calls++
+		return MeasureRecord{}, os.ErrDeadlineExceeded
+	}
+	if _, err := s.Measure(spec, compute); err == nil {
+		t.Fatal("want error from compute")
+	}
+	if _, err := s.Measure(spec, compute); err == nil {
+		t.Fatal("want cached error on second request")
+	}
+	if calls != 1 {
+		t.Errorf("compute called %d times, want 1 (error cached)", calls)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("error run left %d files on disk, want none", len(entries))
+	}
+}

@@ -38,6 +38,24 @@ type PredictorConfig struct {
 	HistBits  int
 }
 
+// Canonical returns the configuration with Build's implicit defaults made
+// explicit (empty Kind means gshare, zero table/history bits select 12/8),
+// so two spellings of the same predictor compare and digest identically.
+// The mapping is conservative: it never merges configurations that could
+// behave differently.
+func (p PredictorConfig) Canonical() PredictorConfig {
+	if p.Kind == "" {
+		p.Kind = "gshare"
+	}
+	if p.TableBits == 0 {
+		p.TableBits = 12
+	}
+	if p.HistBits == 0 {
+		p.HistBits = 8
+	}
+	return p
+}
+
 // Build constructs the predictor.
 func (p PredictorConfig) Build() (bpred.Predictor, error) {
 	tb := p.TableBits
@@ -145,6 +163,29 @@ type Config struct {
 	// first N committed instructions (Stats.PipeTrace, rendered with
 	// RenderPipeTrace).
 	PipeTraceLimit int
+}
+
+// Canonical returns a copy of the configuration with every field that
+// cannot influence simulation results normalized away, so semantically
+// identical configurations compare and digest identically:
+//
+//   - Name and the cache Names are presentation-only (they appear in error
+//     and diagnostic text, never in Stats);
+//   - NoFastForward selects a bit-identical execution strategy by contract
+//     (enforced by the differential suite in fastforward_test.go);
+//   - the predictor's implicit defaults are made explicit (see
+//     PredictorConfig.Canonical).
+//
+// Every other field is semantic and kept verbatim. internal/scenario
+// digests the canonical form; see DESIGN.md "Scenario layer".
+func (c Config) Canonical() Config {
+	c.Name = ""
+	c.NoFastForward = false
+	c.Predictor = c.Predictor.Canonical()
+	c.Memory.L1I.Name = ""
+	c.Memory.L1D.Name = ""
+	c.Memory.L2.Name = ""
+	return c
 }
 
 // Validate reports configuration errors.

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/accel"
 	"repro/internal/isa"
@@ -153,6 +154,7 @@ func MultiTCA(cfg MultiTCAConfig) (*Workload, error) {
 			}
 			return mux
 		},
+		DeviceKey: multiTCADeviceKey(cfg),
 		// Heterogeneous latencies: feed the model the weighted mean.
 		AccelLatency: weightedMeanLatency(cfg, calls),
 	}
@@ -160,6 +162,20 @@ func MultiTCA(cfg MultiTCAConfig) (*Workload, error) {
 		return nil, err
 	}
 	return w, nil
+}
+
+// multiTCADeviceKey canonically names the mux: the ordered list of
+// per-function fixed latencies fully determines its behavior.
+func multiTCADeviceKey(cfg MultiTCAConfig) string {
+	var b strings.Builder
+	b.WriteString("mux:fixed=")
+	for i, f := range cfg.Functions {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", f.AccelLatency)
+	}
+	return b.String()
 }
 
 // weightedMeanLatency averages the per-call accelerator latencies of the

@@ -109,6 +109,8 @@ func Heap(cfg HeapConfig) (*Workload, error) {
 			}
 			return accel.NewHeap(a)
 		},
+		DeviceKey: fmt.Sprintf("heap:arena=0x%x,size=%d,classes=%d,prefill=%d",
+			heapArenaBase, 1<<24, tcmalloc.NumClasses, cfg.Prefill),
 		AccelLatency: 1,
 	}
 	if err := w.Validate(); err != nil {

@@ -157,6 +157,8 @@ func KVStore(cfg KVStoreConfig) (*Workload, error) {
 		NewDevice: func() isa.AccelDevice {
 			return newKVDevice(cfg)
 		},
+		DeviceKey: fmt.Sprintf("hashmap:base=0x%x,buckets=%d,keywords=%d",
+			kvTableBase, cfg.Buckets, cfg.KeyWords),
 		AccelLatency: 0, // probe-dependent; measured from the L_T trace
 	}
 	if err := w.Validate(); err != nil {

@@ -101,6 +101,7 @@ func MatMul(cfg MatMulConfig) (*Workload, error) {
 		NewDevice: func() isa.AccelDevice {
 			return accel.NewMatMul(cfg.Tile, uint64(cfg.N)*8)
 		},
+		DeviceKey: fmt.Sprintf("matmul:tile=%d,stride=%d", cfg.Tile, uint64(cfg.N)*8),
 		// Latency is memory-dependent; the harness measures it from the
 		// simulator's event trace instead of assuming one.
 		AccelLatency: 0,

@@ -165,6 +165,7 @@ func RegexMatch(cfg RegexMatchConfig) (*Workload, error) {
 		Invocations:          uint64(cfg.Matches),
 		BaselineInstructions: it.Stats.Retired,
 		NewDevice:            func() isa.AccelDevice { return accel.NewRegex(layout) },
+		DeviceKey:            fmt.Sprintf("regex:pattern=%q,states=%d", cfg.Pattern, layout.States),
 		AccelLatency:         0, // length-dependent; measured from the L_T trace
 	}
 	if err := w.Validate(); err != nil {

@@ -144,6 +144,7 @@ func StringMatch(cfg StringMatchConfig) (*Workload, error) {
 		Invocations:          uint64(cfg.Comparisons),
 		BaselineInstructions: it.Stats.Retired,
 		NewDevice:            func() isa.AccelDevice { return accel.NewStrCmp() },
+		DeviceKey:            "strcmp",
 		AccelLatency:         0, // length-dependent; measured from the L_T trace
 	}
 	if err := w.Validate(); err != nil {

@@ -97,6 +97,7 @@ func Synthetic(cfg SyntheticConfig) (*Workload, error) {
 		NewDevice: func() isa.AccelDevice {
 			return accel.NewFixedLatency(cfg.AccelLatency)
 		},
+		DeviceKey:    fmt.Sprintf("fixed:lat=%d", cfg.AccelLatency),
 		AccelLatency: float64(cfg.AccelLatency),
 	}
 	if err := w.Validate(); err != nil {

@@ -45,6 +45,13 @@ type Workload struct {
 	// are stateful). Nil for baseline-only workloads.
 	NewDevice func() isa.AccelDevice
 
+	// DeviceKey canonically describes the device NewDevice builds: two
+	// workloads with equal keys must produce behaviorally identical
+	// devices. The scenario layer folds it into run digests; a workload
+	// with a device but no key is treated as uncacheable (never as
+	// wrongly shared). Generators in this package always set it.
+	DeviceKey string
+
 	// AccelLatency, when positive, is the known per-invocation device
 	// latency for the model's explicit-latency path.
 	AccelLatency float64
