@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	simlint [-json] [-rules R1,R3] [packages...]
+//	simlint [-json] [-suppressions] [-rules R1,R3] [packages...]
 //
 // Patterns default to ./... and support the "./dir/..." form. Output is one
 // compiler-style line per finding (file:line:col: message [RULE]); with
 // -json a machine-readable summary in the style of cmd/benchjson is written
-// to stdout instead.
+// to stdout instead, including a suppressions census of every //lint:ignore
+// site. -suppressions prints that census human-readably and exits 0.
 //
 // Exit codes: 0 clean, 1 diagnostics reported, 2 load/usage error. The
 // rule catalog and the //lint:ignore suppression syntax are documented in
@@ -22,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -37,21 +39,40 @@ type JSONDiagnostic struct {
 	Message string `json:"message"`
 }
 
+// JSONSuppression is one //lint:ignore site in the -json suppression census.
+type JSONSuppression struct {
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Rules  []string `json:"rules"`
+	Reason string   `json:"reason"`
+}
+
+// Suppressions is the census of //lint:ignore directives: every suppressed
+// diagnostic is a standing claim that needs auditing, so the -json output
+// makes the full list (and per-rule totals) machine-readable.
+type Suppressions struct {
+	Total  int               `json:"total"`
+	ByRule map[string]int    `json:"by_rule"`
+	Sites  []JSONSuppression `json:"sites"`
+}
+
 // Summary is the -json file layout, mirroring cmd/benchjson's envelope.
 type Summary struct {
-	Tool        string           `json:"tool"`
-	GoVersion   string           `json:"go_version"`
-	Date        string           `json:"date"`
-	Module      string           `json:"module"`
-	Packages    []string         `json:"packages"`
-	Rules       []string         `json:"rules"`
-	Diagnostics []JSONDiagnostic `json:"diagnostics"`
+	Tool         string           `json:"tool"`
+	GoVersion    string           `json:"go_version"`
+	Date         string           `json:"date"`
+	Module       string           `json:"module"`
+	Packages     []string         `json:"packages"`
+	Rules        []string         `json:"rules"`
+	Diagnostics  []JSONDiagnostic `json:"diagnostics"`
+	Suppressions Suppressions     `json:"suppressions"`
 }
 
 func main() {
 	var (
 		asJSON  = flag.Bool("json", false, "emit a machine-readable JSON summary on stdout")
 		ruleSel = flag.String("rules", "", "comma-separated rule IDs to run (default: all)")
+		census  = flag.Bool("suppressions", false, "print the //lint:ignore census instead of diagnostics and exit 0")
 	)
 	flag.Parse()
 	patterns := flag.Args()
@@ -63,6 +84,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
+	}
+	if *census {
+		printCensus(summary.Suppressions)
+		return
 	}
 	if *asJSON {
 		data, err := json.MarshalIndent(summary, "", "  ")
@@ -134,7 +159,43 @@ func run(patterns []string, ruleSel string) ([]lint.Diagnostic, *Summary, error)
 			Message: d.Message,
 		})
 	}
+	s.Suppressions = Suppressions{ByRule: map[string]int{}, Sites: []JSONSuppression{}}
+	for _, dir := range lint.IgnoreDirectives(pkgs) {
+		s.Suppressions.Total++
+		for _, r := range dir.Rules {
+			s.Suppressions.ByRule[r]++
+		}
+		s.Suppressions.Sites = append(s.Suppressions.Sites, JSONSuppression{
+			File:   relPath(dir.Pos.Filename),
+			Line:   dir.Pos.Line,
+			Rules:  dir.Rules,
+			Reason: dir.Reason,
+		})
+	}
 	return diags, s, nil
+}
+
+// printCensus writes the human-readable //lint:ignore census: one line
+// per site, then per-rule totals. Suppression creep shows up here before
+// it shows up as a debugging session.
+func printCensus(s Suppressions) {
+	for _, site := range s.Sites {
+		fmt.Printf("%s:%d: %s: %s\n", site.File, site.Line, strings.Join(site.Rules, ","), site.Reason)
+	}
+	var rules []string
+	for r := range s.ByRule {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	parts := make([]string, 0, len(rules))
+	for _, r := range rules {
+		parts = append(parts, fmt.Sprintf("%s=%d", r, s.ByRule[r]))
+	}
+	fmt.Printf("simlint: %d suppression(s)", s.Total)
+	if len(parts) > 0 {
+		fmt.Printf(" (%s)", strings.Join(parts, " "))
+	}
+	fmt.Println()
 }
 
 // shorten rewrites a diagnostic with a cwd-relative file path.

@@ -34,6 +34,30 @@ func TestRunCleanPackage(t *testing.T) {
 	if !strings.Contains(string(data), `"diagnostics": []`) && !strings.Contains(string(data), `"diagnostics":[]`) {
 		t.Errorf("JSON output missing empty diagnostics array: %s", data)
 	}
+	if summary.Suppressions.Sites == nil || summary.Suppressions.ByRule == nil {
+		t.Error("Suppressions sites/by_rule must marshal as empty, not null")
+	}
+}
+
+// TestRunSuppressionCensus checks that the -json summary carries the
+// //lint:ignore census for the loaded packages.
+func TestRunSuppressionCensus(t *testing.T) {
+	_, summary, err := run([]string{"./internal/mem"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := summary.Suppressions
+	if sup.Total == 0 || sup.ByRule["R3"] == 0 {
+		t.Fatalf("internal/mem carries a known R3 suppression, census got %+v", sup)
+	}
+	if len(sup.Sites) != sup.Total {
+		t.Errorf("sites (%d) and total (%d) disagree", len(sup.Sites), sup.Total)
+	}
+	for _, site := range sup.Sites {
+		if site.File == "" || site.Line == 0 || len(site.Rules) == 0 || site.Reason == "" {
+			t.Errorf("incomplete suppression site: %+v", site)
+		}
+	}
 }
 
 // TestRunRuleSelection covers -rules filtering and its error path.
@@ -45,7 +69,7 @@ func TestRunRuleSelection(t *testing.T) {
 	if len(summary.Rules) != 2 || summary.Rules[0] != "R1" || summary.Rules[1] != "R3" {
 		t.Errorf("rule selection got %v, want [R1 R3]", summary.Rules)
 	}
-	if _, _, err := run([]string{"./internal/lint"}, "R9"); err == nil {
+	if _, _, err := run([]string{"./internal/lint"}, "R99"); err == nil {
 		t.Error("unknown rule must be an error")
 	}
 }

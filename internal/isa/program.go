@@ -17,6 +17,7 @@ type Program struct {
 	Init []MemInit
 
 	// Labels maps symbolic names to instruction indices (for diagnostics).
+	//lint:exempt-field R8 Program.Labels diagnostics only; execution and identity depend on Code/Init alone
 	Labels map[string]int
 }
 

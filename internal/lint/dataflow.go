@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the intra-procedural dataflow tier: def-use indexing,
+// kill-free reaching definitions, and capture/escape facts for function
+// literals. It stays deliberately small — position-ordered may-analysis
+// over the AST, no CFG — because the facts the rules need are
+// "could this write be observed elsewhere", and over-approximating
+// reachability only ever makes the analyzer stricter, never unsound.
+
+// defUse indexes every definition (write) and use (read) of variable
+// objects within one function body, in source order.
+type defUse struct {
+	pass *Pass
+	defs map[types.Object][]token.Pos
+	uses map[types.Object][]token.Pos
+}
+
+// defUseOf builds the def-use index for body. Writes are assignment
+// left-hand sides (including := and op=), ++/--, and range clause
+// targets; every other identifier resolving to a variable is a use. An
+// op= or ++ counts as both. Selector and index paths attribute the
+// access to the root variable: w.Stats.Cycles++ defines (and uses) w.
+func defUseOf(pass *Pass, body ast.Node) *defUse {
+	d := &defUse{
+		pass: pass,
+		defs: map[types.Object][]token.Pos{},
+		uses: map[types.Object][]token.Pos{},
+	}
+	if body == nil {
+		return d
+	}
+	writes := map[*ast.Ident]bool{}
+	markWrite := func(e ast.Expr) {
+		if root, _, _ := lhsRoot(pass, e, nil); root != nil {
+			writes[root] = true
+			if obj := pass.objOf(root); obj != nil {
+				d.defs[obj] = append(d.defs[obj], root.Pos())
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(x.X)
+		case *ast.RangeStmt:
+			if x.Tok == token.ASSIGN {
+				if x.Key != nil {
+					markWrite(x.Key)
+				}
+				if x.Value != nil {
+					markWrite(x.Value)
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Skip selector field names: w.Cycles uses w, not a variable
+		// named Cycles.
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			ast.Inspect(sel.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					d.recordUse(id, writes)
+				}
+				return true
+			})
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			d.recordUse(id, writes)
+		}
+		return true
+	})
+	return d
+}
+
+func (d *defUse) recordUse(id *ast.Ident, writes map[*ast.Ident]bool) {
+	obj := d.pass.objOf(id)
+	if obj == nil {
+		return
+	}
+	if v, ok := obj.(*types.Var); !ok || v.IsField() {
+		return
+	}
+	// A pure definition (x := e, or the x of x = e) is not a use; op=
+	// and ++ were recorded as defs but still read the old value, and
+	// plain = roots like out[i] read the container, so only suppress
+	// the use when the ident is a := definition site.
+	if writes[id] && d.pass.Pkg.Info.Defs[id] != nil {
+		return
+	}
+	d.uses[obj] = append(d.uses[obj], id.Pos())
+}
+
+// objOf resolves an identifier to its object, whether the ident uses or
+// defines it.
+func (p *Pass) objOf(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// reachingDefs returns the definitions of obj at or before pos, in
+// source order. Kill-free: a later unconditional redefinition does not
+// remove earlier ones, which over-approximates "may reach" — exactly
+// the conservative direction for race and staleness questions.
+func (d *defUse) reachingDefs(obj types.Object, pos token.Pos) []token.Pos {
+	var out []token.Pos
+	for _, p := range d.defs[obj] {
+		if p <= pos {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// usesAfter reports whether obj is read anywhere after pos.
+func (d *defUse) usesAfter(obj types.Object, pos token.Pos) bool {
+	for _, p := range d.uses[obj] {
+		if p > pos {
+			return true
+		}
+	}
+	return false
+}
+
+// captureWrite is one write inside a function literal whose target root
+// is a variable declared outside the literal.
+type captureWrite struct {
+	obj      types.Object
+	pos      token.Pos
+	disjoint bool // the write lands in a slice/array element selected by an index object
+	mapWrite bool // the write path indexes a map — never disjoint, concurrent map writes fault
+}
+
+// closureFacts are the capture/escape facts for one function literal.
+type closureFacts struct {
+	captured  map[types.Object]bool // free variables the literal references
+	writes    []captureWrite        // writes whose root is a free variable
+	addrTaken map[types.Object]bool // free variables whose address the literal takes
+}
+
+// closureCaptures analyzes a function literal. indexObjs names the
+// variables (typically the literal's own job-index parameter) that make
+// a slice/array element store disjoint across jobs: out[i] = ... writes
+// a distinct element per job and is safe; sum += x, best = job and
+// seen[k] = true are not.
+func closureCaptures(pass *Pass, lit *ast.FuncLit, indexObjs map[types.Object]bool) *closureFacts {
+	facts := &closureFacts{
+		captured:  map[types.Object]bool{},
+		addrTaken: map[types.Object]bool{},
+	}
+	if lit == nil || lit.Body == nil {
+		return facts
+	}
+	free := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return false
+		}
+		// Declared outside the literal's extent — a parameter or local
+		// of an enclosing function, or a package-level variable.
+		return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			// Only the operand can capture; the field name cannot.
+			ast.Inspect(x.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.objOf(id); obj != nil && free(obj) {
+						facts.captured[obj] = true
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			if obj := pass.objOf(x); obj != nil && free(obj) {
+				facts.captured[obj] = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if root, _, _ := lhsRoot(pass, x.X, nil); root != nil {
+					if obj := pass.objOf(root); obj != nil && free(obj) {
+						facts.addrTaken[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	record := func(e ast.Expr) {
+		root, disjoint, mapIndexed := lhsRoot(pass, e, indexObjs)
+		if root == nil {
+			return
+		}
+		obj := pass.objOf(root)
+		if obj == nil || !free(obj) {
+			return
+		}
+		facts.writes = append(facts.writes, captureWrite{
+			obj:      obj,
+			pos:      root.Pos(),
+			disjoint: disjoint && !mapIndexed,
+			mapWrite: mapIndexed,
+		})
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(x.X)
+		case *ast.RangeStmt:
+			if x.Tok == token.ASSIGN {
+				if x.Key != nil {
+					record(x.Key)
+				}
+				if x.Value != nil {
+					record(x.Value)
+				}
+			}
+		case *ast.FuncLit:
+			if x != lit {
+				// Nested literals: their bodies still execute on the
+				// job's goroutine, so keep descending — capture extent
+				// is measured against the outer literal.
+				return true
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+// lhsRoot walks an assignable expression down to its root identifier.
+// disjoint reports whether the path stores into a slice/array element
+// selected by an expression mentioning one of indexObjs; mapIndexed
+// reports whether any step indexes a map (concurrent map stores fault
+// regardless of the key, so a map write is never disjoint).
+func lhsRoot(pass *Pass, e ast.Expr, indexObjs map[types.Object]bool) (root *ast.Ident, disjoint, mapIndexed bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if tv, ok := pass.Pkg.Info.Types[x.X]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					mapIndexed = true
+				default:
+					if len(indexObjs) > 0 && refsAnyObject(pass, x.Index, indexObjs) {
+						disjoint = true
+					}
+				}
+			}
+			e = x.X
+		case *ast.Ident:
+			return x, disjoint, mapIndexed
+		default:
+			return nil, disjoint, mapIndexed
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadDataflowFixture loads testdata/dataflow.go and returns the pass,
+// the target function, and the closure literal inside it.
+func loadDataflowFixture(t *testing.T) (*Pass, *ast.FuncDecl, *ast.FuncLit) {
+	t.Helper()
+	loader := fixtureLoader(t)
+	file := filepath.Join("testdata", "dataflow.go")
+	pkg, err := loader.LoadFiles(loader.ModulePath+"/internal/dataflowfix", []string{file})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Pkg: pkg}
+	var fd *ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == "target" {
+				fd = x
+			}
+		}
+	}
+	if fd == nil {
+		t.Fatal("no target function in fixture")
+	}
+	var lit *ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if x, ok := n.(*ast.FuncLit); ok && lit == nil {
+			lit = x
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatal("no closure in fixture")
+	}
+	return pass, fd, lit
+}
+
+// objNamed finds the (unique) local variable object with the given name
+// declared within node.
+func objNamed(t *testing.T, pass *Pass, node ast.Node, name string) types.Object {
+	t.Helper()
+	var obj types.Object
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if def := pass.Pkg.Info.Defs[id]; def != nil {
+				obj = def
+			}
+		}
+		return true
+	})
+	if obj == nil {
+		t.Fatalf("no object named %q", name)
+	}
+	return obj
+}
+
+// sentinelPos locates the token position of the statement carrying the
+// given source marker.
+func sentinelPos(t *testing.T, pass *Pass, fd *ast.FuncDecl, marker string) token.Pos {
+	t.Helper()
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, marker) {
+					return c.Pos()
+				}
+			}
+		}
+	}
+	t.Fatalf("marker %q not found", marker)
+	return token.NoPos
+}
+
+func TestDefUse(t *testing.T) {
+	pass, fd, _ := loadDataflowFixture(t)
+	du := defUseOf(pass, fd.Body)
+	x := objNamed(t, pass, fd, "x")
+	y := objNamed(t, pass, fd, "y")
+
+	// y is defined three times: y := 0, y += i, and y++ in the closure.
+	if got := len(du.defs[y]); got != 3 {
+		t.Errorf("defs of y = %d, want 3", got)
+	}
+	// At the sentinel (x = y + 1), only the first two definitions of y
+	// can reach — the closure's y++ is later in source order.
+	at := sentinelPos(t, pass, fd, "sentinel:")
+	if got := len(du.reachingDefs(y, at)); got != 2 {
+		t.Errorf("reaching defs of y at sentinel = %d, want 2", got)
+	}
+	// Both x and y are read by the trailing return.
+	if !du.usesAfter(x, at) || !du.usesAfter(y, at) {
+		t.Error("usesAfter(x/y, sentinel) = false, want true (return x + y)")
+	}
+	// Nothing reads out after the end of the function.
+	out := objNamed(t, pass, fd, "out")
+	end := fd.Body.End()
+	if du.usesAfter(out, end) {
+		t.Error("usesAfter(out, body end) = true, want false")
+	}
+}
+
+func TestClosureCaptures(t *testing.T) {
+	pass, fd, lit := loadDataflowFixture(t)
+	i := objNamed(t, pass, lit, "i") // the closure's own parameter
+	facts := closureCaptures(pass, lit, map[types.Object]bool{i: true})
+
+	for _, name := range []string{"out", "x", "y", "n"} {
+		if !facts.captured[objNamed(t, pass, fd, name)] {
+			t.Errorf("captured[%s] = false, want true", name)
+		}
+	}
+	if facts.captured[i] {
+		t.Error("closure's own parameter reported as captured")
+	}
+	if !facts.addrTaken[objNamed(t, pass, fd, "n")] {
+		t.Error("addrTaken[n] = false, want true (q := &n)")
+	}
+
+	byObj := map[string]captureWrite{}
+	for _, w := range facts.writes {
+		byObj[w.obj.Name()] = w
+	}
+	if w, ok := byObj["out"]; !ok || !w.disjoint {
+		t.Errorf("write to out: got %+v, want a disjoint element store", w)
+	}
+	if w, ok := byObj["y"]; !ok || w.disjoint {
+		t.Errorf("write to y: got %+v, want a shared (non-disjoint) write", w)
+	}
+	if _, ok := byObj["x"]; ok {
+		t.Error("x is only read inside the closure; no write expected")
+	}
+}

@@ -115,27 +115,50 @@ func (s suppressionSet) covers(rule string, pos token.Position) bool {
 	return rules[rule]
 }
 
-const ignorePrefix = "//lint:ignore"
+const (
+	ignorePrefix = "//lint:ignore"
+	exemptPrefix = "//lint:exempt-field"
+)
+
+// parseIgnore splits a well-formed //lint:ignore comment into its rule
+// IDs and reason. ok is false when the directive is malformed.
+func parseIgnore(text string) (rules []string, reason string, ok bool) {
+	fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+	if len(fields) < 2 {
+		return nil, "", false
+	}
+	return strings.Split(fields[0], ","), strings.Join(fields[1:], " "), true
+}
 
 // suppressions scans a package's comments for //lint:ignore directives.
 // A directive names one or more comma-separated rule IDs and a mandatory
 // free-text reason; it covers its own line and the line directly below,
 // so both trailing and standalone-above placements work. Malformed
-// directives are reported under rule R0 so they cannot silently fail to
-// suppress.
+// directives — of either //lint:ignore or the coverage rules'
+// //lint:exempt-field form — are reported under rule R0 so they cannot
+// silently fail to suppress or exempt.
 func suppressions(pkg *Package) (suppressionSet, []Diagnostic) {
 	set := suppressionSet{}
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				if strings.HasPrefix(c.Text, exemptPrefix) {
+					if _, ok := parseExemptField(c.Text); !ok {
+						diags = append(diags, Diagnostic{
+							Rule:    "R0",
+							Pos:     pos,
+							Message: "malformed lint:exempt-field: want `//lint:exempt-field RULE [pkg.]Type.Field reason`",
+						})
+					}
+					continue
+				}
 				if !strings.HasPrefix(c.Text, ignorePrefix) {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				rest := strings.TrimPrefix(c.Text, ignorePrefix)
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
+				rules, _, ok := parseIgnore(c.Text)
+				if !ok {
 					diags = append(diags, Diagnostic{
 						Rule:    "R0",
 						Pos:     pos,
@@ -143,7 +166,7 @@ func suppressions(pkg *Package) (suppressionSet, []Diagnostic) {
 					})
 					continue
 				}
-				for _, id := range strings.Split(fields[0], ",") {
+				for _, id := range rules {
 					for _, line := range []int{pos.Line, pos.Line + 1} {
 						key := fmt.Sprintf("%s:%d", pos.Filename, line)
 						if set[key] == nil {
@@ -156,6 +179,51 @@ func suppressions(pkg *Package) (suppressionSet, []Diagnostic) {
 		}
 	}
 	return set, diags
+}
+
+// Directive is one well-formed //lint:ignore comment, exposed so tooling
+// (simlint -json, the suppression census in scripts/check.sh) can watch
+// suppression creep.
+type Directive struct {
+	Rules  []string // rule IDs the directive suppresses
+	Pos    token.Position
+	Reason string
+}
+
+// IgnoreDirectives collects every well-formed //lint:ignore directive in
+// the given packages, sorted by file then line so the census output is
+// deterministic. Malformed directives are excluded — they appear as R0
+// diagnostics instead.
+func IgnoreDirectives(pkgs []*Package) []Directive {
+	var out []Directive
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rules, reason, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					out = append(out, Directive{
+						Rules:  rules,
+						Pos:    pkg.Fset.Position(c.Pos()),
+						Reason: reason,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
 }
 
 // eachFile runs fn over every file of the pass's package.

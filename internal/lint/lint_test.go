@@ -73,6 +73,11 @@ func TestRuleFixtures(t *testing.T) {
 		{name: "R6-out-of-scope", file: "r6.go", as: "internal/mem/fixture", ignores: true},
 		{name: "R7-everywhere", file: "r7.go", as: "internal/experiments/fixture"},
 		{name: "R7-in-defining-pkg", file: "r7.go", as: "internal/scenario/fixture"},
+		{name: "R8-in-scope", file: "r8.go", as: "internal/scenario/fixture8"},
+		{name: "R8-out-of-scope", file: "r8.go", as: "internal/experiments/fixture8", ignores: true},
+		{name: "R9-in-scope", file: "r9.go", as: "internal/sim/fixture9"},
+		{name: "R9-out-of-scope", file: "r9.go", as: "internal/textplot/fixture9", ignores: true},
+		{name: "R10-everywhere", file: "r10.go", as: "internal/anything/fixture10"},
 	}
 	loader := fixtureLoader(t)
 	for _, tc := range cases {
@@ -136,7 +141,7 @@ func compareDiags(t *testing.T, want []string, diags []Diagnostic) {
 // TestRuleMetadata guards the published rule catalog: stable IDs, names
 // and docs that LINT.md documents.
 func TestRuleMetadata(t *testing.T) {
-	wantIDs := []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
+	wantIDs := []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"}
 	rules := AllRules()
 	if len(rules) != len(wantIDs) {
 		t.Fatalf("AllRules: got %d rules, want %d", len(rules), len(wantIDs))

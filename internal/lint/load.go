@@ -22,6 +22,24 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	loader *Loader
+}
+
+// Dep returns the analyzed module-internal package at the given import
+// path — the package itself, or a dependency that was loaded while
+// type-checking it. The coverage rules use it to read declarations that
+// live next to the types they audit (exemption manifests on field
+// declarations, the erasure writes in Canonical methods). Returns nil
+// for unknown and non-module paths; callers must tolerate that.
+func (p *Package) Dep(path string) *Package {
+	if path == p.Path {
+		return p
+	}
+	if p.loader == nil {
+		return nil
+	}
+	return p.loader.modCache[path]
 }
 
 // Loader resolves and type-checks packages of one module entirely from
@@ -222,13 +240,14 @@ func (l *Loader) LoadFiles(path string, filenames []string) (*Package, error) {
 	}
 	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
 	return &Package{
-		Path:  path,
-		Rel:   rel,
-		Dir:   filepath.Dir(filenames[0]),
-		Fset:  l.fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:   path,
+		Rel:    rel,
+		Dir:    filepath.Dir(filenames[0]),
+		Fset:   l.fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
 	}, nil
 }
 

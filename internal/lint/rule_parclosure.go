@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ruleParClosure (R10) guards the parallel engine's byte-identical
+// contract at its only weak point: the job closure. runner.Map and
+// runner.Sweep run the same closure concurrently for every index, so a
+// write through any captured variable is a data race between jobs —
+// unless the store is index-disjoint (out[i] = ..., each job its own
+// element), which is exactly the pattern the engine itself uses to
+// collect results. Map writes are never disjoint: the runtime faults on
+// concurrent map stores regardless of key.
+var ruleParClosure = &Rule{
+	ID:   "R10",
+	Name: "parallel-closure-shared-write",
+	Doc:  "closures passed to runner.Map/Sweep must not write captured variables except through an index-disjoint element store (out[i] = ...)",
+	Applies: func(rel string) bool {
+		return true
+	},
+	Check: checkParallelClosures,
+}
+
+func checkParallelClosures(pass *Pass) {
+	pass.eachFile(func(f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var du *defUse // built lazily, once per enclosing function
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := runnerPoolCall(pass, call)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+				if !ok {
+					return true // non-literal job fn: body not visible here
+				}
+				facts := closureCaptures(pass, lit, jobIndexObjs(pass, lit))
+				for _, w := range facts.writes {
+					if w.disjoint {
+						continue
+					}
+					if du == nil {
+						du = defUseOf(pass, fd.Body)
+					}
+					after := ""
+					if du.usesAfter(w.obj, call.End()) {
+						after = ", and its value is read after the call"
+					}
+					if w.mapWrite {
+						pass.Reportf(w.pos,
+							"runner.%s job writes captured map %q%s: concurrent map stores race (and fault) regardless of key; collect per-job results and merge after the call",
+							name, w.obj.Name(), after)
+					} else {
+						pass.Reportf(w.pos,
+							"runner.%s job writes captured variable %q without an index-disjoint store%s: parallel jobs race and results depend on worker count; store per job (out[i] = ...) or return the value",
+							name, w.obj.Name(), after)
+					}
+				}
+				return true
+			})
+		}
+	})
+}
+
+// runnerPoolCall matches runner.Map / runner.Sweep calls (with or
+// without explicit type instantiation), identifying the runner package
+// by module-relative path suffix.
+func runnerPoolCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fun := call.Fun
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = x.X
+	case *ast.IndexListExpr:
+		fun = x.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Map" && sel.Sel.Name != "Sweep") {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	p := pn.Imported().Path()
+	if p == "internal/runner" || strings.HasSuffix(p, "/internal/runner") {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// jobIndexObjs returns the closure's job-index parameter — the second
+// parameter of both pool shapes, func(ctx, i, job) and func(ctx, i) —
+// whose value is unique per job and therefore licenses element stores.
+func jobIndexObjs(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if lit.Type == nil || lit.Type.Params == nil {
+		return out
+	}
+	var names []*ast.Ident
+	for _, f := range lit.Type.Params.List {
+		names = append(names, f.Names...)
+	}
+	if len(names) >= 2 {
+		if obj := pass.Pkg.Info.Defs[names[1]]; obj != nil {
+			out[obj] = true
+		}
+	}
+	return out
+}

@@ -17,6 +17,9 @@ func AllRules() []*Rule {
 		ruleConfigMut,
 		ruleNowWrite,
 		ruleUnkeyedSpec,
+		ruleDigestCov,
+		ruleCloneCov,
+		ruleParClosure,
 	}
 }
 

@@ -1,0 +1,23 @@
+// Fixture for the dataflow tier's unit tests (dataflow_test.go). The
+// shape is deliberate: three locals with multiple definitions, a
+// closure capturing all of them with one disjoint and one shared
+// write, and an address capture.
+package dataflowfix
+
+func target(n int) int {
+	x := 1
+	y := 0
+	for i := 0; i < n; i++ {
+		y += i
+	}
+	x = y + 1 // sentinel: reaching-defs of y queried here
+	out := make([]int, n)
+	f := func(i int) {
+		out[i] = x // disjoint element store, captures out and x
+		y++        // shared captured write
+		q := &n    // address capture of n
+		_ = q
+	}
+	f(0)
+	return x + y
+}

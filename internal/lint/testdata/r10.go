@@ -1,0 +1,73 @@
+// Fixture for R10 (parallel-closure-shared-write). Job closures handed
+// to runner.Map/Sweep run concurrently for every index, so writes to
+// captured variables are races unless each job stores to its own
+// element (out[i] = ...). Negative cases: the index-disjoint slice
+// store, the index-disjoint store through a struct field, and a
+// suppressed reduction.
+package fixture10
+
+import (
+	"context"
+
+	"repro/internal/runner"
+)
+
+// good collects per-job results index-disjointly: no diagnostics.
+func good(ctx context.Context) ([]int, error) {
+	out := make([]int, 8)
+	_, _, err := runner.Sweep(ctx, 4, 8, func(ctx context.Context, i int) (int, error) {
+		out[i] = i * i
+		return out[i], nil
+	})
+	return out, err
+}
+
+type cell struct{ v int }
+
+// structured stores through a field of an index-selected element —
+// still disjoint, no diagnostics.
+func structured(ctx context.Context) ([]cell, error) {
+	rows := make([]cell, 8)
+	_, _, err := runner.Sweep(ctx, 2, 8, func(ctx context.Context, i int) (int, error) {
+		rows[i].v = i
+		return 0, nil
+	})
+	return rows, err
+}
+
+// bad accumulates into captured variables: every write races.
+func bad(ctx context.Context, jobs []int) (int, error) {
+	sum := 0
+	best := 0
+	seen := map[int]bool{}
+	_, _, err := runner.Map(ctx, 4, jobs, func(ctx context.Context, i int, job int) (int, error) {
+		sum += job       // want:R10
+		best = job       // want:R10
+		seen[job] = true // want:R10
+		return job, nil
+	})
+	return sum + best, err
+}
+
+// keyedMap shows that indexing a map by the job index does not help:
+// concurrent map stores fault regardless of key.
+func keyedMap(ctx context.Context) (map[int]int, error) {
+	m := map[int]int{}
+	_, _, err := runner.Sweep(ctx, 4, 8, func(ctx context.Context, i int) (int, error) {
+		m[i] = i // want:R10
+		return 0, nil
+	})
+	return m, err
+}
+
+// suppressed documents a deliberate exception with the proof obligation
+// in the reason.
+func suppressed(ctx context.Context) (int, error) {
+	total := 0
+	_, _, err := runner.Sweep(ctx, 1, 4, func(ctx context.Context, i int) (int, error) {
+		//lint:ignore R10 parallel is pinned to 1 by this call site; jobs run sequentially in the calling goroutine
+		total += i
+		return 0, nil
+	})
+	return total, err
+}

@@ -1,0 +1,50 @@
+// Fixture for R8 (digest-field-coverage). Posed as a package under
+// internal/scenario, it defines local stand-ins for the spec types and
+// the digest encoder. Config.IQSize and LSQSize are deliberately never
+// encoded; Name is erased by Canonical and Note carries an exemption
+// manifest entry, so neither of those may be reported.
+package fixture8
+
+type Config struct {
+	Name    string // erased by Canonical: fine
+	Width   int    // encoded: fine
+	IQSize  int    // never encoded -> reported (on the anchor line below)
+	LSQSize int    // never encoded -> reported (same diagnostic)
+	Note    string // exempted: fine
+	hidden  int    // unexported: ignored
+}
+
+//lint:exempt-field R8 Config.Note presentation only, never affects simulated results
+
+// Canonical erases Name (zero literal) and normalizes Width (non-zero
+// assignment — must NOT count as erasure, Width stays encoded).
+func (c Config) Canonical() Config {
+	c.Name = ""
+	if c.Width == 0 {
+		c.Width = 4
+	}
+	return c
+}
+
+type Spec struct {
+	Config    Config
+	MaxCycles int64
+}
+
+type encoder struct{ sum uint64 }
+
+// config is the first consumer declaration, so aggregated per-type
+// diagnostics anchor here.
+func (e *encoder) config(c Config) { // want:R8
+	cc := c.Canonical()
+	e.add(uint64(cc.Width))
+}
+
+func (e *encoder) add(v uint64) { e.sum += v }
+
+func (sp Spec) Digest() uint64 {
+	e := &encoder{}
+	e.config(sp.Config)
+	e.add(uint64(sp.MaxCycles))
+	return e.sum
+}

@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// exemptDigestFields are the sim.Config leaves that Canonical erases
+// before encoding: presentation-only names and the bit-identical
+// fast-forward toggle. Everything else must move the digest — this set
+// mirrors the //lint:exempt-field R8 manifest and Config.Canonical.
+var exemptDigestFields = map[string]bool{
+	"Name":            true,
+	"NoFastForward":   true,
+	"Memory.L1I.Name": true,
+	"Memory.L1D.Name": true,
+	"Memory.L2.Name":  true,
+}
+
+// TestDigestDistinguishesEveryConfigField walks sim.Config by reflection
+// and perturbs each settable leaf field in isolation, asserting the spec
+// digest moves. This is the dynamic counterpart of simlint's R8: R8
+// proves the encoder reads every field; this proves each read actually
+// reaches the hash (catching, say, an encoder line writing a constant).
+// A new Config field fails here until it is either encoded or erased in
+// Canonical and added to both exemption lists.
+func TestDigestDistinguishesEveryConfigField(t *testing.T) {
+	prog := goldenProgram(t)
+	base := Spec{Config: sim.HighPerfConfig(), Program: prog, MaxCycles: 100000}
+	want := base.Digest()
+
+	var leaves []string
+	collectLeaves(reflect.TypeOf(sim.Config{}), "", &leaves)
+	if len(leaves) < 30 {
+		t.Fatalf("reflection walk found only %d leaf fields; walk is broken", len(leaves))
+	}
+
+	for _, path := range leaves {
+		if exemptDigestFields[path] {
+			mut := base
+			perturb(t, fieldByPath(reflect.ValueOf(&mut.Config).Elem(), path), path)
+			if got := mut.Digest(); got != want {
+				t.Errorf("%s: exempt (Canonical-erased) field moved the digest", path)
+			}
+			continue
+		}
+		mut := base
+		perturb(t, fieldByPath(reflect.ValueOf(&mut.Config).Elem(), path), path)
+		if got := mut.Digest(); got == want {
+			t.Errorf("%s: perturbing the field did not move the digest — "+
+				"two configs differing only there would alias in the result cache", path)
+		}
+	}
+}
+
+// collectLeaves appends the dotted path of every exported scalar field
+// reachable from t (descending through nested structs).
+func collectLeaves(t reflect.Type, prefix string, out *[]string) {
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" { // unexported
+			continue
+		}
+		path := f.Name
+		if prefix != "" {
+			path = prefix + "." + f.Name
+		}
+		if f.Type.Kind() == reflect.Struct {
+			collectLeaves(f.Type, path, out)
+			continue
+		}
+		*out = append(*out, path)
+	}
+}
+
+func fieldByPath(v reflect.Value, path string) reflect.Value {
+	for {
+		dot := -1
+		for i, c := range path {
+			if c == '.' {
+				dot = i
+				break
+			}
+		}
+		if dot < 0 {
+			return v.FieldByName(path)
+		}
+		v = v.FieldByName(path[:dot])
+		path = path[dot+1:]
+	}
+}
+
+// perturb nudges a scalar field to a distinct value: +1 for integers,
+// flip for bools, an appended rune for strings, +1.5 for floats. The
+// deltas avoid landing on a value Canonical would normalize back onto
+// the baseline (defaults kick in at zero, never at baseline+1).
+func perturb(t *testing.T, v reflect.Value, path string) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 1.5)
+	default:
+		t.Fatalf("%s: no perturbation for kind %s; extend perturb()", path, v.Kind())
+	}
+}

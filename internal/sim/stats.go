@@ -73,9 +73,11 @@ type Stats struct {
 	FastForwardJumps    int64
 
 	// AccelEvents is populated when Config.RecordAccelEvents is set.
+	//lint:exempt-field R9 Stats.AccelEvents per-invocation trace consumed by interval analysis, too long for String
 	AccelEvents []AccelEvent
 
 	// PipeTrace is populated when Config.PipeTraceLimit is set.
+	//lint:exempt-field R9 Stats.PipeTrace rendered by RenderPipeTrace, too long for String
 	PipeTrace []PipeEvent
 }
 
@@ -158,6 +160,10 @@ func (s Stats) String() string {
 	if s.AccelCommitted > 0 || s.AccelSquashed > 0 {
 		fmt.Fprintf(&b, "accel             %d committed, %d squashed, %d busy cycles, %d mem ops, %d drain-wait cycles\n",
 			s.AccelCommitted, s.AccelSquashed, s.AccelBusyCycles, s.AccelMemOps, s.AccelDrainWait)
+	}
+	if s.AccelConfidenceWait > 0 {
+		fmt.Fprintf(&b, "accel conf-wait   %d cycles held by the partial-speculation confidence gate\n",
+			s.AccelConfidenceWait)
 	}
 	if s.FastForwardJumps > 0 {
 		fmt.Fprintf(&b, "fast-forward      %d cycles skipped in %d jumps\n",

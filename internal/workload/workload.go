@@ -25,7 +25,9 @@ import (
 // Workload is a matched pair of programs plus the metadata interval
 // analysis needs.
 type Workload struct {
-	Name        string
+	//lint:exempt-field R8 Workload.Name presentation only; identity comes from the programs and counts below
+	Name string
+	//lint:exempt-field R8 Workload.Description presentation only; never influences generated programs
 	Description string
 
 	// Baseline is the software-only program; Accelerated replaces the

@@ -11,6 +11,12 @@ go vet ./...
 echo "==> simlint ./... (determinism & invariant rules, see LINT.md)"
 go run ./cmd/simlint ./...
 
+# Visibility, not a gate: every //lint:ignore is a standing claim that a
+# diagnostic is a false positive. Print the census so creep is noticed
+# in review instead of accumulating silently.
+echo "==> simlint suppression census"
+go run ./cmd/simlint -suppressions ./...
+
 echo "==> go build ./..."
 go build ./...
 
