@@ -24,9 +24,9 @@ bench:
 
 # Machine-readable benchmark summary (ns/op, B/op, allocs/op per bench)
 # across the figure suite, the simulator's per-stage microbenchmarks, and
-# the scenario store's cached-vs-uncached pairs.
+# the scenario store's cached-vs-uncached and forked-vs-direct pairs.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR6.json
 
 figures:
 	$(GO) run ./cmd/figures -fig all

@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -85,6 +86,70 @@ func BenchmarkFig5Heap(b *testing.B) {
 		headline = res.Rows[0].Result.Mode(accel.LT).SimSpeedup
 	}
 	b.ReportMetric(headline, "hifreq-L_T-speedup")
+}
+
+// BenchmarkFig5HeapWarmupFork measures what warm-checkpoint forking buys
+// on a warmup-heavy heap design-space sweep: the Fig. 5 heap workload
+// with a 200k-instruction scalar warmup ahead of its accelerated region,
+// swept over every post-warmup config variant (four TCA modes x partial
+// speculation on/off x accel-event recording on/off = 16 points in one
+// warmup family). With forking the store simulates the shared prefix
+// once and forks the 16 variants off that checkpoint; Direct
+// re-simulates the prefix per point. The
+// Fork/Direct pair is the headline claim of warm-state checkpointing:
+// Direct ns/op over Fork ns/op should exceed 2x. BENCH_PR6.json records
+// both.
+func BenchmarkFig5HeapWarmupFork(b *testing.B) {
+	w, err := workload.Heap(workload.HeapConfig{
+		Operations: 40, FillerPerCall: 0, Prefill: 512, Seed: 7,
+		WarmupFiller: 200_000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var specs []scenario.Spec
+	for _, m := range accel.AllModes {
+		for _, partial := range []bool{false, true} {
+			for _, record := range []bool{false, true} {
+				cfg := sim.HighPerfConfig()
+				cfg.Mode = m
+				cfg.PartialSpeculation = partial
+				cfg.RecordAccelEvents = record
+				specs = append(specs, scenario.Spec{
+					Config:    cfg,
+					Program:   w.Accelerated,
+					NewDevice: w.NewDevice,
+					DeviceKey: w.DeviceKey,
+					MaxCycles: 4_000_000_000,
+				})
+			}
+		}
+	}
+	sweep := func(b *testing.B, fork bool) {
+		b.Helper()
+		var forks, warmups int64
+		for i := 0; i < b.N; i++ {
+			store, err := scenario.NewStore("")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !fork {
+				store.DisableCheckpointForking()
+			}
+			for _, spec := range specs {
+				if _, err := store.RunStats(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m := store.Metrics()
+			forks += m.CkptForks
+			warmups += m.CkptWarmups
+		}
+		b.ReportMetric(float64(forks)/float64(b.N), "ckpt-forks/op")
+		b.ReportMetric(float64(warmups)/float64(b.N), "ckpt-warmups/op")
+	}
+	b.Run("Fork", func(b *testing.B) { sweep(b, true) })
+	b.Run("Direct", func(b *testing.B) { sweep(b, false) })
 }
 
 // BenchmarkFig6MatMul regenerates (a reduced) DGEMM validation: 2x2, 4x4

@@ -48,7 +48,7 @@ func main() {
 		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value")
-		out       = flag.String("out", "BENCH_PR4.json", "output JSON path")
+		out       = flag.String("out", "BENCH_PR6.json", "output JSON path")
 	)
 	flag.Parse()
 

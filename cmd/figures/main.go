@@ -4,7 +4,7 @@
 // Usage:
 //
 //	figures [-fig all|2|3|4|5|6|7|8] [-out DIR] [-matmul-n N] [-quick] [-parallel N]
-//	        [-cache-dir DIR] [-no-cache]
+//	        [-cache-dir DIR] [-no-cache] [-no-ckpt-fork]
 //
 // Figures 2, 3, 7 and 8 are analytical (instant); figures 4, 5 and 6
 // simulate baseline and accelerated programs in all four TCA modes on the
@@ -17,8 +17,12 @@
 // identical runs within and across figures execute once and share the
 // result. -cache-dir persists results as content-addressed JSON blobs so
 // reruns skip unchanged simulations entirely; -no-cache disables the
-// store. The stdout artifact is byte-identical with the cache off, cold,
-// or warm — the store's hit/miss report goes to stderr.
+// store. The store also forks sweep variants from shared warm-state
+// checkpoints instead of re-simulating each warmup prefix;
+// -no-ckpt-fork disables that path. The stdout artifact is
+// byte-identical with the cache off, cold, or warm, and with
+// checkpoint forking on or off — the store's hit/miss/fork report goes
+// to stderr.
 package main
 
 import (
@@ -53,6 +57,7 @@ func realMain() int {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for simulated sweeps (1 = serial)")
 		cacheDir = flag.String("cache-dir", "", "persist simulation results as content-addressed blobs in this directory")
 		noCache  = flag.Bool("no-cache", false, "disable the scenario store (results are identical, just slower)")
+		noFork   = flag.Bool("no-ckpt-fork", false, "disable warm-checkpoint forking in the store (results are identical, just slower)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -93,6 +98,9 @@ func realMain() int {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			return 1
+		}
+		if *noFork {
+			store.DisableCheckpointForking()
 		}
 	}
 

@@ -1,0 +1,278 @@
+package accel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/tcmalloc"
+)
+
+// Device state snapshots for simulator checkpointing (isa.AccelSnapshotter).
+//
+// Most devices carry only diagnostic counters between invocations; their
+// frames are a handful of integers. The heap TCA additionally owns the full
+// allocator state (free lists, ownership map, speculation journal), and the
+// mux composes the frames of its sub-devices in order. Per-invocation
+// scratch (the pending-store slices filled by Invoke and consumed in the
+// same simulator cycle) is dead at any cycle boundary and is deliberately
+// not captured — see DESIGN.md "Warm-state checkpointing".
+
+// devFrame is a little-endian append/consume cursor for snapshot frames.
+type devFrame struct {
+	buf []byte
+	err error
+}
+
+func (f *devFrame) putU64(v uint64) {
+	f.buf = binary.LittleEndian.AppendUint64(f.buf, v)
+}
+
+func (f *devFrame) getU64() uint64 {
+	if f.err != nil {
+		return 0
+	}
+	if len(f.buf) < 8 {
+		f.err = fmt.Errorf("accel: snapshot frame truncated")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(f.buf)
+	f.buf = f.buf[8:]
+	return v
+}
+
+func (f *devFrame) putBytes(b []byte) {
+	f.putU64(uint64(len(b)))
+	f.buf = append(f.buf, b...)
+}
+
+func (f *devFrame) getBytes() []byte {
+	n := f.getU64()
+	if f.err != nil {
+		return nil
+	}
+	if uint64(len(f.buf)) < n {
+		f.err = fmt.Errorf("accel: snapshot frame truncated")
+		return nil
+	}
+	b := f.buf[:n]
+	f.buf = f.buf[n:]
+	return b
+}
+
+func (f *devFrame) done(what string) error {
+	if f.err != nil {
+		return f.err
+	}
+	if len(f.buf) != 0 {
+		return fmt.Errorf("accel: %s snapshot has %d trailing bytes", what, len(f.buf))
+	}
+	return nil
+}
+
+// SnapshotState implements isa.AccelSnapshotter.
+func (d *FixedLatency) SnapshotState() []byte {
+	var f devFrame
+	f.putU64(d.Invocations)
+	return f.buf
+}
+
+// RestoreState implements isa.AccelSnapshotter.
+func (d *FixedLatency) RestoreState(data []byte) error {
+	f := devFrame{buf: data}
+	d.Invocations = f.getU64()
+	return f.done("fixed-latency")
+}
+
+// SnapshotState implements isa.AccelSnapshotter. The frame embeds the full
+// allocator state, journal included, so speculative invocations in flight
+// at the checkpoint can still be rolled back after resume.
+func (h *Heap) SnapshotState() []byte {
+	var f devFrame
+	f.putU64(h.Misses)
+	s := h.Alloc.Snapshot()
+	f.putU64(s.Arena)
+	f.putU64(s.ArenaHi)
+	f.putU64(s.Mallocs)
+	f.putU64(s.Frees)
+	f.putU64(s.Refills)
+	f.putU64(uint64(int64(s.LiveBlocks)))
+	for c := range s.Free {
+		f.putU64(uint64(len(s.Free[c])))
+		for _, ptr := range s.Free[c] {
+			f.putU64(ptr)
+		}
+	}
+	f.putU64(uint64(len(s.Owner)))
+	for _, o := range s.Owner {
+		f.putU64(o.Ptr)
+		f.putU64(uint64(int64(o.Class)))
+	}
+	f.putU64(uint64(len(s.Journal)))
+	for _, op := range s.Journal {
+		f.putU64(uint64(int64(op.Class)))
+		f.putU64(op.Ptr)
+		if op.Push {
+			f.putU64(1)
+		} else {
+			f.putU64(0)
+		}
+	}
+	return f.buf
+}
+
+// RestoreState implements isa.AccelSnapshotter.
+func (h *Heap) RestoreState(data []byte) error {
+	f := devFrame{buf: data}
+	h.Misses = f.getU64()
+	var s tcmalloc.State
+	s.Arena = f.getU64()
+	s.ArenaHi = f.getU64()
+	s.Mallocs = f.getU64()
+	s.Frees = f.getU64()
+	s.Refills = f.getU64()
+	s.LiveBlocks = int(int64(f.getU64()))
+	for c := range s.Free {
+		n := int(f.getU64())
+		if f.err != nil {
+			return f.err
+		}
+		s.Free[c] = make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			s.Free[c] = append(s.Free[c], f.getU64())
+		}
+	}
+	n := int(f.getU64())
+	if f.err != nil {
+		return f.err
+	}
+	s.Owner = make([]tcmalloc.OwnerPair, 0, n)
+	for i := 0; i < n; i++ {
+		s.Owner = append(s.Owner, tcmalloc.OwnerPair{Ptr: f.getU64(), Class: int(int64(f.getU64()))})
+	}
+	n = int(f.getU64())
+	if f.err != nil {
+		return f.err
+	}
+	s.Journal = make([]tcmalloc.JournalOp, 0, n)
+	for i := 0; i < n; i++ {
+		op := tcmalloc.JournalOp{Class: int(int64(f.getU64())), Ptr: f.getU64()}
+		op.Push = f.getU64() != 0
+		s.Journal = append(s.Journal, op)
+	}
+	if err := f.done("heap"); err != nil {
+		return err
+	}
+	return h.Alloc.Restore(s)
+}
+
+// SnapshotState implements isa.AccelSnapshotter. The pending-store scratch
+// is per-invocation and dead at cycle boundaries; only the counter persists.
+func (d *MatMul) SnapshotState() []byte {
+	var f devFrame
+	f.putU64(d.Invocations)
+	return f.buf
+}
+
+// RestoreState implements isa.AccelSnapshotter.
+func (d *MatMul) RestoreState(data []byte) error {
+	f := devFrame{buf: data}
+	d.Invocations = f.getU64()
+	return f.done("matmul")
+}
+
+// SnapshotState implements isa.AccelSnapshotter. The hash table itself
+// lives in program memory (captured with the memory image); only counters
+// persist in the device.
+func (d *HashMap) SnapshotState() []byte {
+	var f devFrame
+	f.putU64(d.Lookups)
+	f.putU64(d.Inserts)
+	f.putU64(d.Probes)
+	return f.buf
+}
+
+// RestoreState implements isa.AccelSnapshotter.
+func (d *HashMap) RestoreState(data []byte) error {
+	f := devFrame{buf: data}
+	d.Lookups = f.getU64()
+	d.Inserts = f.getU64()
+	d.Probes = f.getU64()
+	return f.done("hashmap")
+}
+
+// SnapshotState implements isa.AccelSnapshotter.
+func (d *Regex) SnapshotState() []byte {
+	var f devFrame
+	f.putU64(d.Invocations)
+	f.putU64(d.Symbols)
+	f.putU64(d.Matches)
+	return f.buf
+}
+
+// RestoreState implements isa.AccelSnapshotter.
+func (d *Regex) RestoreState(data []byte) error {
+	f := devFrame{buf: data}
+	d.Invocations = f.getU64()
+	d.Symbols = f.getU64()
+	d.Matches = f.getU64()
+	return f.done("regex")
+}
+
+// SnapshotState implements isa.AccelSnapshotter.
+func (d *StrCmp) SnapshotState() []byte {
+	var f devFrame
+	f.putU64(d.Invocations)
+	f.putU64(d.WordsTotal)
+	return f.buf
+}
+
+// RestoreState implements isa.AccelSnapshotter.
+func (d *StrCmp) RestoreState(data []byte) error {
+	f := devFrame{buf: data}
+	d.Invocations = f.getU64()
+	d.WordsTotal = f.getU64()
+	return f.done("strcmp")
+}
+
+// SnapshotState implements isa.AccelSnapshotter: the mux's own fields are
+// either configuration (devices, usesMemory) or per-invocation scratch
+// (lastStorer), so the frame is just the sub-device frames in order.
+func (m *Mux) SnapshotState() []byte {
+	var f devFrame
+	f.putU64(uint64(len(m.devices)))
+	for _, d := range m.devices {
+		snap, ok := d.(isa.AccelSnapshotter)
+		if !ok {
+			// Unreachable for the devices in this repo (all implement the
+			// interface); a foreign stateless device contributes an empty
+			// frame.
+			f.putBytes(nil)
+			continue
+		}
+		f.putBytes(snap.SnapshotState())
+	}
+	return f.buf
+}
+
+// RestoreState implements isa.AccelSnapshotter.
+func (m *Mux) RestoreState(data []byte) error {
+	f := devFrame{buf: data}
+	if n := int(f.getU64()); f.err == nil && n != len(m.devices) {
+		return fmt.Errorf("accel: mux snapshot has %d device frames, mux holds %d", n, len(m.devices))
+	}
+	for _, d := range m.devices {
+		frame := f.getBytes()
+		if f.err != nil {
+			return f.err
+		}
+		if snap, ok := d.(isa.AccelSnapshotter); ok {
+			if err := snap.RestoreState(frame); err != nil {
+				return err
+			}
+		} else if len(frame) != 0 {
+			return fmt.Errorf("accel: mux snapshot has state for non-snapshottable device %q", d.Name())
+		}
+	}
+	return f.done("mux")
+}

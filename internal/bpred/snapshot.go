@@ -1,0 +1,102 @@
+package bpred
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PredictorPair is one primed outcome of a Perfect predictor, sorted by PC.
+type PredictorPair struct {
+	PC    uint64
+	Taken bool
+}
+
+// State is a deterministic snapshot of any predictor this package builds.
+// Kind selects which fields are meaningful: counter tables for bimodal and
+// gshare (plus History for gshare), Pairs for perfect, nothing for the
+// static predictors.
+type State struct {
+	Kind    string
+	Table   []uint8
+	History uint64
+	Pairs   []PredictorPair
+}
+
+// Snapshot captures the predictor's mutable state.
+func Snapshot(p Predictor) (State, error) {
+	switch t := p.(type) {
+	case *Static:
+		return State{Kind: t.Name()}, nil
+	case *Bimodal:
+		s := State{Kind: "bimodal", Table: make([]uint8, len(t.table))}
+		for i, c := range t.table {
+			s.Table[i] = uint8(c)
+		}
+		return s, nil
+	case *GShare:
+		s := State{Kind: "gshare", History: t.history, Table: make([]uint8, len(t.table))}
+		for i, c := range t.table {
+			s.Table[i] = uint8(c)
+		}
+		return s, nil
+	case *Perfect:
+		s := State{Kind: "perfect"}
+		pairs := make([]PredictorPair, 0, len(t.next))
+		for pc, taken := range t.next {
+			pairs = append(pairs, PredictorPair{PC: pc, Taken: taken})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].PC < pairs[j].PC })
+		if len(pairs) > 0 {
+			s.Pairs = pairs
+		}
+		return s, nil
+	default:
+		return State{}, fmt.Errorf("bpred: cannot snapshot predictor %q", p.Name())
+	}
+}
+
+// Restore fills a freshly built predictor of the matching kind from a
+// snapshot. Table lengths must match (they are derived from configuration).
+func Restore(p Predictor, s State) error {
+	switch t := p.(type) {
+	case *Static:
+		if s.Kind != t.Name() {
+			return fmt.Errorf("bpred: restoring %q state into %q", s.Kind, t.Name())
+		}
+		return nil
+	case *Bimodal:
+		if s.Kind != "bimodal" {
+			return fmt.Errorf("bpred: restoring %q state into bimodal", s.Kind)
+		}
+		if len(s.Table) != len(t.table) {
+			return fmt.Errorf("bpred: bimodal table size mismatch: %d vs %d", len(s.Table), len(t.table))
+		}
+		for i, v := range s.Table {
+			t.table[i] = counter(v)
+		}
+		return nil
+	case *GShare:
+		if s.Kind != "gshare" {
+			return fmt.Errorf("bpred: restoring %q state into gshare", s.Kind)
+		}
+		if len(s.Table) != len(t.table) {
+			return fmt.Errorf("bpred: gshare table size mismatch: %d vs %d", len(s.Table), len(t.table))
+		}
+		for i, v := range s.Table {
+			t.table[i] = counter(v)
+		}
+		t.history = s.History
+		return nil
+	case *Perfect:
+		if s.Kind != "perfect" {
+			return fmt.Errorf("bpred: restoring %q state into perfect", s.Kind)
+		}
+		t.next = make(map[uint64]bool, len(s.Pairs))
+		for _, pr := range s.Pairs {
+			t.next[pr.PC] = pr.Taken
+		}
+		return nil
+	default:
+		return fmt.Errorf("bpred: cannot restore predictor %q", p.Name())
+	}
+}

@@ -23,6 +23,13 @@ type Fig5Config struct {
 	FillerCounts []int
 	Prefill      int
 	Seed         int64
+	// WarmupFiller prepends a scalar warmup phase of this many
+	// instructions to every generated program (see
+	// workload.HeapConfig.WarmupFiller). Zero, the default, keeps the
+	// sweep byte-identical to earlier revisions; warmup-heavy studies
+	// set it so the store's warm-checkpoint forking can share the prefix
+	// across the four modes of each point.
+	WarmupFiller int
 	// Parallel is the sweep's worker count (<= 0 selects GOMAXPROCS).
 	Parallel int
 	// Store optionally caches and deduplicates runs; nil executes
@@ -63,6 +70,7 @@ func Fig5(cfg Fig5Config) (*Fig5Result, error) {
 				FillerPerCall: filler,
 				Prefill:       cfg.Prefill,
 				Seed:          cfg.Seed,
+				WarmupFiller:  cfg.WarmupFiller,
 			})
 			if err != nil {
 				return Fig5Row{}, err

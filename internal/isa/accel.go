@@ -92,6 +92,18 @@ type AccelJournal interface {
 	Rewind(mark int)
 }
 
+// AccelSnapshotter is implemented by devices whose state must survive a
+// simulator checkpoint/resume cycle. SnapshotState returns an opaque,
+// deterministic byte encoding of the device's mutable state (counters,
+// tables, journals); RestoreState reconstructs that state in a freshly built
+// device of the same configuration. A device without mutable state need not
+// implement the interface — the checkpoint layer then requires the device to
+// be pristine (never invoked) at snapshot time.
+type AccelSnapshotter interface {
+	SnapshotState() []byte
+	RestoreState(data []byte) error
+}
+
 // AccelStore is a pending accelerator store: a word address and the data to
 // write. Devices that need to write memory return these via the
 // AccelStorer interface.

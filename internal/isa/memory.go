@@ -1,5 +1,7 @@
 package isa
 
+import "sort"
+
 // Memory is the functional (architectural) memory image shared by the
 // interpreter and the simulator. It is a sparse, paged store of 8-byte words
 // over a 64-bit byte address space. Reads of untouched memory return zero.
@@ -71,6 +73,48 @@ func (m *Memory) Clone() *Memory {
 		c.pages[pid] = &cp
 	}
 	return c
+}
+
+// PageState is one resident page of a MemoryState snapshot.
+type PageState struct {
+	ID   uint64
+	Data [pageWords]uint64
+}
+
+// MemoryState is a deterministic deep snapshot of a Memory image, including
+// the access counters (unlike Clone, which resets them — checkpoint resume
+// must reproduce counter values bit-identically). Pages are sorted by ID so
+// two snapshots of equal images are deeply equal regardless of map iteration
+// order.
+type MemoryState struct {
+	Pages  []PageState
+	Reads  uint64
+	Writes uint64
+}
+
+// Snapshot captures the full memory image, counters included.
+func (m *Memory) Snapshot() MemoryState {
+	s := MemoryState{Reads: m.Reads, Writes: m.Writes}
+	ids := make([]uint64, 0, len(m.pages))
+	for pid := range m.pages {
+		ids = append(ids, pid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, pid := range ids {
+		s.Pages = append(s.Pages, PageState{ID: pid, Data: *m.pages[pid]})
+	}
+	return s
+}
+
+// RestoreMemory builds a Memory image from a snapshot.
+func RestoreMemory(s MemoryState) *Memory {
+	m := NewMemory()
+	m.Reads, m.Writes = s.Reads, s.Writes
+	for _, p := range s.Pages {
+		cp := page(p.Data)
+		m.pages[p.ID] = &cp
+	}
+	return m
 }
 
 // Equal reports whether two memory images hold identical word contents.

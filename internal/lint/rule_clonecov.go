@@ -15,6 +15,7 @@ import (
 // dropped measurement at worst).
 var cloneEmitRoots = []struct{ pkgSuffix, name string }{
 	{"internal/sim", "Stats"},
+	{"internal/sim", "Checkpoint"},
 	{"internal/scenario", "MeasureRecord"},
 }
 
@@ -38,7 +39,7 @@ var cloneEmitRoots = []struct{ pkgSuffix, name string }{
 var ruleCloneCov = &Rule{
 	ID:   "R9",
 	Name: "clone-and-emit-coverage",
-	Doc:  "cached result types (sim.Stats, scenario.MeasureRecord) must be JSON-serializable, deep-copied field-exhaustively by Clone, and fully read by their reporting methods",
+	Doc:  "cached result types (sim.Stats, sim.Checkpoint, scenario.MeasureRecord) must be JSON-serializable, deep-copied field-exhaustively by Clone, and fully read by their reporting methods",
 	Applies: func(rel string) bool {
 		return underAny(rel, "internal/sim", "internal/scenario")
 	},

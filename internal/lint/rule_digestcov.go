@@ -11,11 +11,16 @@ import (
 // from one of these that never reaches the encoder makes two different
 // runs digest-equal — the cache then serves one run's Stats for the
 // other, which is the silent-aliasing failure DESIGN.md's scenario
-// section rules out.
-var digestRoots = []struct{ pkgSuffix, name string }{
-	{"internal/sim", "Config"},
-	{"internal/scenario", "Spec"},
-	{"internal/scenario", "MeasureSpec"},
+// section rules out. Each root is audited in the package that owns its
+// encoder (auditUnder): the scenario digest encoder covers the spec
+// types, and the sim checkpoint codec covers Checkpoint — a microarch
+// field added to Core state but never serialized would silently zero on
+// every resume-from-disk.
+var digestRoots = []struct{ pkgSuffix, name, auditUnder string }{
+	{"internal/sim", "Config", "internal/scenario"},
+	{"internal/scenario", "Spec", "internal/scenario"},
+	{"internal/scenario", "MeasureSpec", "internal/scenario"},
+	{"internal/sim", "Checkpoint", "internal/sim"},
 }
 
 // ruleDigestCov (R8) proves digest exhaustiveness: every exported field
@@ -27,9 +32,9 @@ var digestRoots = []struct{ pkgSuffix, name string }{
 var ruleDigestCov = &Rule{
 	ID:   "R8",
 	Name: "digest-field-coverage",
-	Doc:  "every field reachable from sim.Config / scenario.Spec / scenario.MeasureSpec must reach the digest encoder, be erased by Canonical, or carry a //lint:exempt-field R8 manifest entry",
+	Doc:  "every field reachable from sim.Config / scenario.Spec / scenario.MeasureSpec / sim.Checkpoint must reach its digest or checkpoint encoder, be erased by Canonical, or carry a //lint:exempt-field R8 manifest entry",
 	Applies: func(rel string) bool {
-		return underAny(rel, "internal/scenario")
+		return underAny(rel, "internal/scenario", "internal/sim")
 	},
 	Check: checkDigestCoverage,
 }
@@ -61,6 +66,9 @@ func checkDigestCoverage(pass *Pass) {
 	}
 	var roots []*types.Named
 	for _, r := range digestRoots {
+		if !underAny(pass.Pkg.Rel, r.auditUnder) {
+			continue
+		}
 		if n := lookupNamed(pass, r.pkgSuffix, r.name); n != nil {
 			roots = append(roots, n)
 		}

@@ -7,25 +7,29 @@ import (
 )
 
 // nowWriterMethods are the only (*Core) methods allowed to advance the
-// simulator clock: the tick loop's increment in Run and the event-horizon
-// jump in fastForward. Every other writer would bypass the "skipping is
-// legal iff no stage can act before the horizon" invariant documented in
-// DESIGN.md — a stage that moved time itself could slide events past a
-// horizon already computed from the old clock.
+// simulator clock: the tick loop's increment in runLoop, the event-horizon
+// jump in fastForward, and checkpoint restore in restoreFrom (which sets the
+// clock once, before any stage runs, to the cycle the snapshot was taken
+// at). Every other writer would bypass the "skipping is legal iff no stage
+// can act before the horizon" invariant documented in DESIGN.md — a stage
+// that moved time itself could slide events past a horizon already computed
+// from the old clock.
 var nowWriterMethods = map[string]bool{
-	"Run":         true,
+	"runLoop":     true,
 	"fastForward": true,
+	"restoreFrom": true,
 }
 
 // ruleNowWrite (R6) flags writes to the `now` field of a sim Core outside
-// the two sanctioned clock writers. Reads are unrestricted — every stage
+// the three sanctioned clock writers. Reads are unrestricted — every stage
 // consults the clock — but time must only move through the tick loop or
 // the event-horizon jump so fast-forwarded and cycle-by-cycle runs stay
-// bit-identical.
+// bit-identical (checkpoint restore excepted: it moves the clock exactly
+// once while the pipeline is empty).
 var ruleNowWrite = &Rule{
 	ID:   "R6",
 	Name: "core-now-write",
-	Doc:  "Core.now advances only in (*Core).Run and (*Core).fastForward; other writers break the event-horizon invariant",
+	Doc:  "Core.now advances only in (*Core).runLoop, (*Core).fastForward and (*Core).restoreFrom; other writers break the event-horizon invariant",
 	Applies: func(rel string) bool {
 		return underAny(rel, "internal/sim")
 	},
@@ -66,7 +70,7 @@ func checkNowWrite(pass *Pass, lhs ast.Expr) {
 	}
 	if tv, ok := pass.Pkg.Info.Types[sel.X]; ok && isSimCore(tv.Type) {
 		pass.Reportf(lhs.Pos(),
-			"writes Core.now outside (*Core).Run / (*Core).fastForward; the clock may only advance through the tick loop or the event-horizon jump (DESIGN.md)")
+			"writes Core.now outside (*Core).runLoop / (*Core).fastForward / (*Core).restoreFrom; the clock may only move through the tick loop, the event-horizon jump, or checkpoint restore (DESIGN.md)")
 	}
 }
 

@@ -1,7 +1,7 @@
 // Fixture for R6 core-now-write. Loaded under internal/sim/... where the
 // rule applies; the same file posed under another tree must report
 // nothing. The local Core mirrors the simulator's: a `now` clock plus the
-// two sanctioned writer methods.
+// three sanctioned writer methods.
 package fixture7
 
 // Core stands in for the simulator core; only the field names matter.
@@ -10,8 +10,8 @@ type Core struct {
 	stats struct{ Cycles int64 }
 }
 
-// Run is a sanctioned clock writer: the tick loop increment.
-func (c *Core) Run(maxCycles int64) {
+// runLoop is a sanctioned clock writer: the tick loop increment.
+func (c *Core) runLoop(maxCycles int64) {
 	for c.now < maxCycles {
 		c.step()
 		c.now++
@@ -23,6 +23,18 @@ func (c *Core) fastForward(h int64) {
 	if h > c.now {
 		c.now = h
 	}
+}
+
+// restoreFrom is the third sanctioned writer: checkpoint restore sets the
+// clock once while the pipeline is empty.
+func (c *Core) restoreFrom(at int64) {
+	c.now = at
+}
+
+// Run drives runLoop and is no longer sanctioned itself.
+func (c *Core) Run(maxCycles int64) {
+	c.runLoop(maxCycles)
+	c.now = maxCycles // want:R6
 }
 
 // step only reads the clock, which any stage may do.

@@ -1,0 +1,60 @@
+// Fixture for R8's checkpoint-codec audit and R9's Checkpoint clone
+// audit. Posed as a package under internal/sim, it defines local
+// stand-ins for Checkpoint, its nested RenameEntry, and the binary
+// codec's encoder. TCABusyUntil is deliberately never encoded — the
+// "microarchitectural field added to Core state but forgotten in the
+// codec" failure, which would silently zero on every resume — and
+// Clone aliases the Ports slice.
+package fixtureckpt
+
+type RenameEntry struct {
+	Valid bool
+	Seq   uint64
+}
+
+type Checkpoint struct {
+	Now          int64         // encoded: fine
+	Seq          uint64        // encoded: fine
+	TCABusyUntil int64         // never encoded -> reported (silently zero on resume)
+	Rename       []RenameEntry // encoded transitively: fine
+	Ports        []int64       // encoded, but aliased by Clone below
+	scratch      int64         // unexported: ignored by the digest audit
+}
+
+// checkpoint is the first consumer declaration, so aggregated per-type
+// diagnostics anchor here.
+func (e *encoder) checkpoint(ck *Checkpoint) { // want:R8
+	e.push(uint64(ck.Now))
+	e.push(ck.Seq)
+	for _, rn := range ck.Rename {
+		if rn.Valid {
+			e.push(1)
+		}
+		e.push(rn.Seq)
+	}
+	for _, p := range ck.Ports {
+		e.push(uint64(p))
+	}
+}
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) push(v uint64) {
+	e.buf = append(e.buf, byte(v))
+}
+
+// MarshalBinary delegates to the encoder; its own reads do NOT count as
+// coverage (only encoder methods and Digest funcs are consumers).
+func (ck *Checkpoint) MarshalBinary() []byte {
+	var e encoder
+	e.checkpoint(ck)
+	return e.buf
+}
+
+// Clone deep-copies Rename but aliases Ports.
+func (ck *Checkpoint) Clone() *Checkpoint {
+	out := *ck
+	out.Rename = append([]RenameEntry(nil), ck.Rename...)
+	out.Ports = ck.Ports // want:R9
+	return &out
+}

@@ -1,0 +1,212 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Deterministic snapshot/restore for the timing hierarchy.
+//
+// The simulator's checkpoint layer (internal/sim.Checkpoint) captures the
+// hierarchy at a cycle boundary and later resumes into a freshly built
+// Hierarchy of the same configuration. Restore is therefore in-place: it
+// fills an object NewHierarchy already wired, preserving the shared-L2
+// pointer topology (L1I and L1D chain to the same *Cache) instead of
+// reconstructing it from data.
+
+// CacheLineState is one way of one set, in set-major order.
+type CacheLineState struct {
+	Tag        uint64
+	Valid      bool
+	Dirty      bool
+	Prefetched bool
+	LRU        uint64
+}
+
+// FillState is one in-flight line fill (MSHR entry), in insertion order.
+type FillState struct {
+	LineAddr uint64
+	Done     int64
+}
+
+// CacheState snapshots one cache level.
+type CacheState struct {
+	Lines []CacheLineState // sets × ways, flattened set-major
+	Stamp uint64
+	Fills []FillState
+	Stats CacheStats
+}
+
+// Snapshot captures the cache's mutable state.
+func (c *Cache) Snapshot() CacheState {
+	s := CacheState{Stamp: c.stamp, Stats: c.stats}
+	s.Lines = make([]CacheLineState, 0, len(c.sets)*c.cfg.Ways)
+	for _, set := range c.sets {
+		for _, l := range set {
+			s.Lines = append(s.Lines, CacheLineState{
+				Tag: l.tag, Valid: l.valid, Dirty: l.dirty,
+				Prefetched: l.prefetched, LRU: l.lru,
+			})
+		}
+	}
+	if len(c.fills) == 0 {
+		return s
+	}
+	s.Fills = make([]FillState, len(c.fills))
+	for i, f := range c.fills {
+		s.Fills[i] = FillState{LineAddr: f.lineAddr, Done: f.done}
+	}
+	return s
+}
+
+// Restore fills the cache's mutable state from a snapshot taken from an
+// identically configured cache.
+func (c *Cache) Restore(s CacheState) error {
+	if want := len(c.sets) * c.cfg.Ways; len(s.Lines) != want {
+		return fmt.Errorf("mem: %s: snapshot has %d lines, cache holds %d", c.cfg.Name, len(s.Lines), want)
+	}
+	i := 0
+	for _, set := range c.sets {
+		for w := range set {
+			l := s.Lines[i]
+			set[w] = cacheLine{tag: l.Tag, valid: l.Valid, dirty: l.Dirty, prefetched: l.Prefetched, lru: l.LRU}
+			i++
+		}
+	}
+	c.stamp = s.Stamp
+	c.fills = c.fills[:0]
+	for _, f := range s.Fills {
+		c.fills = append(c.fills, inflight{lineAddr: f.LineAddr, done: f.Done})
+	}
+	c.stats = s.Stats
+	return nil
+}
+
+// DRAMState snapshots the terminal level.
+type DRAMState struct {
+	NextFree int64
+	Stats    DRAMStats
+}
+
+// Snapshot captures the DRAM channel state.
+func (d *DRAM) Snapshot() DRAMState { return DRAMState{NextFree: d.nextFree, Stats: d.stats} }
+
+// Restore fills the DRAM channel state from a snapshot.
+func (d *DRAM) Restore(s DRAMState) {
+	d.nextFree = s.NextFree
+	d.stats = s.Stats
+}
+
+// TLBPageState is one resident translation, sorted by page number.
+type TLBPageState struct {
+	Page  uint64
+	Stamp uint64
+}
+
+// TLBState snapshots one TLB.
+type TLBState struct {
+	Pages   []TLBPageState
+	Stamp   uint64
+	WalkEnd int64
+	Stats   TLBStats
+}
+
+// Snapshot captures the TLB state; a nil (disabled) TLB returns (zero,
+// false).
+func (t *TLB) Snapshot() (TLBState, bool) {
+	if t == nil {
+		return TLBState{}, false
+	}
+	s := TLBState{Stamp: t.stamp, WalkEnd: t.walkEnd, Stats: t.stats}
+	pages := make([]TLBPageState, 0, len(t.pages))
+	for p, st := range t.pages {
+		pages = append(pages, TLBPageState{Page: p, Stamp: st})
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].Page < pages[j].Page })
+	if len(pages) > 0 {
+		s.Pages = pages
+	}
+	return s, true
+}
+
+// Restore fills the TLB state from a snapshot. Restoring into a nil TLB is
+// an error (configuration mismatch).
+func (t *TLB) Restore(s TLBState) error {
+	if t == nil {
+		return fmt.Errorf("mem: restoring TLB state into a disabled TLB")
+	}
+	t.stamp = s.Stamp
+	t.walkEnd = s.WalkEnd
+	t.stats = s.Stats
+	t.pages = make(map[uint64]uint64, len(s.Pages))
+	for _, p := range s.Pages {
+		t.pages[p.Page] = p.Stamp
+	}
+	return nil
+}
+
+// HierarchyState snapshots the full memory system. L1I and the TLBs are
+// pointers because those levels are optional (nil = disabled in the source
+// configuration).
+type HierarchyState struct {
+	L1I  *CacheState
+	L1D  CacheState
+	L2   CacheState
+	DRAM DRAMState
+	DTLB *TLBState
+	ITLB *TLBState
+}
+
+// Snapshot captures every level.
+func (h *Hierarchy) Snapshot() HierarchyState {
+	s := HierarchyState{L1D: h.L1D.Snapshot(), L2: h.L2.Snapshot(), DRAM: h.DRAM.Snapshot()}
+	if h.L1I != nil {
+		cs := h.L1I.Snapshot()
+		s.L1I = &cs
+	}
+	if ts, ok := h.DTLB.Snapshot(); ok {
+		s.DTLB = &ts
+	}
+	if ts, ok := h.ITLB.Snapshot(); ok {
+		s.ITLB = &ts
+	}
+	return s
+}
+
+// Restore fills a hierarchy built from the same configuration. The optional
+// levels must match: a snapshot with L1I state cannot restore into a
+// hierarchy without an L1I, and vice versa.
+func (h *Hierarchy) Restore(s HierarchyState) error {
+	if (s.L1I != nil) != (h.L1I != nil) {
+		return fmt.Errorf("mem: snapshot/hierarchy L1I presence mismatch")
+	}
+	if (s.DTLB != nil) != (h.DTLB != nil) {
+		return fmt.Errorf("mem: snapshot/hierarchy DTLB presence mismatch")
+	}
+	if (s.ITLB != nil) != (h.ITLB != nil) {
+		return fmt.Errorf("mem: snapshot/hierarchy ITLB presence mismatch")
+	}
+	if s.L1I != nil {
+		if err := h.L1I.Restore(*s.L1I); err != nil {
+			return err
+		}
+	}
+	if err := h.L1D.Restore(s.L1D); err != nil {
+		return err
+	}
+	if err := h.L2.Restore(s.L2); err != nil {
+		return err
+	}
+	h.DRAM.Restore(s.DRAM)
+	if s.DTLB != nil {
+		if err := h.DTLB.Restore(*s.DTLB); err != nil {
+			return err
+		}
+	}
+	if s.ITLB != nil {
+		if err := h.ITLB.Restore(*s.ITLB); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"hash"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -124,6 +125,39 @@ func (e *encoder) tlb(c mem.TLBConfig) {
 	e.int(c.WalkLatency)
 }
 
+// progDigests memoizes program-section digests by pointer. A built
+// *isa.Program is immutable (the Builder returns a fresh value and
+// nothing downstream writes through it), so the pointer stands for the
+// content for the life of the process; structurally equal programs at
+// different addresses just hash the same content twice. Memoization
+// therefore changes digest cost, never digest value.
+var progDigests sync.Map // *isa.Program -> Digest
+
+// programRef writes the program's own content address in place of its
+// full encoding, computing that sub-digest once per distinct program.
+// Sweeps re-digest the same multi-megabyte instruction stream once per
+// variant otherwise — with warm-checkpoint forking eliminating the
+// re-simulation, the repeated SHA-256 of the shared program was the
+// next thing dominating forked sweeps.
+func (e *encoder) programRef(p *isa.Program) {
+	if d, ok := progDigests.Load(p); ok {
+		e.digest(d.(Digest))
+		return
+	}
+	sub := newEncoder("program")
+	sub.program(p)
+	d := sub.sum()
+	progDigests.Store(p, d)
+	e.digest(d)
+}
+
+// digest writes a nested content address, length-prefixed like every
+// other variable-width field.
+func (e *encoder) digest(d Digest) {
+	e.u64(uint64(len(d)))
+	e.h.Write(d[:])
+}
+
 // program writes the instruction stream and initial memory image.
 // Labels are diagnostics only and excluded.
 func (e *encoder) program(p *isa.Program) {
@@ -151,7 +185,7 @@ func (sp Spec) Digest() Digest {
 	}
 	e := newEncoder("run")
 	e.config(sp.Config)
-	e.program(sp.Program)
+	e.programRef(sp.Program)
 	e.bool(sp.NewDevice != nil)
 	e.str(sp.DeviceKey)
 	e.i64(sp.MaxCycles)
@@ -167,8 +201,8 @@ func (ms MeasureSpec) Digest() Digest {
 	w := ms.Workload
 	e := newEncoder("measure")
 	e.config(ms.Config)
-	e.program(w.Baseline)
-	e.program(w.Accelerated)
+	e.programRef(w.Baseline)
+	e.programRef(w.Accelerated)
 	e.u64(w.Acceleratable)
 	e.u64(w.Invocations)
 	e.u64(w.BaselineInstructions)

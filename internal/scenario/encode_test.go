@@ -42,14 +42,14 @@ func TestGoldenDigests(t *testing.T) {
 		mode accel.Mode
 		want string
 	}{
-		{"hp", accel.LT, "7b187ea3485ef7888fa8d4ae420c055184a48e2f90d75fbd8d4bcc5b46a423fc"},
-		{"hp", accel.NLT, "2cab94f77a8be7da1fa94041e91d5f002e65960edc96ebb0f6a85bf3eddb8414"},
-		{"hp", accel.LNT, "cc2b8c9b66a1c21b51880b618700fa4dfe7d7870420191021fbe819c475b3b43"},
-		{"hp", accel.NLNT, "c8aae6fe670fa53bb6693a174eb07734b9d99015795dc48ccd2438a805ea4065"},
-		{"lp", accel.LT, "b9f6d95b0337423653a9e28cdfa1fa7845435a671ae25693066b7217d234345a"},
-		{"lp", accel.NLT, "2f862c71ff3add6661ff23531a31cacb74d3fd607bf45e0543743033e358de78"},
-		{"lp", accel.LNT, "5899a450eb6834024f9581e3b376736761985bca049ba5aaddf7d9c11f4f3afc"},
-		{"lp", accel.NLNT, "4e9846b274504f33d1b379eddffd9097f9219f6f182741f4e3102a6c6f3d58c0"},
+		{"hp", accel.LT, "74ae3a0be330ef6de713a50c137b4a3587352f2b9e8b41d0cb6646b0e5562e1d"},
+		{"hp", accel.NLT, "f356f899ade4e7aa8f5cc4ccb37ef02bb6b2f0ba9ff14ca07dd5dc633be7af70"},
+		{"hp", accel.LNT, "a0ce65f8ddfa8dd10fabe562d069c0d7317be3ab5132594412915376f33142f1"},
+		{"hp", accel.NLNT, "b41c46f279fe15e79f91475e0e1277f9d772338a15087fc3d4e20bffcb1d2919"},
+		{"lp", accel.LT, "fd6ef71bfc88e2e85763260b5e5948a36ff31d6db0799daa79a6541cf5eebe9b"},
+		{"lp", accel.NLT, "f9ffc71b1db812b19be5bedb921cd671cd1a7db13aee66747e99d58255b2adb5"},
+		{"lp", accel.LNT, "5431180476f0516920fb9b32a8e2e8e757d8af94c29f47943932f2b3122d1297"},
+		{"lp", accel.NLNT, "851170fe7cd172dfbadcff8e78df898fb6b3f3f41a0a1335aaad32b264a82093"},
 	}
 	prog := goldenProgram(t)
 	for _, g := range golden {

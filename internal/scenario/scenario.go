@@ -33,7 +33,7 @@ import (
 // encoding, the canonicalization rules, or the cached payload layout
 // change in any way: old disk blobs then read as misses instead of
 // serving stale bytes. The golden digest tests pin the current scheme.
-const SchemeVersion = 1
+const SchemeVersion = 2
 
 // Spec canonically describes one simulator run.
 type Spec struct {

@@ -29,16 +29,19 @@ import (
 // lifetime (the spec is deterministic, so retrying cannot help) but
 // never written to disk.
 type Store struct {
-	dir string
+	dir        string
+	noCkptFork bool
 
 	mu       sync.Mutex
 	runs     map[Digest]*runEntry
 	measures map[Digest]*measureEntry
+	ckpts    map[Digest]*ckptEntry
 
 	// Counters are atomics so Metrics can snapshot without the map
 	// lock.
 	runHits, runMisses, runDiskHits, runUncacheable     atomic.Int64
 	measHits, measMisses, measDiskHits, measUncacheable atomic.Int64
+	ckptForks, ckptWarmups, ckptDiskHits                atomic.Int64
 	bytesRead, bytesWritten                             atomic.Int64
 }
 
@@ -54,6 +57,14 @@ type measureEntry struct {
 	err  error
 }
 
+// ckptEntry singleflights one warmup family's shared checkpoint. ck
+// stays nil when the family is unforkable (negative-cached: the warmup
+// probe runs once, later members skip straight to direct runs).
+type ckptEntry struct {
+	once sync.Once
+	ck   *sim.Checkpoint
+}
+
 // NewStore returns a store. dir == "" keeps the cache in memory only;
 // otherwise dir is created if needed and used for persistent blobs.
 func NewStore(dir string) (*Store, error) {
@@ -66,7 +77,18 @@ func NewStore(dir string) (*Store, error) {
 		dir:      dir,
 		runs:     make(map[Digest]*runEntry),
 		measures: make(map[Digest]*measureEntry),
+		ckpts:    make(map[Digest]*ckptEntry),
 	}, nil
+}
+
+// DisableCheckpointForking makes every cache miss execute its full
+// warmup prefix instead of forking off a shared warm checkpoint
+// (cmd/figures -no-ckpt-fork; the byte-identity check in scripts/
+// check.sh diffs the two paths). Call before issuing work.
+func (s *Store) DisableCheckpointForking() {
+	if s != nil {
+		s.noCkptFork = true
+	}
 }
 
 // RunStats executes the spec — or returns the cached sim.Stats of a
@@ -98,7 +120,7 @@ func (s *Store) RunStats(spec Spec) (sim.Stats, error) {
 			return
 		}
 		s.runMisses.Add(1)
-		e.stats, e.err = spec.run()
+		e.stats, e.err = s.computeRun(spec)
 		if e.err == nil {
 			s.saveRunBlob(d, e.stats)
 		}
@@ -150,6 +172,52 @@ func (s *Store) Measure(spec MeasureSpec, compute func() (MeasureRecord, error))
 	return e.rec.Clone(), e.err
 }
 
+// computeRun executes a cache-missed spec: through the warm-checkpoint
+// fast path when its warmup family has a usable shared snapshot, with a
+// direct full run otherwise. Both paths produce bit-identical Stats
+// (the checkpoint differential suite in internal/sim enforces it), so
+// the cached result is path-independent.
+func (s *Store) computeRun(spec Spec) (sim.Stats, error) {
+	if ck := s.warmCheckpoint(spec); ck != nil {
+		if st, err, ok := spec.resumeFrom(ck); ok {
+			s.ckptForks.Add(1)
+			return st, err
+		}
+	}
+	return spec.run()
+}
+
+// warmCheckpoint returns the spec's shared warm checkpoint, running the
+// warmup prefix (or loading its disk blob) on the family's first use.
+// nil means "run directly": forking disabled, spec unforkable, or the
+// family probed unforkable earlier.
+func (s *Store) warmCheckpoint(spec Spec) *sim.Checkpoint {
+	if s.noCkptFork || !spec.forkable() {
+		return nil
+	}
+	d := spec.warmupDigest()
+	s.mu.Lock()
+	e, ok := s.ckpts[d]
+	if !ok {
+		e = &ckptEntry{}
+		s.ckpts[d] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		if ck, ok := s.loadCkptBlob(d); ok {
+			e.ck = ck
+			s.ckptDiskHits.Add(1)
+			return
+		}
+		s.ckptWarmups.Add(1)
+		e.ck = spec.warmup()
+		if e.ck != nil {
+			s.saveCkptBlob(d, e.ck)
+		}
+	})
+	return e.ck
+}
+
 // cloneStats deep-copies a Stats so cached canonical copies are never
 // aliased by callers.
 func cloneStats(st sim.Stats) sim.Stats {
@@ -167,6 +235,10 @@ type Metrics struct {
 	RunHits, RunMisses, RunDiskHits, RunUncacheable int64
 	// Measure-level counters, same meaning.
 	MeasureHits, MeasureMisses, MeasureDiskHits, MeasureUncacheable int64
+	// Checkpoint counters: Forks resumed from a shared warm snapshot,
+	// Warmups executed a warmup prefix to produce (or probe for) one,
+	// DiskHits loaded one from the blob directory.
+	CkptForks, CkptWarmups, CkptDiskHits int64
 	// BytesRead/BytesWritten count disk-blob traffic.
 	BytesRead, BytesWritten int64
 }
@@ -185,6 +257,9 @@ func (s *Store) Metrics() Metrics {
 		MeasureMisses:      s.measMisses.Load(),
 		MeasureDiskHits:    s.measDiskHits.Load(),
 		MeasureUncacheable: s.measUncacheable.Load(),
+		CkptForks:          s.ckptForks.Load(),
+		CkptWarmups:        s.ckptWarmups.Load(),
+		CkptDiskHits:       s.ckptDiskHits.Load(),
 		BytesRead:          s.bytesRead.Load(),
 		BytesWritten:       s.bytesWritten.Load(),
 	}
@@ -205,9 +280,10 @@ func (m Metrics) DedupRatio() float64 {
 // String renders the one-line report cmd/figures prints to stderr.
 func (m Metrics) String() string {
 	return fmt.Sprintf(
-		"scenario store: runs %d hit / %d disk / %d miss / %d uncacheable | measures %d hit / %d disk / %d miss / %d uncacheable | %d B read, %d B written | dedup %.1f%%",
+		"scenario store: runs %d hit / %d disk / %d miss / %d uncacheable | measures %d hit / %d disk / %d miss / %d uncacheable | ckpt %d fork / %d warmup / %d disk | %d B read, %d B written | dedup %.1f%%",
 		m.RunHits, m.RunDiskHits, m.RunMisses, m.RunUncacheable,
 		m.MeasureHits, m.MeasureDiskHits, m.MeasureMisses, m.MeasureUncacheable,
+		m.CkptForks, m.CkptWarmups, m.CkptDiskHits,
 		m.BytesRead, m.BytesWritten, 100*m.DedupRatio())
 }
 
@@ -219,6 +295,10 @@ type diskBlob struct {
 	Digest  string         `json:"digest"`
 	Run     *sim.Stats     `json:"run,omitempty"`
 	Measure *MeasureRecord `json:"measure,omitempty"`
+	// Ckpt holds a sim.Checkpoint in its own binary wire format
+	// (base64 inside the JSON envelope); the checkpoint codec's magic
+	// and version header is verified again on decode.
+	Ckpt []byte `json:"ckpt,omitempty"`
 }
 
 func (s *Store) blobPath(kind string, d Digest) string {
@@ -298,4 +378,20 @@ func (s *Store) loadMeasureBlob(d Digest) (MeasureRecord, bool) {
 
 func (s *Store) saveMeasureBlob(d Digest, rec MeasureRecord) {
 	s.saveBlob("measure", d, diskBlob{Measure: &rec})
+}
+
+func (s *Store) loadCkptBlob(d Digest) (*sim.Checkpoint, bool) {
+	b, ok := s.loadBlob("ckpt", d)
+	if !ok || b.Ckpt == nil {
+		return nil, false
+	}
+	ck, err := sim.UnmarshalCheckpoint(b.Ckpt)
+	if err != nil {
+		return nil, false
+	}
+	return ck, true
+}
+
+func (s *Store) saveCkptBlob(d Digest, ck *sim.Checkpoint) {
+	s.saveBlob("ckpt", d, diskBlob{Ckpt: ck.MarshalBinary()})
 }

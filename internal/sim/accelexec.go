@@ -50,13 +50,16 @@ func (c *Core) buildOverlay(pos int) *overlayReader {
 	o := &overlayReader{base: c.mem, pending: make(map[uint64]uint64)}
 	// Oldest-first so newer writes overwrite older ones to the same word.
 	for i := 0; i < pos; i++ {
-		e := c.rob.at(i)
-		switch {
-		case e.in.Op.IsStore() && e.addrKnown:
-			o.pending[e.addr>>3] = e.storeData
-		case e.in.Op == isa.OpAccel && e.accelStarted:
-			for _, s := range e.accelStores {
-				o.pending[s.Addr>>3] = s.Data
+		switch oh := c.rob.hotAt(i); {
+		case oh.op.IsStore():
+			if e := c.rob.at(i); e.addrKnown {
+				o.pending[e.addr>>3] = e.storeData
+			}
+		case oh.op == isa.OpAccel:
+			if e := c.rob.at(i); e.accelStarted {
+				for _, s := range c.accelStoresOf(e) {
+					o.pending[s.Addr>>3] = s.Data
+				}
 			}
 		}
 	}
@@ -78,8 +81,8 @@ func (c *Core) buildOverlay(pos int) *overlayReader {
 // scheduled: loads through the shared ports, compute latency, then store
 // traffic. The invocation completes (becomes commit-eligible) when all of
 // its micro-operations have finished, as the paper's methodology requires.
-func (c *Core) tryStartAccel(pos int, e *robEntry, olderStorePending, olderAccelPending, olderMemAccelPending, lowConfidencePath bool) bool {
-	if !e.srcReady() || olderAccelPending {
+func (c *Core) tryStartAccel(pos int, h *robHot, e *robEntry, olderStorePending, olderAccelPending, olderMemAccelPending, lowConfidencePath bool) bool {
+	if h.pendMask != 0 || olderAccelPending {
 		return false
 	}
 	if c.tcaBusyUntil > c.now {
@@ -117,10 +120,18 @@ func (c *Core) tryStartAccel(pos int, e *robEntry, olderStorePending, olderAccel
 		Args: [3]uint64{e.operandValue(0), e.operandValue(1), e.operandValue(2)},
 	}
 	res, stores := isa.InvokeAndCollect(c.dev, call, c.buildOverlay(pos))
+	c.accelEverInvoked = true
 	e.accelStarted = true
 	e.accelStart = c.now
 	e.val = res.Value
-	e.accelStores = append([]isa.AccelStore(nil), stores...)
+	// The invocation's stores go into the shared arena; program-order
+	// invocation starts mean squashed spans always form the arena suffix.
+	e.storeOff = len(c.accelArena)
+	c.accelArena = append(c.accelArena, stores...)
+	e.storeCount = len(stores)
+	if len(stores) > 0 {
+		c.liveStores++
+	}
 	e.accelMemOps = len(res.MemOps)
 	c.stats.AccelMemOps += uint64(len(res.MemOps))
 
@@ -159,8 +170,8 @@ func (c *Core) tryStartAccel(pos int, e *robEntry, olderStorePending, olderAccel
 		}
 	}
 
-	e.state = sIssued
-	e.readyCycle = storesDone
+	h.state = sIssued
+	h.readyCycle = storesDone
 	c.tcaBusyUntil = storesDone
 	c.stats.AccelBusyCycles += storesDone - c.now
 	return true

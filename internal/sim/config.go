@@ -188,6 +188,21 @@ func (c Config) Canonical() Config {
 	return c
 }
 
+// WarmupCanonical strips, on top of Canonical, the fields that cannot affect
+// simulation before the first OpAccel reaches the pipeline: Mode and
+// PartialSpeculation feed only the accel issue path and the NT dispatch
+// barrier (armed at OpAccel dispatch), and RecordAccelEvents is consulted
+// only at OpAccel commit. Two configs with equal WarmupCanonical therefore
+// execute bit-identical warmup prefixes up to the first accel fetch, which
+// is what lets one warm checkpoint serve every post-warmup sweep variant.
+func (c Config) WarmupCanonical() Config {
+	c = c.Canonical()
+	c.Mode = 0
+	c.PartialSpeculation = false
+	c.RecordAccelEvents = false
+	return c
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	type check struct {

@@ -64,6 +64,14 @@ type Core struct {
 	lsqCount    int
 	issuedCount int // entries in sIssued (executing) state
 
+	// accelArena backs the pending-store spans of in-flight TCA
+	// invocations (robEntry.storeOff/storeCount). Invocations start in
+	// program order, so squashed spans are always an arena suffix and
+	// squash truncates; the arena resets to empty whenever no resident
+	// invocation holds stores (liveStores == 0), bounding growth.
+	accelArena []isa.AccelStore
+	liveStores int
+
 	// fetchQ is consumed from fetchHead instead of re-slicing the front,
 	// so dispatch pops keep the backing array (fetch compacts it once the
 	// dead prefix grows past the queue capacity).
@@ -86,6 +94,19 @@ type Core struct {
 	halted          bool
 	lastCommitCycle int64
 
+	// Checkpoint/pause plumbing. pauseAt makes runLoop return (without
+	// finalizing) at the first cycle boundary at or after it;
+	// pauseOnAccelFetch arms fetch() to set pauseAt when it fetches the
+	// first OpAccel. The remaining flags track checkpoint legality:
+	// sawAccelFetch (a wrong-path accel fetch counts), accelDispatched
+	// (post-warmup configuration fields have been consulted), and
+	// accelEverInvoked (the device holds post-construction state).
+	pauseAt           int64
+	pauseOnAccelFetch bool
+	sawAccelFetch     bool
+	accelDispatched   bool
+	accelEverInvoked  bool
+
 	// pend schedules pending completions (one record per issue); due is
 	// the reusable scratch batch complete() drains into each cycle.
 	pend compHeap
@@ -94,7 +115,7 @@ type Core struct {
 	// quiet is true while the current cycle has made no state change; the
 	// cycle trackers record the per-cycle counter increments that
 	// fastForward must replicate for skipped cycles. All four reset at the
-	// top of every Run iteration.
+	// top of every runLoop iteration.
 	quiet          bool
 	cycleStall     *int64
 	cycleHeldAccel *robEntry
@@ -133,9 +154,15 @@ func New(cfg Config, prog *isa.Program, dev isa.AccelDevice) (*Core, error) {
 		rob:  newROBQueue(cfg.ROBSize),
 	}
 	c.curFetchLine = -1
+	c.pauseAt = horizonNever
 	// Compaction keeps the live window within one capacity of the head,
 	// so 2x capacity never reallocates.
 	c.fetchQ = make([]fetchedInst, 0, 2*cfg.FetchWidth*(cfg.FrontEndDepth+2))
+	// The completion heap and its drain batch are bounded by the in-flight
+	// population; sizing them up front keeps the busy loop and fastForward
+	// allocation-free.
+	c.pend = make(compHeap, 0, cfg.ROBSize)
+	c.due = make([]compRecord, 0, cfg.ROBSize)
 	c.fu[fuALU] = make([]int64, cfg.IntALUs)
 	c.fu[fuMul] = make([]int64, cfg.IntMuls)
 	c.fu[fuFP] = make([]int64, cfg.FPUs)
@@ -149,17 +176,78 @@ func New(cfg Config, prog *isa.Program, dev isa.AccelDevice) (*Core, error) {
 // Hierarchy exposes the memory system for statistics inspection.
 func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
 
+// Cycle returns the current simulation cycle (the clock only advances
+// through runLoop/fastForward; this is a read-only observation, used by
+// callers sizing checkpoint decisions).
+func (c *Core) Cycle() int64 { return c.now }
+
 // Run simulates until the program's halt commits, the cycle budget is
-// exhausted, or the deadlock watchdog fires.
+// exhausted, or the deadlock watchdog fires. Run finalizes the statistics;
+// it is also the resume path after a paused RunTo/RunToAccelFetch.
 func (c *Core) Run(maxCycles int64) (*Result, error) {
+	c.pauseAt = horizonNever
+	c.pauseOnAccelFetch = false
+	if err := c.runLoop(maxCycles); err != nil {
+		return nil, err
+	}
+	c.stats.Cycles = c.now + 1
+	return &Result{Stats: c.stats, Regs: c.arf, Mem: c.mem}, nil
+}
+
+// RunTo simulates until the first cycle boundary at or after target (or
+// until halt/error, whichever comes first) and reports whether the core
+// paused there. Fast-forward jumps are not split: a jump over target pauses
+// at the jump's landing cycle, so the FastForwardedCycles/Jumps counters
+// stay bit-identical with an uninterrupted run. A paused core may be
+// checkpointed and must be finished with Run.
+func (c *Core) RunTo(maxCycles, target int64) (paused bool, err error) {
+	c.pauseAt = target
+	c.pauseOnAccelFetch = false
+	err = c.runLoop(maxCycles)
+	c.pauseAt = horizonNever
+	if err != nil {
+		return false, err
+	}
+	return !c.halted, nil
+}
+
+// RunToAccelFetch simulates until the cycle boundary after the first OpAccel
+// instruction enters the fetch queue — wrong-path fetches count, keeping the
+// boundary independent of post-warmup configuration — and reports whether
+// the core paused there. If the program halts (or has already halted) before
+// any accel fetch, it returns false with the core ready for Run.
+func (c *Core) RunToAccelFetch(maxCycles int64) (paused bool, err error) {
+	if c.sawAccelFetch {
+		return !c.halted, nil
+	}
+	c.pauseAt = horizonNever
+	c.pauseOnAccelFetch = true
+	err = c.runLoop(maxCycles)
+	c.pauseOnAccelFetch = false
+	c.pauseAt = horizonNever
+	if err != nil {
+		return false, err
+	}
+	return !c.halted, nil
+}
+
+// runLoop is the tick loop shared by Run and the pausing entry points. It
+// returns nil when the core halts or reaches pauseAt; the caller finalizes
+// (Run) or reports the pause (RunTo/RunToAccelFetch). The pause check runs
+// before the budget and watchdog checks so a paused-and-resumed run
+// re-raises ErrCycleLimit/ErrDeadlock with bit-identical messages.
+func (c *Core) runLoop(maxCycles int64) error {
 	ff := !c.cfg.NoFastForward
 	for !c.halted {
+		if c.now >= c.pauseAt {
+			return nil
+		}
 		if c.now >= maxCycles {
-			return nil, fmt.Errorf("%w after %d cycles (%d committed) pc=%d",
+			return fmt.Errorf("%w after %d cycles (%d committed) pc=%d",
 				ErrCycleLimit, c.now, c.stats.Committed, c.fetchPC)
 		}
 		if c.now-c.lastCommitCycle > deadlockWindow {
-			return nil, fmt.Errorf("%w for %d cycles at cycle %d: %s",
+			return fmt.Errorf("%w for %d cycles at cycle %d: %s",
 				ErrDeadlock, c.now-c.lastCommitCycle, c.now, c.describeHead())
 		}
 		c.quiet = true
@@ -181,8 +269,15 @@ func (c *Core) Run(maxCycles int64) (*Result, error) {
 			c.fastForward(maxCycles, occupancy)
 		}
 	}
-	c.stats.Cycles = c.now + 1
-	return &Result{Stats: c.stats, Regs: c.arf, Mem: c.mem}, nil
+	return nil
+}
+
+// accelStoresOf returns the pending-store span of a started invocation.
+func (c *Core) accelStoresOf(e *robEntry) []isa.AccelStore {
+	if e.storeCount == 0 {
+		return nil
+	}
+	return c.accelArena[e.storeOff : e.storeOff+e.storeCount]
 }
 
 // describeHead summarizes the ROB head for deadlock diagnostics.
@@ -191,9 +286,10 @@ func (c *Core) describeHead() string {
 		return fmt.Sprintf("rob empty, fetchPC=%d, fetchStopped=%v, barrier=%v",
 			c.fetchPC, c.fetchStopped, c.barrierActive)
 	}
-	h := c.rob.at(0)
+	h := c.rob.hotAt(0)
+	e := c.rob.at(0)
 	return fmt.Sprintf("rob head seq=%d pc=%d %s state=%d ready=%d srcReady=%v",
-		h.seq, h.pc, h.in, h.state, h.readyCycle, h.srcReady())
+		h.seq, e.pc, e.in, h.state, h.readyCycle, h.pendMask == 0)
 }
 
 // portGrant reserves the earliest-available memory port at or after start
@@ -257,15 +353,16 @@ func (c *Core) complete() {
 		if pos < 0 {
 			continue // squashed
 		}
-		e := c.rob.at(pos)
-		if e.state != sIssued || e.readyCycle != r.cycle {
+		h := c.rob.hotAt(pos)
+		if h.state != sIssued || h.readyCycle != r.cycle {
 			continue // duplicate record, or the seq was reused
 		}
-		e.state = sDone
+		h.state = sDone
 		c.issuedCount--
 		c.quiet = false
-		c.wake(pos, e)
-		if e.in.Op.IsCondBranch() {
+		c.wake(pos, h)
+		if h.op.IsCondBranch() {
+			e := c.rob.at(pos)
 			c.pred.Update(uint64(e.pc), e.actualTaken)
 			if e.mispredict {
 				c.stats.Mispredicts++
@@ -280,24 +377,27 @@ func (c *Core) complete() {
 }
 
 // noteIssued schedules the completion of a newly issued entry.
-func (c *Core) noteIssued(e *robEntry) {
-	c.pushPend(compRecord{cycle: e.readyCycle, seq: e.seq})
+func (c *Core) noteIssued(h *robHot) {
+	c.pushPend(compRecord{cycle: h.readyCycle, seq: h.seq})
 }
 
 // wake delivers a completed result to every dependent operand. Dependents
 // are strictly younger, so the scan starts after the producer's position
 // and stops as soon as the producer's wakeUses consumers are all served.
-func (c *Core) wake(pos int, e *robEntry) {
-	for i := pos + 1; e.wakeUses > 0 && i < c.rob.len(); i++ {
-		d := c.rob.at(i)
-		if d.state != sWaiting {
+// The scan reads only the hot slab until a dependent actually matches.
+func (c *Core) wake(pos int, h *robHot) {
+	val := c.rob.at(pos).val
+	for i := pos + 1; h.wakeUses > 0 && i < c.rob.len(); i++ {
+		dh := c.rob.hotAt(i)
+		if dh.state != sWaiting || dh.pendMask == 0 {
 			continue
 		}
+		d := c.rob.at(i)
 		for s := range d.srcs {
-			if d.srcs[s].pending && d.srcs[s].producer == e.seq {
-				d.srcs[s].pending = false
-				d.srcs[s].value = e.val
-				e.wakeUses--
+			if dh.pendMask&(1<<uint(s)) != 0 && d.srcs[s].producer == h.seq {
+				dh.pendMask &^= 1 << uint(s)
+				d.srcs[s].value = val
+				h.wakeUses--
 			}
 		}
 	}
@@ -326,48 +426,64 @@ func (c *Core) squashAfter(keep int) {
 	// program order).
 	if j, ok := c.dev.(isa.AccelJournal); ok {
 		for i := first; i < c.rob.len(); i++ {
+			if c.rob.hotAt(i).op != isa.OpAccel {
+				continue
+			}
 			e := c.rob.at(i)
-			if e.in.Op == isa.OpAccel && e.accelStarted && e.accelHasMark {
+			if e.accelStarted && e.accelHasMark {
 				j.Rewind(e.accelMark)
 				break
 			}
 		}
 	}
+	// Squashed invocations' store spans are an arena suffix (program-order
+	// starts); drop them by truncating at the oldest squashed span.
+	arenaKeep := len(c.accelArena)
 	for i := first; i < c.rob.len(); i++ {
+		h := c.rob.hotAt(i)
 		e := c.rob.at(i)
 		c.stats.Squashed++
 		// Release this entry's claims on its producers' wake counters;
 		// every producer (surviving or squashed) is still resident here.
-		for s := range e.srcs {
-			if e.srcs[s].pending {
-				if p := c.rob.bySeq(e.srcs[s].producer); p != nil {
-					p.wakeUses--
+		if h.pendMask != 0 {
+			for s := range e.srcs {
+				if h.pendMask&(1<<uint(s)) != 0 {
+					if pi := c.rob.indexOf(e.srcs[s].producer); pi >= 0 {
+						c.rob.hotAt(pi).wakeUses--
+					}
 				}
 			}
 		}
-		switch e.state {
+		switch h.state {
 		case sWaiting:
 			c.iqCount--
 		case sIssued:
 			c.issuedCount--
 		}
-		if e.in.Op.IsMem() {
+		if h.op.IsMem() {
 			c.lsqCount--
 		}
-		if e.in.Op == isa.OpAccel {
+		if h.op == isa.OpAccel {
 			if e.accelStarted {
 				c.stats.AccelSquashed++
 				// Free the TCA unit if this invocation was still
 				// running.
-				if e.readyCycle > c.now {
+				if h.readyCycle > c.now {
 					c.tcaBusyUntil = c.now
 				}
+				if e.storeCount > 0 {
+					c.liveStores--
+					if e.storeOff < arenaKeep {
+						arenaKeep = e.storeOff
+					}
+				}
 			}
-			if c.barrierActive && c.barrierSeq == e.seq {
+			if c.barrierActive && c.barrierSeq == h.seq {
 				c.barrierActive = false
 			}
 		}
 	}
+	c.accelArena = c.accelArena[:arenaKeep]
 	c.rob.truncate(first)
 
 	// Rebuild the rename table from the surviving entries.
@@ -378,46 +494,53 @@ func (c *Core) squashAfter(keep int) {
 		e := c.rob.at(i)
 		if e.in.HasDst() {
 			c.rename[e.in.Dst].valid = true
-			c.rename[e.in.Dst].seq = e.seq
+			c.rename[e.in.Dst].seq = c.rob.hotAt(i).seq
 		}
 	}
-	c.seq = c.rob.at(c.rob.len()-1).seq + 1
+	c.seq = c.rob.hotAt(c.rob.len()-1).seq + 1
 }
 
 // commit retires completed instructions in order, applying architectural
 // state.
 func (c *Core) commit() {
 	for n := 0; n < c.cfg.CommitWidth && c.rob.len() > 0; n++ {
-		e := c.rob.at(0)
-		if e.state != sDone || e.readyCycle+int64(c.cfg.CommitDelay) > c.now {
+		h := c.rob.hotAt(0)
+		if h.state != sDone || h.readyCycle+int64(c.cfg.CommitDelay) > c.now {
 			return
 		}
+		e := c.rob.at(0)
 		switch {
-		case e.in.Op == isa.OpHalt:
+		case h.op == isa.OpHalt:
 			c.halted = true
-		case e.in.Op.IsStore():
+		case h.op.IsStore():
 			c.mem.Store(e.addr, e.storeData)
 			c.stats.Stores++
 			// Charge the write to the shared ports and hierarchy.
 			g := c.portGrant(c.now)
 			_ = c.hier.Access(g, e.addr, true)
-		case e.in.Op == isa.OpAccel:
-			isa.ApplyStores(c.mem, e.accelStores)
+		case h.op == isa.OpAccel:
+			isa.ApplyStores(c.mem, c.accelStoresOf(e))
 			c.stats.AccelCommitted++
 			if c.cfg.RecordAccelEvents {
 				c.stats.AccelEvents = append(c.stats.AccelEvents, AccelEvent{
-					Seq:      e.seq,
+					Seq:      h.seq,
 					Dispatch: e.dispatchCycle,
 					Start:    e.accelStart,
-					Done:     e.readyCycle,
+					Done:     h.readyCycle,
 					Commit:   c.now,
 				})
 			}
 			c.stats.AccelDrainWait += e.accelHeld
+			if e.storeCount > 0 {
+				c.liveStores--
+				if c.liveStores == 0 {
+					c.accelArena = c.accelArena[:0]
+				}
+			}
 			if e.in.HasDst() {
 				c.arf[e.in.Dst] = e.val
 			}
-		case e.in.Op.IsLoad():
+		case h.op.IsLoad():
 			c.stats.Loads++
 			if e.forwarded {
 				c.stats.LoadsForwarded++
@@ -426,19 +549,19 @@ func (c *Core) commit() {
 		case e.in.HasDst():
 			c.arf[e.in.Dst] = e.val
 		}
-		if e.in.Op.IsCondBranch() {
+		if h.op.IsCondBranch() {
 			c.stats.Branches++
 		}
-		if e.in.HasDst() && c.rename[e.in.Dst].valid && c.rename[e.in.Dst].seq == e.seq {
+		if e.in.HasDst() && c.rename[e.in.Dst].valid && c.rename[e.in.Dst].seq == h.seq {
 			c.rename[e.in.Dst].valid = false
 		}
-		if c.barrierActive && c.barrierSeq == e.seq {
+		if c.barrierActive && c.barrierSeq == h.seq {
 			c.barrierActive = false
 		}
-		if e.in.Op.IsMem() {
+		if h.op.IsMem() {
 			c.lsqCount--
 		}
-		c.recordPipeEvent(e)
+		c.recordPipeEvent(h, e)
 		c.rob.popHead()
 		c.quiet = false
 		c.stats.Committed++

@@ -120,7 +120,7 @@ func (c *Core) eventHorizon(maxCycles int64) int64 {
 		h = c.pend[0].cycle
 	}
 	if c.rob.len() > 0 {
-		if e := c.rob.at(0); e.state == sDone {
+		if e := c.rob.hotAt(0); e.state == sDone {
 			if t := e.readyCycle + int64(c.cfg.CommitDelay); t < h {
 				h = t
 			}
@@ -171,8 +171,8 @@ func (c *Core) eventHorizon(maxCycles int64) int64 {
 // the ROB occupancy integral, exactly one dispatch-stall counter, and at
 // most one of the accel hold counters (an idle cycle increments the same
 // set every time, because every condition feeding them is pinned until the
-// horizon). This function and Run are the only writers of c.now — simlint
-// rule R6 enforces that.
+// horizon). This function, the tick loop, and checkpoint restore are the
+// only writers of c.now — simlint rule R6 enforces that.
 func (c *Core) fastForward(maxCycles, occupancy int64) {
 	h := c.eventHorizon(maxCycles)
 	if h <= c.now {

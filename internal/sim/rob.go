@@ -14,34 +14,48 @@ const (
 	sDone
 )
 
-// operand is one renamed source. Either the value is known, or it waits on
-// the producer with the given sequence number.
+// operand is one renamed source: either the value is known, or the entry's
+// pendMask bit for this source is set and producer names the sequence number
+// being waited on.
 type operand struct {
-	pending  bool
 	producer uint64
 	value    uint64
 }
 
-// robEntry is one in-flight instruction.
+// robHot is the per-entry state the busy-cycle scans actually touch: the
+// issue scan reads state and pendMask for every waiting entry, wakeup reads
+// state/pendMask/wakeUses, completion matches seq and readyCycle, and the
+// horizon probes state/readyCycle/op. Packing these into their own slab
+// keeps the scan's working set at a few cache lines per ROB sweep instead
+// of dragging the full entry (robEntry, several lines each) through cache.
+type robHot struct {
+	seq        uint64
+	readyCycle int64
+	op         isa.Op
+	state      entryState
+	// pendMask has bit i set while source i waits on a producer
+	// (srcs[i].producer in the cold entry). All sources ready == 0.
+	pendMask uint8
+	// wakeUses counts pending dependent operands waiting on this entry's
+	// result, so wake() can stop scanning once every consumer is served
+	// (and skip the scan entirely for results nobody waits on).
+	wakeUses int32
+}
+
+// robEntry is the cold remainder of one in-flight instruction: fields
+// touched once or twice per instruction (dispatch, execute, commit) rather
+// than per scan cycle.
 type robEntry struct {
-	seq           uint64
 	pc            int
 	in            isa.Instruction
-	state         entryState
 	dispatchCycle int64
 	issueCycle    int64
-	readyCycle    int64
 
 	// srcs correspond to Src1, Src2, Src3; only fields named by srcMask
 	// are meaningful.
 	srcs [3]operand
 
 	val uint64 // result value
-
-	// wakeUses counts pending dependent operands waiting on this entry's
-	// result, so wake() can stop scanning once every consumer is served
-	// (and skip the scan entirely for results nobody waits on).
-	wakeUses int
 
 	// Branch bookkeeping.
 	predTaken     bool
@@ -56,11 +70,14 @@ type robEntry struct {
 	storeData uint64
 	forwarded bool
 
-	// Accelerator bookkeeping.
+	// Accelerator bookkeeping. The invocation's pending stores live in the
+	// core's shared accelStores arena as the range
+	// [storeOff, storeOff+storeCount) — see Core.accelStoresOf.
 	accelStarted bool
 	accelHasMark bool
 	accelMark    int
-	accelStores  []isa.AccelStore
+	storeOff     int
+	storeCount   int
 	accelMemOps  int
 	accelStart   int64
 	accelHeld    int64 // cycles held ready by the NL restriction
@@ -88,24 +105,18 @@ func srcMask(op isa.Op) srcUse {
 	}
 }
 
-// srcReady reports whether all used operands are available.
-func (e *robEntry) srcReady() bool {
-	m := srcMask(e.in.Op)
-	return !(m&use1 != 0 && e.srcs[0].pending ||
-		m&use2 != 0 && e.srcs[1].pending ||
-		m&use3 != 0 && e.srcs[2].pending)
-}
-
-// robQueue is a ring buffer of in-flight instructions, oldest first.
+// robQueue is a ring buffer of in-flight instructions, oldest first, split
+// into parallel hot/cold slabs indexed identically (struct-of-arrays).
 // Sequence numbers of resident entries are contiguous, so lookup by seq is
-// O(1). The backing array is a power of two so position arithmetic is a
-// mask, which matters: at() is the simulator's hottest operation.
+// O(1). The backing arrays are a power of two so position arithmetic is a
+// mask, which matters: hotAt() is the simulator's hottest operation.
 type robQueue struct {
-	buf   []robEntry
+	hot   []robHot
+	cold  []robEntry
 	mask  int
 	head  int
 	count int
-	limit int // architectural capacity (<= len(buf))
+	limit int // architectural capacity (<= len(hot))
 }
 
 func newROBQueue(capacity int) *robQueue {
@@ -113,23 +124,25 @@ func newROBQueue(capacity int) *robQueue {
 	for size < capacity {
 		size <<= 1
 	}
-	return &robQueue{buf: make([]robEntry, size), mask: size - 1, limit: capacity}
+	return &robQueue{
+		hot:   make([]robHot, size),
+		cold:  make([]robEntry, size),
+		mask:  size - 1,
+		limit: capacity,
+	}
 }
 
 func (q *robQueue) len() int   { return q.count }
 func (q *robQueue) full() bool { return q.count == q.limit }
 
-// at returns the i'th oldest entry (0 = head).
-func (q *robQueue) at(i int) *robEntry {
-	return &q.buf[(q.head+i)&q.mask]
+// hotAt returns the i'th oldest entry's hot state (0 = head).
+func (q *robQueue) hotAt(i int) *robHot {
+	return &q.hot[(q.head+i)&q.mask]
 }
 
-// bySeq returns the resident entry with the given sequence number, or nil.
-func (q *robQueue) bySeq(seq uint64) *robEntry {
-	if i := q.indexOf(seq); i >= 0 {
-		return q.at(i)
-	}
-	return nil
+// at returns the i'th oldest entry's cold state (0 = head).
+func (q *robQueue) at(i int) *robEntry {
+	return &q.cold[(q.head+i)&q.mask]
 }
 
 // indexOf returns the position (0 = head) of the resident entry with the
@@ -139,18 +152,18 @@ func (q *robQueue) indexOf(seq uint64) int {
 	if q.count == 0 {
 		return -1
 	}
-	first := q.at(0).seq
+	first := q.hotAt(0).seq
 	if seq < first || seq >= first+uint64(q.count) {
 		return -1
 	}
 	return int(seq - first)
 }
 
-// push appends a new entry and returns it for initialization.
-func (q *robQueue) push() *robEntry {
-	e := &q.buf[(q.head+q.count)&q.mask]
+// push appends a new entry and returns both halves for initialization.
+func (q *robQueue) push() (*robHot, *robEntry) {
+	i := (q.head + q.count) & q.mask
 	q.count++
-	return e
+	return &q.hot[i], &q.cold[i]
 }
 
 // popHead removes the oldest entry.

@@ -7,7 +7,8 @@ import (
 
 // issue scans the ROB oldest-first and starts execution of ready
 // instructions, up to IssueWidth per cycle. The oldest-first order gives
-// age priority at the shared memory ports.
+// age priority at the shared memory ports. The scan touches only the hot
+// slab until an entry can actually issue or raises a hazard.
 func (c *Core) issue() {
 	issued := 0
 	sawUnissuedStore := false    // an older store has not produced addr+data yet
@@ -23,55 +24,56 @@ func (c *Core) issue() {
 	// waiting population).
 	remaining := c.iqCount
 	for i := 0; i < c.rob.len() && issued < c.cfg.IssueWidth && remaining > 0; i++ {
-		e := c.rob.at(i)
-		if partial && e.in.Op.IsCondBranch() && e.state != sDone && !e.predConfident {
+		h := c.rob.hotAt(i)
+		if partial && h.op.IsCondBranch() && h.state != sDone && !c.rob.at(i).predConfident {
 			sawLowConfBranch = true
 		}
-		if e.state != sWaiting {
+		if h.state != sWaiting {
 			continue
 		}
 		remaining--
+		e := c.rob.at(i)
 		ok := false
 		switch {
-		case e.in.Op == isa.OpAccel:
-			ok = c.tryStartAccel(i, e, sawUnissuedStore, sawUnstartedAccel, sawUnstartedMemAccel, partial && sawLowConfBranch)
-		case e.in.Op.IsLoad():
+		case h.op == isa.OpAccel:
+			ok = c.tryStartAccel(i, h, e, sawUnissuedStore, sawUnstartedAccel, sawUnstartedMemAccel, partial && sawLowConfBranch)
+		case h.op.IsLoad():
 			storeHazard := sawStoreAddrUnknown
 			if c.cfg.ConservativeLoadOrdering {
 				storeHazard = sawUnissuedStore
 			}
-			ok = c.tryIssueLoad(i, e, storeHazard, sawUnstartedMemAccel)
-		case e.in.Op.IsStore():
+			ok = c.tryIssueLoad(i, h, e, storeHazard, sawUnstartedMemAccel)
+		case h.op.IsStore():
 			// Store address generation is decoupled from the data:
 			// the address resolves as soon as the base register is
 			// ready, letting younger loads disambiguate early the
 			// way real LSQs do.
-			if !e.addrKnown && !e.srcs[0].pending {
+			if !e.addrKnown && h.pendMask&uint8(use1) == 0 {
 				e.addr = e.operandValue(0) + uint64(e.in.Imm)
 				e.addrKnown = true
 				c.quiet = false // a state change even when the store stays waiting
 			}
-			ok = c.tryIssueStore(e)
+			ok = c.tryIssueStore(h, e)
 		default:
-			ok = c.tryIssueSimple(e)
+			ok = c.tryIssueSimple(h, e)
 		}
 		if ok {
 			e.issueCycle = c.now
 			c.iqCount--
 			c.issuedCount++
-			c.noteIssued(e)
+			c.noteIssued(h)
 			c.quiet = false
 			issued++
 			continue
 		}
 		// Still waiting: record ordering hazards for younger entries.
-		if e.in.Op.IsStore() {
+		if h.op.IsStore() {
 			sawUnissuedStore = true
 			if !e.addrKnown {
 				sawStoreAddrUnknown = true
 			}
 		}
-		if e.in.Op == isa.OpAccel {
+		if h.op == isa.OpAccel {
 			sawUnstartedAccel = true
 			if devUsesMemory(c.dev) {
 				sawUnstartedMemAccel = true
@@ -81,11 +83,11 @@ func (c *Core) issue() {
 }
 
 // tryIssueSimple handles ALU, FP, branch, and immediate-move instructions.
-func (c *Core) tryIssueSimple(e *robEntry) bool {
-	if !e.srcReady() {
+func (c *Core) tryIssueSimple(h *robHot, e *robEntry) bool {
+	if h.pendMask != 0 {
 		return false
 	}
-	op := e.in.Op
+	op := h.op
 	lat := int64(c.cfg.opLatency(op))
 	busyUntil := c.now + 1
 	if unpipelined(op) {
@@ -94,8 +96,8 @@ func (c *Core) tryIssueSimple(e *robEntry) bool {
 	if !c.grabFU(fuFor(op), busyUntil) {
 		return false
 	}
-	e.state = sIssued
-	e.readyCycle = c.now + lat
+	h.state = sIssued
+	h.readyCycle = c.now + lat
 
 	switch {
 	case op.IsCondBranch():
@@ -128,12 +130,12 @@ func (c *Core) tryIssueSimple(e *robEntry) bool {
 
 // tryIssueStore completes a store's address and data capture; the memory
 // write happens at commit.
-func (c *Core) tryIssueStore(e *robEntry) bool {
-	if !e.srcReady() {
+func (c *Core) tryIssueStore(h *robHot, e *robEntry) bool {
+	if h.pendMask != 0 {
 		return false
 	}
-	e.state = sIssued
-	e.readyCycle = c.now + 1
+	h.state = sIssued
+	h.readyCycle = c.now + 1
 	e.addr = e.operandValue(0) + uint64(e.in.Imm)
 	e.storeData = e.operandValue(1)
 	e.addrKnown = true
@@ -153,8 +155,8 @@ const (
 // (decoupled store AGU) and every older memory-using TCA has produced its
 // stores. Matching older writes forward their data; otherwise the load
 // goes to the cache through a shared port.
-func (c *Core) tryIssueLoad(pos int, e *robEntry, olderStoreAddrUnknown, olderMemAccelPending bool) bool {
-	if !e.srcReady() || olderStoreAddrUnknown || olderMemAccelPending {
+func (c *Core) tryIssueLoad(pos int, h *robHot, e *robEntry, olderStoreAddrUnknown, olderMemAccelPending bool) bool {
+	if h.pendMask != 0 || olderStoreAddrUnknown || olderMemAccelPending {
 		return false
 	}
 	e.addr = e.operandValue(0) + uint64(e.in.Imm)
@@ -167,15 +169,15 @@ func (c *Core) tryIssueLoad(pos int, e *robEntry, olderStoreAddrUnknown, olderMe
 	case fwdBlock:
 		return false
 	case fwdHit:
-		e.state = sIssued
+		h.state = sIssued
 		e.forwarded = true
 		e.val = v
-		e.readyCycle = max(c.now+2, when+1)
+		h.readyCycle = max(c.now+2, when+1)
 		return true
 	}
-	e.state = sIssued
+	h.state = sIssued
 	grant := c.portGrant(c.now + 1) // one AGU cycle, then the port
-	e.readyCycle = c.hier.Access(grant, e.addr, false)
+	h.readyCycle = c.hier.Access(grant, e.addr, false)
 	e.val = c.mem.Load(e.addr)
 	return true
 }
@@ -185,17 +187,26 @@ func (c *Core) tryIssueLoad(pos int, e *robEntry, olderStoreAddrUnknown, olderMe
 // blocks the load (fwdBlock).
 func (c *Core) forwardScan(pos int, word uint64) (val uint64, when int64, status forwardStatus) {
 	for i := pos - 1; i >= 0; i-- {
-		o := c.rob.at(i)
+		oh := c.rob.hotAt(i)
 		switch {
-		case o.in.Op.IsStore() && o.addrKnown && o.addr>>3 == word:
-			if o.state == sWaiting {
+		case oh.op.IsStore():
+			o := c.rob.at(i)
+			if !o.addrKnown || o.addr>>3 != word {
+				continue
+			}
+			if oh.state == sWaiting {
 				return 0, 0, fwdBlock
 			}
-			return o.storeData, o.readyCycle, fwdHit
-		case o.in.Op == isa.OpAccel && o.accelStarted:
-			for j := len(o.accelStores) - 1; j >= 0; j-- {
-				if o.accelStores[j].Addr>>3 == word {
-					return o.accelStores[j].Data, o.readyCycle, fwdHit
+			return o.storeData, oh.readyCycle, fwdHit
+		case oh.op == isa.OpAccel:
+			o := c.rob.at(i)
+			if !o.accelStarted {
+				continue
+			}
+			stores := c.accelStoresOf(o)
+			for j := len(stores) - 1; j >= 0; j-- {
+				if stores[j].Addr>>3 == word {
+					return stores[j].Data, oh.readyCycle, fwdHit
 				}
 			}
 		}
@@ -240,16 +251,19 @@ func (c *Core) dispatch() {
 		c.fetchHead++
 		c.quiet = false
 
-		e := c.rob.push()
+		h, e := c.rob.push()
+		*h = robHot{
+			seq:        c.seq,
+			op:         f.in.Op,
+			state:      sWaiting,
+			readyCycle: c.now,
+		}
 		*e = robEntry{
-			seq:           c.seq,
 			pc:            f.pc,
 			in:            f.in,
-			state:         sWaiting,
 			dispatchCycle: c.now,
 			predTaken:     f.predTaken,
 			predConfident: f.predConfident,
-			readyCycle:    c.now,
 		}
 		c.seq++
 
@@ -261,12 +275,14 @@ func (c *Core) dispatch() {
 				continue
 			}
 			if rn := c.rename[r]; rn.valid {
-				if p := c.rob.bySeq(rn.seq); p != nil && p.state != sDone {
-					e.srcs[i] = operand{pending: true, producer: rn.seq}
-					p.wakeUses++
-					continue
-				} else if p != nil {
-					e.srcs[i] = operand{value: p.val}
+				if pi := c.rob.indexOf(rn.seq); pi >= 0 {
+					if ph := c.rob.hotAt(pi); ph.state != sDone {
+						e.srcs[i] = operand{producer: rn.seq}
+						h.pendMask |= 1 << uint(i)
+						ph.wakeUses++
+					} else {
+						e.srcs[i] = operand{value: c.rob.at(pi).val}
+					}
 					continue
 				}
 			}
@@ -274,19 +290,20 @@ func (c *Core) dispatch() {
 		}
 		if f.in.HasDst() {
 			c.rename[f.in.Dst].valid = true
-			c.rename[f.in.Dst].seq = e.seq
+			c.rename[f.in.Dst].seq = h.seq
 		}
 
 		switch f.in.Op {
 		case isa.OpHalt:
 			// Halt needs no execution.
-			e.state = sDone
+			h.state = sDone
 			e.issueCycle = c.now
 		case isa.OpAccel:
+			c.accelDispatched = true
 			c.iqCount++
 			if !c.cfg.Mode.Trailing() {
 				c.barrierActive = true
-				c.barrierSeq = e.seq
+				c.barrierSeq = h.seq
 			}
 		default:
 			c.iqCount++
@@ -352,6 +369,16 @@ func (c *Core) fetch() {
 			}
 		}
 		in := c.prog.Code[c.fetchPC]
+		if in.Op == isa.OpAccel {
+			// The first accel fetch (wrong-path included) is the warmup
+			// boundary RunToAccelFetch pauses at: the appended OpAccel
+			// cannot dispatch before the next cycle, so pausing at now+1
+			// still precedes every suffix-config-dependent decision.
+			c.sawAccelFetch = true
+			if c.pauseOnAccelFetch {
+				c.pauseAt = c.now + 1
+			}
+		}
 		f := fetchedInst{pc: c.fetchPC, in: in, availAt: c.now + int64(c.cfg.FrontEndDepth)}
 		c.stats.Fetched++
 		switch {

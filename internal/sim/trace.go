@@ -73,18 +73,18 @@ func truncate(s string, n int) string {
 }
 
 // recordPipeEvent appends a commit-time trace record if tracing is active.
-func (c *Core) recordPipeEvent(e *robEntry) {
+func (c *Core) recordPipeEvent(h *robHot, e *robEntry) {
 	if c.cfg.PipeTraceLimit <= 0 || len(c.stats.PipeTrace) >= c.cfg.PipeTraceLimit {
 		return
 	}
 	c.stats.PipeTrace = append(c.stats.PipeTrace, PipeEvent{
-		Seq:      e.seq,
+		Seq:      h.seq,
 		PC:       e.pc,
 		Text:     e.in.String(),
 		Dispatch: e.dispatchCycle,
 		Issue:    e.issueCycle,
-		Complete: e.readyCycle,
+		Complete: h.readyCycle,
 		Commit:   c.now,
-		Accel:    e.in.Op == isa.OpAccel,
+		Accel:    h.op == isa.OpAccel,
 	})
 }

@@ -1,0 +1,83 @@
+package tcmalloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OwnerPair is one live allocation in a State snapshot, sorted by pointer.
+type OwnerPair struct {
+	Ptr   uint64
+	Class int
+}
+
+// JournalOp mirrors one undo-journal record.
+type JournalOp struct {
+	Class int
+	Ptr   uint64
+	Push  bool
+}
+
+// State is a deterministic deep snapshot of an Allocator, including the
+// speculation journal (the simulator checkpoints mid-run, while some
+// invocations may still be speculative and need Rewind to work after
+// resume) and the statistics counters.
+type State struct {
+	Free    [NumClasses][]uint64
+	Arena   uint64
+	ArenaHi uint64
+	Owner   []OwnerPair
+	Journal []JournalOp
+
+	Mallocs    uint64
+	Frees      uint64
+	Refills    uint64
+	LiveBlocks int
+}
+
+// Snapshot captures the allocator's complete state.
+func (a *Allocator) Snapshot() State {
+	s := State{
+		Arena: a.arena, ArenaHi: a.arenaHi,
+		Mallocs: a.Mallocs, Frees: a.Frees, Refills: a.Refills, LiveBlocks: a.LiveBlocks,
+	}
+	for c := range a.free {
+		s.Free[c] = append([]uint64(nil), a.free[c]...)
+	}
+	owner := make([]OwnerPair, 0, len(a.owner))
+	for ptr, class := range a.owner {
+		owner = append(owner, OwnerPair{Ptr: ptr, Class: class})
+	}
+	sort.Slice(owner, func(i, j int) bool { return owner[i].Ptr < owner[j].Ptr })
+	s.Owner = owner
+	s.Journal = make([]JournalOp, len(a.journal))
+	for i, op := range a.journal {
+		s.Journal[i] = JournalOp{Class: op.class, Ptr: op.ptr, Push: op.push}
+	}
+	return s
+}
+
+// Restore fills the allocator from a snapshot, replacing all state.
+func (a *Allocator) Restore(s State) error {
+	for c := range s.Free {
+		for _, ptr := range s.Free[c] {
+			if ptr == 0 {
+				return fmt.Errorf("tcmalloc: snapshot free list holds nil pointer")
+			}
+		}
+	}
+	for c := range a.free {
+		a.free[c] = append(a.free[c][:0], s.Free[c]...)
+	}
+	a.arena, a.arenaHi = s.Arena, s.ArenaHi
+	a.owner = make(map[uint64]int, len(s.Owner))
+	for _, o := range s.Owner {
+		a.owner[o.Ptr] = o.Class
+	}
+	a.journal = a.journal[:0]
+	for _, op := range s.Journal {
+		a.journal = append(a.journal, journalOp{class: op.Class, ptr: op.Ptr, push: op.Push})
+	}
+	a.Mallocs, a.Frees, a.Refills, a.LiveBlocks = s.Mallocs, s.Frees, s.Refills, s.LiveBlocks
+	return nil
+}

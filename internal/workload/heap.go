@@ -22,6 +22,14 @@ type HeapConfig struct {
 	Prefill int
 	// Seed drives the malloc/free sequence and class choices.
 	Seed int64
+	// WarmupFiller prepends this many non-acceleratable instructions
+	// (same mix as the inter-call filler) before the first call, in both
+	// program variants. It models a long scalar warmup phase ahead of
+	// the accelerated region — the shape the scenario store's
+	// warm-checkpoint forking exploits. Zero (the default) emits
+	// nothing, leaving the generated programs byte-identical to
+	// configurations that predate the knob.
+	WarmupFiller int
 }
 
 // Validate reports configuration errors.
@@ -33,6 +41,8 @@ func (c HeapConfig) Validate() error {
 		return fmt.Errorf("workload: negative filler")
 	case c.Prefill < 1:
 		return fmt.Errorf("workload: heap needs prefill >= 1")
+	case c.WarmupFiller < 0:
+		return fmt.Errorf("workload: negative warmup filler")
 	}
 	return nil
 }
@@ -169,6 +179,13 @@ func buildHeapProgram(cfg HeapConfig, ops []heapOp, accelerated bool) *isa.Progr
 	b.MovI(isa.R(rEight), 8)
 	for i := 0; i < 6; i++ {
 		b.MovI(isa.R(22+i), int64(i+3))
+	}
+
+	if cfg.WarmupFiller > 0 {
+		// A distinct stream keeps the inter-call filler below identical
+		// to the WarmupFiller=0 program, so the warmup prefix is purely
+		// prepended rather than reshuffling the measured region.
+		emitHeapFiller(b, rand.New(rand.NewSource(cfg.Seed+13)), cfg.WarmupFiller)
 	}
 
 	fillRng := rand.New(rand.NewSource(cfg.Seed + 7))

@@ -24,17 +24,20 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 # The scenario-store contract: figure artifacts are byte-identical with
-# the cache off, cold, and warm, at any worker count. Warm runs must not
-# re-simulate, so they are also the fast path — but identity, not speed,
-# is what gates the merge.
-echo "==> figure byte-identity: cache off / cold / warm"
+# the cache off, cold, and warm, at any worker count, and with
+# warm-checkpoint forking on (the default) or off. Warm runs must not
+# re-simulate and forked runs must not re-warm, so they are also the
+# fast paths — but identity, not speed, is what gates the merge.
+echo "==> figure byte-identity: cache off / cold / warm / no-ckpt-fork"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/figures" ./cmd/figures
 "$tmp/figures" -fig all -quick -parallel 8 -no-cache              >"$tmp/off.txt"
 "$tmp/figures" -fig all -quick -parallel 8 -cache-dir "$tmp/blobs" >"$tmp/cold.txt"
 "$tmp/figures" -fig all -quick -parallel 1 -cache-dir "$tmp/blobs" >"$tmp/warm.txt"
+"$tmp/figures" -fig all -quick -parallel 8 -no-ckpt-fork           >"$tmp/nofork.txt"
 cmp "$tmp/off.txt" "$tmp/cold.txt"
 cmp "$tmp/cold.txt" "$tmp/warm.txt"
+cmp "$tmp/cold.txt" "$tmp/nofork.txt"
 
 echo "OK"
