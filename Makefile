@@ -26,7 +26,7 @@ bench:
 # across the figure suite, the simulator's per-stage microbenchmarks, and
 # the scenario store's cached-vs-uncached and forked-vs-direct pairs.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR7.json
 
 figures:
 	$(GO) run ./cmd/figures -fig all

@@ -21,6 +21,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/staticmodel"
 	"repro/internal/workload"
 )
 
@@ -355,6 +356,74 @@ func BenchmarkSimulator(b *testing.B) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(instr)/sec/1e6, "Minstr/s")
 	}
+}
+
+// BenchmarkStaticRank measures the analytical fast-path tier ranking a
+// 1000-point design space of the BenchmarkSimulator workload: profile
+// the baseline and accelerated programs once (one O(N) walk each), then
+// predict all four mode speedups for every machine variant. The
+// headline contract (DESIGN.md, "Analytical fast-path tier") is that
+// the whole ranking costs less than ONE cycle-accurate BenchmarkSimulator
+// run — that ratio is what makes frontier-pruned sweeps worthwhile.
+func BenchmarkStaticRank(b *testing.B) {
+	w, err := workload.Synthetic(workload.SyntheticConfig{
+		Units: 400, UnitLen: 25, Regions: 20, RegionLen: 60, AccelLatency: 12, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A 4-axis grid around the HP core: 5 x 8 x 5 x 5 = 1000 machines.
+	base := experiments.StaticMachine(sim.HighPerfConfig())
+	var machines []staticmodel.Machine
+	for _, dw := range []int{1, 2, 3, 4, 6} {
+		for _, rob := range []int{32, 48, 64, 96, 128, 192, 256, 384} {
+			for _, alus := range []int{1, 2, 3, 4, 6} {
+				for _, mem := range []int{1, 2, 3, 4, 8} {
+					m := base
+					m.DispatchWidth, m.IssueWidth, m.CommitWidth = dw, dw, dw
+					m.ROBSize = rob
+					m.IntALUs = alus
+					m.MemPorts = mem
+					machines = append(machines, m)
+				}
+			}
+		}
+	}
+	var configs uint64
+	var best float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basep, err := staticmodel.NewProfile(w.Baseline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accp, err := staticmodel.NewProfile(w.Accelerated)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := staticmodel.Input{
+			Baseline: basep, Accelerated: accp,
+			Acceleratable: w.Acceleratable, Invocations: w.Invocations,
+			BaselineInstructions: w.BaselineInstructions,
+			AccelLatency:         w.AccelLatency,
+		}
+		best = 0
+		for _, m := range machines {
+			pred, err := staticmodel.Predict(in, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s := pred.Mode(pred.BestMode()).Speedup; s > best {
+				best = s
+			}
+			configs++
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(configs)/sec, "configs/s")
+	}
+	b.ReportMetric(best, "best-L_T-speedup")
 }
 
 // BenchmarkInterpreter measures golden-model throughput.

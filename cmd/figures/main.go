@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	figures [-fig all|2|3|4|5|6|7|8] [-out DIR] [-matmul-n N] [-quick] [-parallel N]
+//	figures [-fig all|2|3|4|5|6|7|8|staticerr] [-out DIR] [-matmul-n N] [-quick] [-parallel N]
 //	        [-cache-dir DIR] [-no-cache] [-no-ckpt-fork]
+//	        [-static-prune] [-prune-topk K] [-prune-audit N] [-prune-seed S]
 //
 // Figures 2, 3, 7 and 8 are analytical (instant); figures 4, 5 and 6
 // simulate baseline and accelerated programs in all four TCA modes on the
@@ -23,6 +24,15 @@
 // byte-identical with the cache off, cold, or warm, and with
 // checkpoint forking on or off — the store's hit/miss/fork report goes
 // to stderr.
+//
+// -static-prune enables the StaticRank pre-pass on the Fig 4 and Fig 5
+// sweeps: every point is first ranked by the analytical fast-path tier
+// (internal/staticmodel, microseconds per config), and only the
+// -prune-topk frontier plus a -prune-audit random audit sample is
+// cycle-simulated. Off by default; stock runs are byte-identical to a
+// run with the flag absent. The prune report goes to stderr.
+// -fig staticerr (never part of "all") emits the static-vs-simulated
+// accuracy table that justifies the oracle.
 package main
 
 import (
@@ -50,7 +60,7 @@ func main() {
 
 func realMain() int {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: all, 2, 3, 4, 5, 6, 7, 8, e1, e2, e3, e4, e5, a1, a2")
+		fig      = flag.String("fig", "all", "figure to regenerate: all, 2, 3, 4, 5, 6, 7, 8, e1, e2, e3, e4, e5, a1, a2, staticerr")
 		out      = flag.String("out", "", "directory for CSV output (default: none, stdout only)")
 		matmulN  = flag.Int("matmul-n", 64, "matrix edge for Fig 6 (paper: 512)")
 		quick    = flag.Bool("quick", false, "shrink simulated sweeps for a fast smoke run")
@@ -60,8 +70,18 @@ func realMain() int {
 		noFork   = flag.Bool("no-ckpt-fork", false, "disable warm-checkpoint forking in the store (results are identical, just slower)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+
+		staticPrune = flag.Bool("static-prune", false, "rank Fig 4/5 sweep points with the static model and simulate only the frontier")
+		pruneTopK   = flag.Int("prune-topk", 4, "with -static-prune: simulate the K statically best-ranked points")
+		pruneAudit  = flag.Int("prune-audit", 2, "with -static-prune: also simulate this many random pruned points as an audit sample")
+		pruneSeed   = flag.Int64("prune-seed", 1, "with -static-prune: seed for the audit sample")
 	)
 	flag.Parse()
+
+	var prune *experiments.StaticPruneConfig
+	if *staticPrune {
+		prune = &experiments.StaticPruneConfig{TopK: *pruneTopK, Audit: *pruneAudit, Seed: *pruneSeed}
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -105,7 +125,7 @@ func realMain() int {
 	}
 
 	start := time.Now()
-	if err := run(*fig, *out, *matmulN, *quick, *parallel, store); err != nil {
+	if err := run(*fig, *out, *matmulN, *quick, *parallel, store, prune); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		return 1
 	}
@@ -117,7 +137,7 @@ func realMain() int {
 	return 0
 }
 
-func run(fig, out string, matmulN int, quick bool, parallel int, store *scenario.Store) error {
+func run(fig, out string, matmulN int, quick bool, parallel int, store *scenario.Store, prune *experiments.StaticPruneConfig) error {
 	want := func(id string) bool { return fig == "all" || fig == id }
 	saveCSV := func(name, data string) error {
 		if out == "" {
@@ -175,12 +195,16 @@ func run(fig, out string, matmulN int, quick bool, parallel int, store *scenario
 		cfg := experiments.DefaultFig4()
 		cfg.Parallel = parallel
 		cfg.Store = store
+		cfg.Prune = prune
 		if quick {
 			cfg.RegionCounts = []int{5, 40, 320}
 		}
 		res, err := experiments.Fig4(cfg)
 		if err != nil {
 			return err
+		}
+		if res.Prune != nil {
+			fmt.Fprintln(os.Stderr, "figures: fig4", res.Prune)
 		}
 		fmt.Print(res.Render())
 		fmt.Printf("\nmax |error| across sweep: %.1f%%\n", 100*res.MaxAbsError())
@@ -194,6 +218,7 @@ func run(fig, out string, matmulN int, quick bool, parallel int, store *scenario
 		cfg := experiments.DefaultFig5()
 		cfg.Parallel = parallel
 		cfg.Store = store
+		cfg.Prune = prune
 		if quick {
 			cfg.Operations = 200
 			cfg.FillerCounts = []int{0, 20, 160}
@@ -201,6 +226,9 @@ func run(fig, out string, matmulN int, quick bool, parallel int, store *scenario
 		res, err := experiments.Fig5(cfg)
 		if err != nil {
 			return err
+		}
+		if res.Prune != nil {
+			fmt.Fprintln(os.Stderr, "figures: fig5", res.Prune)
 		}
 		fmt.Print(res.Render())
 		fmt.Printf("\nmax |error| across sweep: %.1f%%\n", 100*res.MaxAbsError())
@@ -343,6 +371,29 @@ func run(fig, out string, matmulN int, quick bool, parallel int, store *scenario
 		fmt.Print(res.Render())
 		fmt.Printf("\nmax |error| across study: %.1f%%\n", 100*res.MaxAbsError())
 		if err := saveCSV("e5.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	// The accuracy table is on-demand only (fig == "staticerr", never
+	// part of "all"): it re-simulates the Fig 4/5 sweeps, and keeping it
+	// out of "all" keeps the stock artifact byte-stable.
+	if fig == "staticerr" {
+		section("Static tier — static-vs-simulated speedup error (Fig 4 + Fig 5 points)")
+		cfg := experiments.DefaultStaticErr()
+		cfg.Parallel = parallel
+		cfg.Store = store
+		if quick {
+			cfg.Fig4.RegionCounts = []int{5, 40, 320}
+			cfg.Fig5.Operations = 200
+			cfg.Fig5.FillerCounts = []int{0, 20, 160}
+		}
+		res, err := experiments.StaticErr(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if err := saveCSV("staticerr.csv", res.CSV()); err != nil {
 			return err
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/staticmodel"
 	"repro/internal/textplot"
 	"repro/internal/workload"
 )
@@ -34,6 +35,11 @@ type Fig4Config struct {
 	// Store optionally caches and deduplicates runs; nil executes
 	// everything directly with identical results.
 	Store *scenario.Store
+	// Prune optionally enables the StaticRank pre-pass: every sweep
+	// point is ranked by the static model and only the top-K frontier
+	// plus a seeded audit sample is cycle-simulated. Nil (the default)
+	// simulates every point through the exact unpruned code path.
+	Prune *StaticPruneConfig
 }
 
 // DefaultFig4 sizes the sweep for the default harness.
@@ -55,25 +61,38 @@ type Fig4Row struct {
 	Result            *WorkloadResult
 }
 
-// Fig4Result is the full validation sweep.
+// Fig4Result is the full validation sweep. Prune is non-nil only when
+// the StaticRank pre-pass ran; renderers ignore it (a pruned run simply
+// has fewer rows) so the driver can report it on stderr.
 type Fig4Result struct {
-	Rows []Fig4Row
+	Rows  []Fig4Row
+	Prune *PruneReport
+}
+
+// fig4Workload builds sweep point i (region count n).
+func fig4Workload(cfg Fig4Config, i, n int) (*workload.Workload, error) {
+	return workload.Synthetic(workload.SyntheticConfig{
+		Units:        cfg.Units,
+		UnitLen:      cfg.UnitLen,
+		Regions:      n,
+		RegionLen:    cfg.RegionLen,
+		AccelLatency: cfg.AccelLatency,
+		Seed:         cfg.Seed + int64(i), // vary placement per instance
+	})
 }
 
 // Fig4 generates the sweep workloads, validates the model against the
 // simulator on each, and reports per-mode errors. Sweep points fan out
 // across cfg.Parallel workers; each builds its own workload instance.
+// With cfg.Prune set, a static pre-pass ranks all points first and only
+// the selected frontier is simulated.
 func Fig4(cfg Fig4Config) (*Fig4Result, error) {
+	if cfg.Prune != nil {
+		return fig4Pruned(cfg)
+	}
 	rows, _, err := runner.Map(context.Background(), cfg.Parallel, cfg.RegionCounts,
 		func(_ context.Context, i, n int) (Fig4Row, error) {
-			w, err := workload.Synthetic(workload.SyntheticConfig{
-				Units:        cfg.Units,
-				UnitLen:      cfg.UnitLen,
-				Regions:      n,
-				RegionLen:    cfg.RegionLen,
-				AccelLatency: cfg.AccelLatency,
-				Seed:         cfg.Seed + int64(i), // vary placement per instance
-			})
+			w, err := fig4Workload(cfg, i, n)
 			if err != nil {
 				return Fig4Row{}, err
 			}
@@ -87,6 +106,45 @@ func Fig4(cfg Fig4Config) (*Fig4Result, error) {
 		return nil, err
 	}
 	return &Fig4Result{Rows: rows}, nil
+}
+
+// fig4Pruned is the two-phase path: phase A statically ranks every
+// point (microseconds each), phase B cycle-simulates only the kept
+// frontier. Workloads are rebuilt in phase B rather than retained so
+// the pre-pass memory footprint stays flat across huge sweeps.
+func fig4Pruned(cfg Fig4Config) (*Fig4Result, error) {
+	preds, _, err := runner.Map(context.Background(), cfg.Parallel, cfg.RegionCounts,
+		func(_ context.Context, i, n int) (*staticmodel.Prediction, error) {
+			w, err := fig4Workload(cfg, i, n)
+			if err != nil {
+				return nil, err
+			}
+			return StaticPredictWorkloadStore(cfg.Store, cfg.Core, w)
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := cfg.Prune.selectPoints(preds)
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := runner.Map(context.Background(), cfg.Parallel, rep.Kept,
+		func(_ context.Context, _, idx int) (Fig4Row, error) {
+			n := cfg.RegionCounts[idx]
+			w, err := fig4Workload(cfg, idx, n)
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			res, err := MeasureWorkloadStore(cfg.Store, cfg.Core, w, cfg.Parallel)
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			return Fig4Row{AccelInstructions: n, Result: res}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Result{Rows: rows, Prune: rep}, nil
 }
 
 // Chart plots |error| per mode against the accelerator-instruction count.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/staticmodel"
 	"repro/internal/textplot"
 	"repro/internal/workload"
 )
@@ -35,6 +36,8 @@ type Fig5Config struct {
 	// Store optionally caches and deduplicates runs; nil executes
 	// everything directly with identical results.
 	Store *scenario.Store
+	// Prune optionally enables the StaticRank pre-pass (see Fig4Config).
+	Prune *StaticPruneConfig
 }
 
 // DefaultFig5 sizes the sweep for the default harness.
@@ -57,21 +60,31 @@ type Fig5Row struct {
 // Fig5Result is the heap validation sweep: panels (a) model speedup,
 // (b) simulated speedup, (c) error, per mode.
 type Fig5Result struct {
-	Rows []Fig5Row
+	Rows  []Fig5Row
+	Prune *PruneReport
+}
+
+// fig5Workload builds the sweep point with the given filler distance.
+func fig5Workload(cfg Fig5Config, filler int) (*workload.Workload, error) {
+	return workload.Heap(workload.HeapConfig{
+		Operations:    cfg.Operations,
+		FillerPerCall: filler,
+		Prefill:       cfg.Prefill,
+		Seed:          cfg.Seed,
+		WarmupFiller:  cfg.WarmupFiller,
+	})
 }
 
 // Fig5 runs the heap-manager study, fanning the frequency sweep across
-// cfg.Parallel workers.
+// cfg.Parallel workers. With cfg.Prune set, a static pre-pass ranks all
+// points first and only the selected frontier is simulated.
 func Fig5(cfg Fig5Config) (*Fig5Result, error) {
+	if cfg.Prune != nil {
+		return fig5Pruned(cfg)
+	}
 	rows, _, err := runner.Map(context.Background(), cfg.Parallel, cfg.FillerCounts,
 		func(_ context.Context, _, filler int) (Fig5Row, error) {
-			w, err := workload.Heap(workload.HeapConfig{
-				Operations:    cfg.Operations,
-				FillerPerCall: filler,
-				Prefill:       cfg.Prefill,
-				Seed:          cfg.Seed,
-				WarmupFiller:  cfg.WarmupFiller,
-			})
+			w, err := fig5Workload(cfg, filler)
 			if err != nil {
 				return Fig5Row{}, err
 			}
@@ -85,6 +98,43 @@ func Fig5(cfg Fig5Config) (*Fig5Result, error) {
 		return nil, err
 	}
 	return &Fig5Result{Rows: rows}, nil
+}
+
+// fig5Pruned mirrors fig4Pruned: static ranking pass, then simulation
+// of the kept frontier only.
+func fig5Pruned(cfg Fig5Config) (*Fig5Result, error) {
+	preds, _, err := runner.Map(context.Background(), cfg.Parallel, cfg.FillerCounts,
+		func(_ context.Context, _, filler int) (*staticmodel.Prediction, error) {
+			w, err := fig5Workload(cfg, filler)
+			if err != nil {
+				return nil, err
+			}
+			return StaticPredictWorkloadStore(cfg.Store, cfg.Core, w)
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := cfg.Prune.selectPoints(preds)
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := runner.Map(context.Background(), cfg.Parallel, rep.Kept,
+		func(_ context.Context, _, idx int) (Fig5Row, error) {
+			filler := cfg.FillerCounts[idx]
+			w, err := fig5Workload(cfg, filler)
+			if err != nil {
+				return Fig5Row{}, err
+			}
+			res, err := MeasureWorkloadStore(cfg.Store, cfg.Core, w, cfg.Parallel)
+			if err != nil {
+				return Fig5Row{}, err
+			}
+			return Fig5Row{FillerPerCall: filler, Result: res}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{Rows: rows, Prune: rep}, nil
 }
 
 // panel builds one chart over invocation frequency.

@@ -52,6 +52,23 @@ type WorkloadResult struct {
 	scenario.MeasureRecord
 }
 
+// accelEvents converts the simulator's event trace to the interval
+// package's simulation-free record type (simlint R11 keeps sim types out
+// of the prediction stack).
+func accelEvents(events []sim.AccelEvent) []interval.AccelEvent {
+	out := make([]interval.AccelEvent, len(events))
+	for i, e := range events {
+		out[i] = interval.AccelEvent{
+			Seq:      e.Seq,
+			Dispatch: e.Dispatch,
+			Start:    e.Start,
+			Done:     e.Done,
+			Commit:   e.Commit,
+		}
+	}
+	return out
+}
+
 // archOf extracts the model's architecture constants from a simulator
 // configuration.
 func archOf(cfg sim.Config) core.CoreParams {
@@ -156,7 +173,7 @@ func measureCompute(store *scenario.Store, cfg sim.Config, w *workload.Workload,
 				run.occupancy = stats.AvgROBOccupancy()
 			}
 			if mcfg.RecordAccelEvents {
-				svc, err := interval.AnalyzeEvents(stats.AccelEvents)
+				svc, err := interval.AnalyzeEvents(accelEvents(stats.AccelEvents))
 				if err != nil {
 					return measureRun{}, fmt.Errorf("experiments: %s: %w", w.Name, err)
 				}
@@ -190,7 +207,13 @@ func measureCompute(store *scenario.Store, cfg sim.Config, w *workload.Workload,
 	if lat == 0 { //lint:ignore R4 exact sentinel: AccelLatency zero means "unset, use the measured latency"
 		lat = rec.MeasuredAccelLatency
 	}
-	meas := interval.FromBaselineStats(baseStats, w.Acceleratable, w.Invocations)
+	meas := interval.BaselineMeasurement{
+		Cycles:                    baseStats.Cycles,
+		Instructions:              baseStats.Committed,
+		AcceleratableInstructions: w.Acceleratable,
+		Invocations:               w.Invocations,
+		AvgROBOccupancy:           baseStats.AvgROBOccupancy(),
+	}
 	if ltOccupancy > 0 {
 		meas.AvgROBOccupancy = ltOccupancy
 	}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/staticmodel"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+// StaticErrConfig parameterizes the static-vs-simulated accuracy study:
+// every point of the Fig4 and Fig5 sweeps is both statically predicted
+// and cycle-simulated, and the per-mode discrepancies are tabulated.
+// This is the evidence behind using the static tier as a pruning
+// oracle — the table shows how far its speedups drift and how often its
+// mode ranking matches the simulator's.
+type StaticErrConfig struct {
+	Fig4 Fig4Config
+	Fig5 Fig5Config
+	// Parallel is the worker count for the combined point sweep.
+	Parallel int
+	// Store optionally caches both tiers; nil computes directly.
+	Store *scenario.Store
+}
+
+// DefaultStaticErr covers the default Fig4 and Fig5 sweeps.
+func DefaultStaticErr() StaticErrConfig {
+	return StaticErrConfig{Fig4: DefaultFig4(), Fig5: DefaultFig5()}
+}
+
+// StaticErrMode is one (point, mode) comparison.
+type StaticErrMode struct {
+	Mode accel.Mode
+	// SimSpeedup is the cycle-accurate simulated speedup; StaticSpeedup
+	// the static tier's prediction; Error is (static - sim) / sim.
+	SimSpeedup    float64
+	StaticSpeedup float64
+	Error         float64
+}
+
+// StaticErrRow is one sweep point: all four modes plus whether the
+// static tier picked the same best mode as the simulator.
+type StaticErrRow struct {
+	// Workload names the point, e.g. "synthetic/40" or "heap/160".
+	Workload string
+	Modes    []StaticErrMode
+	// SimBest and StaticBest are each tier's best mode; RankAgree is
+	// SimBest == StaticBest.
+	SimBest    accel.Mode
+	StaticBest accel.Mode
+	RankAgree  bool
+}
+
+// StaticErrResult is the full accuracy table.
+type StaticErrResult struct {
+	Rows []StaticErrRow
+}
+
+// staticErrPoint pairs a point label with its workload builder.
+type staticErrPoint struct {
+	name  string
+	build func() (*workload.Workload, error)
+}
+
+// StaticErr runs the study: both sweeps' points through both tiers.
+func StaticErr(cfg StaticErrConfig) (*StaticErrResult, error) {
+	points := make([]staticErrPoint, 0, len(cfg.Fig4.RegionCounts)+len(cfg.Fig5.FillerCounts))
+	for i, n := range cfg.Fig4.RegionCounts {
+		i, n := i, n
+		points = append(points, staticErrPoint{
+			name:  fmt.Sprintf("synthetic/%d", n),
+			build: func() (*workload.Workload, error) { return fig4Workload(cfg.Fig4, i, n) },
+		})
+	}
+	for _, filler := range cfg.Fig5.FillerCounts {
+		filler := filler
+		points = append(points, staticErrPoint{
+			name:  fmt.Sprintf("heap/%d", filler),
+			build: func() (*workload.Workload, error) { return fig5Workload(cfg.Fig5, filler) },
+		})
+	}
+	core := func(name string) sim.Config {
+		if strings.HasPrefix(name, "heap/") {
+			return cfg.Fig5.Core
+		}
+		return cfg.Fig4.Core
+	}
+
+	rows, _, err := runner.Map(context.Background(), cfg.Parallel, points,
+		func(_ context.Context, _ int, pt staticErrPoint) (StaticErrRow, error) {
+			w, err := pt.build()
+			if err != nil {
+				return StaticErrRow{}, err
+			}
+			c := core(pt.name)
+			pred, err := StaticPredictWorkloadStore(cfg.Store, c, w)
+			if err != nil {
+				return StaticErrRow{}, err
+			}
+			res, err := MeasureWorkloadStore(cfg.Store, c, w, 1)
+			if err != nil {
+				return StaticErrRow{}, err
+			}
+			return staticErrRow(pt.name, pred, res), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &StaticErrResult{Rows: rows}, nil
+}
+
+// staticErrRow compares one point's two tiers.
+func staticErrRow(name string, pred *staticmodel.Prediction, res *WorkloadResult) StaticErrRow {
+	row := StaticErrRow{Workload: name, StaticBest: pred.BestMode()}
+	var simBest float64
+	for i, m := range accel.AllModes {
+		sim := res.Mode(m).SimSpeedup
+		st := pred.Mode(m).Speedup
+		var e float64
+		if sim > 0 {
+			e = (st - sim) / sim
+		}
+		row.Modes = append(row.Modes, StaticErrMode{
+			Mode: m, SimSpeedup: sim, StaticSpeedup: st, Error: e,
+		})
+		if i == 0 || sim > simBest {
+			simBest = sim
+			row.SimBest = m
+		}
+	}
+	row.RankAgree = row.SimBest == row.StaticBest
+	return row
+}
+
+// MAE is the mean |error| over every (point, mode) pair.
+func (r *StaticErrResult) MAE() float64 {
+	var sum float64
+	var n int
+	for _, row := range r.Rows {
+		for _, m := range row.Modes {
+			sum += math.Abs(m.Error)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RankAgreement is the fraction of points whose static best mode
+// matches the simulated best mode.
+func (r *StaticErrResult) RankAgreement() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	var agree int
+	for _, row := range r.Rows {
+		if row.RankAgree {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(r.Rows))
+}
+
+// Render produces the per-point table plus the summary line.
+func (r *StaticErrResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Static-vs-simulated speedup error (static tier as pruning oracle)\n\n")
+	header := []string{"workload"}
+	for _, m := range accel.AllModes {
+		header = append(header, "sim "+m.String(), "static "+m.String(), "err "+m.String())
+	}
+	header = append(header, "sim-best", "static-best", "agree")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		cells := []string{row.Workload}
+		for _, m := range row.Modes {
+			cells = append(cells,
+				fmt.Sprintf("%.2f", m.SimSpeedup),
+				fmt.Sprintf("%.2f", m.StaticSpeedup),
+				fmt.Sprintf("%+.1f%%", 100*m.Error))
+		}
+		agree := "no"
+		if row.RankAgree {
+			agree = "yes"
+		}
+		cells = append(cells, row.SimBest.String(), row.StaticBest.String(), agree)
+		rows = append(rows, cells)
+	}
+	b.WriteString(textplot.Table(header, rows))
+	fmt.Fprintf(&b, "\nMAE %.1f%% over %d points x %d modes; best-mode ranking agreement %.0f%%\n",
+		100*r.MAE(), len(r.Rows), len(accel.AllModes), 100*r.RankAgreement())
+	return b.String()
+}
+
+// CSV serializes every (point, mode) comparison.
+func (r *StaticErrResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,mode,sim_speedup,static_speedup,error,sim_best,static_best,rank_agree\n")
+	for _, row := range r.Rows {
+		for _, m := range row.Modes {
+			fmt.Fprintf(&b, "%s,%s,%g,%g,%g,%s,%s,%t\n",
+				row.Workload, m.Mode, m.SimSpeedup, m.StaticSpeedup, m.Error,
+				row.SimBest, row.StaticBest, row.RankAgree)
+		}
+	}
+	return b.String()
+}

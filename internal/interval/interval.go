@@ -4,6 +4,11 @@
 // a of the acceleratable regions, and (optionally) the accelerator's
 // measured service latency; its per-mode speedup predictions are then
 // compared against simulated speedups.
+//
+// The package is simulation-free by design (simlint R11): it consumes
+// plain measured values, never simulator types, so the prediction stack
+// (core, interval, staticmodel) can run without linking the cycle
+// simulator. Callers holding sim.Stats convert at their own boundary.
 package interval
 
 import (
@@ -11,7 +16,6 @@ import (
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/sim"
 )
 
 // BaselineMeasurement captures what interval analysis extracts from a
@@ -52,25 +56,6 @@ func (m BaselineMeasurement) Validate() error {
 	return nil
 }
 
-// FromBaselineRun builds a measurement from a baseline simulation result
-// plus workload-known region counts.
-func FromBaselineRun(res *sim.Result, acceleratable, invocations uint64) BaselineMeasurement {
-	return FromBaselineStats(res.Stats, acceleratable, invocations)
-}
-
-// FromBaselineStats is FromBaselineRun for callers that hold only the
-// run statistics — e.g. results served from the scenario store, which
-// caches sim.Stats rather than whole sim.Results.
-func FromBaselineStats(s sim.Stats, acceleratable, invocations uint64) BaselineMeasurement {
-	return BaselineMeasurement{
-		Cycles:                    s.Cycles,
-		Instructions:              s.Committed,
-		AcceleratableInstructions: acceleratable,
-		Invocations:               invocations,
-		AvgROBOccupancy:           s.AvgROBOccupancy(),
-	}
-}
-
 // IPC returns the measured baseline IPC.
 func (m BaselineMeasurement) IPC() float64 {
 	return float64(m.Instructions) / float64(m.Cycles)
@@ -99,6 +84,17 @@ func Calibrate(m BaselineMeasurement, arch core.CoreParams, accelFactor, accelLa
 	return p, nil
 }
 
+// AccelEvent records the lifetime of one committed TCA invocation
+// (cycles are absolute). It mirrors the simulator's event record
+// field-for-field without importing it; callers convert at the boundary.
+type AccelEvent struct {
+	Seq      uint64
+	Dispatch int64
+	Start    int64 // execution start (after any NL drain wait)
+	Done     int64 // all compute and memory micro-ops complete
+	Commit   int64
+}
+
 // ServiceStats summarizes the accelerator-event trace of an accelerated
 // run.
 type ServiceStats struct {
@@ -115,7 +111,7 @@ type ServiceStats struct {
 }
 
 // AnalyzeEvents computes service statistics from a recorded event trace.
-func AnalyzeEvents(events []sim.AccelEvent) (ServiceStats, error) {
+func AnalyzeEvents(events []AccelEvent) (ServiceStats, error) {
 	if len(events) == 0 {
 		return ServiceStats{}, fmt.Errorf("interval: no accel events recorded")
 	}

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/sim"
 )
 
 func TestBaselineMeasurementValidate(t *testing.T) {
@@ -61,7 +60,7 @@ func TestCalibrateRejectsBadMeasurement(t *testing.T) {
 }
 
 func TestAnalyzeEvents(t *testing.T) {
-	events := []sim.AccelEvent{
+	events := []AccelEvent{
 		{Seq: 1, Dispatch: 10, Start: 12, Done: 20, Commit: 23},
 		{Seq: 2, Dispatch: 30, Start: 30, Done: 42, Commit: 45},
 		{Seq: 3, Dispatch: 50, Start: 55, Done: 60, Commit: 67},

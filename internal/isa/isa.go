@@ -207,7 +207,16 @@ func (in Instruction) HasDst() bool {
 
 // Sources returns the registers the instruction reads, excluding RZero.
 func (in Instruction) Sources() []Reg {
-	var srcs []Reg
+	return in.SourcesInto(nil)
+}
+
+// SourcesInto is Sources appending into a caller-provided buffer
+// (truncated first), so tight analysis loops — the static-model walker
+// reads sources for every instruction of multi-megabyte programs — can
+// reuse one allocation. The returned slice aliases buf when capacity
+// allows.
+func (in Instruction) SourcesInto(buf []Reg) []Reg {
+	srcs := buf[:0]
 	add := func(r Reg) {
 		if r != RZero {
 			srcs = append(srcs, r)

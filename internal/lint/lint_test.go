@@ -80,6 +80,9 @@ func TestRuleFixtures(t *testing.T) {
 		{name: "R9-in-scope", file: "r9.go", as: "internal/sim/fixture9"},
 		{name: "R9-out-of-scope", file: "r9.go", as: "internal/textplot/fixture9", ignores: true},
 		{name: "R10-everywhere", file: "r10.go", as: "internal/anything/fixture10"},
+		{name: "R11-in-staticmodel", file: "r11.go", as: "internal/staticmodel/fixture11"},
+		{name: "R11-in-interval", file: "r11.go", as: "internal/interval/fixture11"},
+		{name: "R11-out-of-scope", file: "r11.go", as: "internal/experiments/fixture11", ignores: true},
 	}
 	loader := fixtureLoader(t)
 	for _, tc := range cases {
@@ -143,7 +146,7 @@ func compareDiags(t *testing.T, want []string, diags []Diagnostic) {
 // TestRuleMetadata guards the published rule catalog: stable IDs, names
 // and docs that LINT.md documents.
 func TestRuleMetadata(t *testing.T) {
-	wantIDs := []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"}
+	wantIDs := []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11"}
 	rules := AllRules()
 	if len(rules) != len(wantIDs) {
 		t.Fatalf("AllRules: got %d rules, want %d", len(rules), len(wantIDs))

@@ -20,7 +20,7 @@ var ruleFloatEq = &Rule{
 	Applies: func(rel string) bool {
 		return underAny(rel,
 			"internal/core", "internal/sim", "internal/experiments",
-			"internal/interval", "internal/logca")
+			"internal/interval", "internal/logca", "internal/staticmodel")
 	},
 	Check: func(pass *Pass) {
 		pass.eachFile(func(f *ast.File) {

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// predictionStack lists the simulation-free analytical tier: packages
+// that predict performance from program structure and closed-form
+// models alone. DESIGN.md's "Analytical fast-path tier" section
+// documents the contract; keeping these packages free of simulator
+// imports is what lets a static prediction rank thousands of configs in
+// the time one cycle-accurate run takes, and keeps the two tiers
+// honestly comparable (the static tier cannot quietly call the
+// simulator it is validated against).
+var predictionStack = []string{
+	"internal/staticmodel",
+	"internal/interval",
+	"internal/core",
+}
+
+// simulationTier lists the cycle-accurate side: the core simulator and
+// its structural-detail dependencies.
+var simulationTier = []string{
+	"internal/sim",
+	"internal/mem",
+	"internal/bpred",
+}
+
+// ruleLayering (R11) forbids the prediction stack from importing the
+// simulation tier. The sanctioned crossing direction is the reverse:
+// internal/experiments adapts sim.Config and simulator stats into the
+// prediction stack's own types (StaticMachine, interval.AccelEvent).
+var ruleLayering = &Rule{
+	ID:   "R11",
+	Name: "prediction-stack-layering",
+	Doc:  "the analytical tier (staticmodel, interval, core) must not import the simulator (sim, mem, bpred)",
+	Applies: func(rel string) bool {
+		return underAny(rel, predictionStack...)
+	},
+	Check: func(pass *Pass) {
+		pass.eachFile(func(f *ast.File) {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if banned, ok := simTierImport(path); ok {
+					pass.Reportf(imp.Path.Pos(),
+						"prediction-stack package imports simulator package %s; adapt via internal/experiments instead", banned)
+				}
+			}
+		})
+	},
+}
+
+// simTierImport reports whether an import path names a simulation-tier
+// package (or a subpackage of one), returning the matched tier root.
+// Matching is by module-relative segment so fixture packages, which the
+// loader poses under synthetic paths, resolve identically to real ones.
+func simTierImport(path string) (string, bool) {
+	for _, root := range simulationTier {
+		if path == root || strings.HasSuffix(path, "/"+root) ||
+			strings.Contains(path, "/"+root+"/") || strings.HasPrefix(path, root+"/") {
+			return root, true
+		}
+	}
+	return "", false
+}

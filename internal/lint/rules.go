@@ -20,6 +20,7 @@ func AllRules() []*Rule {
 		ruleDigestCov,
 		ruleCloneCov,
 		ruleParClosure,
+		ruleLayering,
 	}
 }
 

@@ -1,0 +1,22 @@
+// Fixture for R11 prediction-stack-layering. Loaded by lint_test.go
+// under an in-scope module path (internal/staticmodel/...) where the
+// simulator imports below must each be flagged, and under an
+// out-of-scope path (internal/experiments/...) where the same file is
+// clean — experiments is the sanctioned adapter layer.
+package fixture
+
+import (
+	"repro/internal/accel" // prediction-stack-safe: shared leaf vocabulary
+	"repro/internal/bpred" // want:R11
+	"repro/internal/mem"   // want:R11
+	"repro/internal/sim"   // want:R11
+)
+
+// use keeps every import live; the rule fires on the import declaration
+// itself, not on use sites.
+var use = []any{
+	sim.HighPerfConfig(),
+	mem.DefaultHierarchy(),
+	bpred.NewBimodal(10),
+	accel.LT,
+}

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"sync"
+
+	"repro/internal/staticmodel"
+)
+
+// staticEntry singleflights one static-model prediction.
+type staticEntry struct {
+	once sync.Once
+	pred *staticmodel.Prediction
+	err  error
+}
+
+// StaticPrediction returns the cached static-model prediction for the
+// measure spec — the same content address that keys the spec's full
+// measurement, in a separate namespace — computing it once via compute.
+//
+// The static level is memory-only by design: recomputing a prediction
+// costs microseconds, less than a disk round-trip, so persistence would
+// be pure overhead. What the cache buys is in-process deduplication
+// (sweeps sharing points, the prune pre-pass followed by the staticerr
+// table) and singleflight under concurrency.
+func (s *Store) StaticPrediction(spec MeasureSpec, compute func() (*staticmodel.Prediction, error)) (*staticmodel.Prediction, error) {
+	if s == nil {
+		return compute()
+	}
+	if !spec.Cacheable() {
+		s.staticUncacheable.Add(1)
+		return compute()
+	}
+	d := spec.Digest()
+	s.mu.Lock()
+	if s.statics == nil {
+		s.statics = make(map[Digest]*staticEntry)
+	}
+	e, ok := s.statics[d]
+	if !ok {
+		e = &staticEntry{}
+		s.statics[d] = e
+	}
+	s.mu.Unlock()
+
+	ran := false
+	e.once.Do(func() {
+		ran = true
+		s.staticMisses.Add(1)
+		e.pred, e.err = compute()
+	})
+	if !ran {
+		s.staticHits.Add(1)
+	}
+	return e.pred.Clone(), e.err
+}

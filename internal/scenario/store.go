@@ -36,12 +36,17 @@ type Store struct {
 	runs     map[Digest]*runEntry
 	measures map[Digest]*measureEntry
 	ckpts    map[Digest]*ckptEntry
+	// statics caches static-model predictions by the same MeasureSpec
+	// digest in its own namespace (see static.go); lazily allocated so
+	// stores that never predict pay nothing.
+	statics map[Digest]*staticEntry
 
 	// Counters are atomics so Metrics can snapshot without the map
 	// lock.
 	runHits, runMisses, runDiskHits, runUncacheable     atomic.Int64
 	measHits, measMisses, measDiskHits, measUncacheable atomic.Int64
 	ckptForks, ckptWarmups, ckptDiskHits                atomic.Int64
+	staticHits, staticMisses, staticUncacheable         atomic.Int64
 	bytesRead, bytesWritten                             atomic.Int64
 }
 
@@ -239,6 +244,9 @@ type Metrics struct {
 	// Warmups executed a warmup prefix to produce (or probe for) one,
 	// DiskHits loaded one from the blob directory.
 	CkptForks, CkptWarmups, CkptDiskHits int64
+	// Static-prediction counters (memory-only level, see
+	// Store.StaticPrediction).
+	StaticHits, StaticMisses, StaticUncacheable int64
 	// BytesRead/BytesWritten count disk-blob traffic.
 	BytesRead, BytesWritten int64
 }
@@ -260,6 +268,9 @@ func (s *Store) Metrics() Metrics {
 		CkptForks:          s.ckptForks.Load(),
 		CkptWarmups:        s.ckptWarmups.Load(),
 		CkptDiskHits:       s.ckptDiskHits.Load(),
+		StaticHits:         s.staticHits.Load(),
+		StaticMisses:       s.staticMisses.Load(),
+		StaticUncacheable:  s.staticUncacheable.Load(),
 		BytesRead:          s.bytesRead.Load(),
 		BytesWritten:       s.bytesWritten.Load(),
 	}
@@ -280,10 +291,11 @@ func (m Metrics) DedupRatio() float64 {
 // String renders the one-line report cmd/figures prints to stderr.
 func (m Metrics) String() string {
 	return fmt.Sprintf(
-		"scenario store: runs %d hit / %d disk / %d miss / %d uncacheable | measures %d hit / %d disk / %d miss / %d uncacheable | ckpt %d fork / %d warmup / %d disk | %d B read, %d B written | dedup %.1f%%",
+		"scenario store: runs %d hit / %d disk / %d miss / %d uncacheable | measures %d hit / %d disk / %d miss / %d uncacheable | ckpt %d fork / %d warmup / %d disk | static %d hit / %d miss / %d uncacheable | %d B read, %d B written | dedup %.1f%%",
 		m.RunHits, m.RunDiskHits, m.RunMisses, m.RunUncacheable,
 		m.MeasureHits, m.MeasureDiskHits, m.MeasureMisses, m.MeasureUncacheable,
 		m.CkptForks, m.CkptWarmups, m.CkptDiskHits,
+		m.StaticHits, m.StaticMisses, m.StaticUncacheable,
 		m.BytesRead, m.BytesWritten, 100*m.DedupRatio())
 }
 

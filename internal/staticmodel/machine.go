@@ -1,0 +1,177 @@
+// Package staticmodel predicts steady-state throughput, critical paths,
+// and TCA mode deltas from the instruction stream alone — no cycle
+// simulation, in the style of OSACA (Laukemann et al., "Automated
+// Instruction Stream Throughput Prediction for Intel and AMD
+// Microarchitectures" and "Automatic Throughput and Critical Path
+// Analysis of x86 and ARM Assembly Kernels").
+//
+// The analysis is split into two phases so design-space sweeps pay the
+// expensive part once:
+//
+//  1. NewProfile walks an isa.Program one time and produces a
+//     machine-independent Profile: per-functional-unit instruction
+//     counts, the dependence-DAG critical path as a vector of latency
+//     classes (not cycles), and per-loop carried-recurrence vectors.
+//  2. Profile.Evaluate re-weights those vectors with one Machine's
+//     widths and latencies in O(latency classes) — well under a
+//     microsecond — so thousands of configurations rank from one walk.
+//
+// Predict then combines a baseline and an accelerated Profile with the
+// paper's interval model (internal/core via internal/interval) to emit
+// per-mode speedup predictions for all four L/T modes.
+//
+// The package is simulation-free by construction: simlint rule R11
+// forbids it (and the rest of the prediction stack) from importing
+// internal/sim, internal/mem, or internal/bpred. Cycle-accurate types
+// are adapted at the caller's boundary (internal/experiments).
+package staticmodel
+
+import "fmt"
+
+// LatClass buckets opcodes by which configurable latency they resolve
+// to. Profiles count critical-path members per class; Evaluate turns
+// the counts into cycles for one machine. Order is fixed: PathVec
+// indexes and renderings depend on it.
+type LatClass uint8
+
+const (
+	// LatUnit covers single-cycle integer ALU work, including branches.
+	LatUnit LatClass = iota
+	LatIntMul
+	LatIntDiv // div/rem, unpipelined
+	LatFPAdd  // fadd/fsub/fmovi
+	LatFPMul
+	LatFMA
+	LatFPDiv // unpipelined
+	LatLoad
+	LatStore
+	LatAccel
+	NumLatClasses
+)
+
+var latClassNames = [NumLatClasses]string{
+	"unit", "imul", "idiv", "fadd", "fmul", "fma", "fdiv", "load", "store", "accel",
+}
+
+// String returns the class's short name.
+func (c LatClass) String() string {
+	if int(c) < len(latClassNames) {
+		return latClassNames[c]
+	}
+	return fmt.Sprintf("lat?%d", int(c))
+}
+
+// PathVec counts dependence-chain members per latency class. A critical
+// path is stored this way — machine-independent — and re-weighted per
+// configuration by Machine.Dot.
+type PathVec [NumLatClasses]int64
+
+// Dot weighs the vector with the machine's latencies, yielding cycles.
+func (m Machine) Dot(v PathVec) float64 {
+	var sum float64
+	for c := LatClass(0); c < NumLatClasses; c++ {
+		if v[c] != 0 {
+			sum += float64(v[c]) * m.Latency(c)
+		}
+	}
+	return sum
+}
+
+// Machine holds the architectural constants the static model consumes.
+// It mirrors the simulator configuration's timing-relevant fields
+// without importing it (simlint R11); internal/experiments adapts a
+// sim.Config into one.
+type Machine struct {
+	// Pipeline widths and depths.
+	DispatchWidth int
+	IssueWidth    int
+	CommitWidth   int
+	ROBSize       int
+	FrontEndDepth int
+	CommitDelay   int
+
+	// Functional unit counts.
+	IntALUs  int
+	IntMuls  int // multiply/divide units (divide unpipelined)
+	FPUs     int // FP add/mul/FMA units (fdiv unpipelined)
+	MemPorts int
+
+	// Operation latencies in cycles.
+	IntMulLatency int
+	IntDivLatency int
+	FPAddLatency  int
+	FPMulLatency  int
+	FMALatency    int
+	FPDivLatency  int
+
+	// LoadLatency is the effective issue-to-use latency of a load that
+	// hits the first-level cache (address generation + access).
+	LoadLatency float64
+	// StoreLatency is the latency a dependent load observes through
+	// store-to-load forwarding.
+	StoreLatency float64
+	// AccelLatency weighs OpAccel nodes on the accelerated program's
+	// dependence chains and serializes them on the single TCA.
+	AccelLatency float64
+}
+
+// Validate reports machine errors.
+func (m Machine) Validate() error {
+	type check struct {
+		ok  bool
+		msg string
+	}
+	checks := []check{
+		{m.DispatchWidth >= 1, "dispatch width >= 1"},
+		{m.IssueWidth >= 1, "issue width >= 1"},
+		{m.CommitWidth >= 1, "commit width >= 1"},
+		{m.ROBSize >= 2, "rob size >= 2"},
+		{m.FrontEndDepth >= 1, "front end depth >= 1"},
+		{m.CommitDelay >= 0, "commit delay >= 0"},
+		{m.IntALUs >= 1, "int alus >= 1"},
+		{m.IntMuls >= 1, "int mul units >= 1"},
+		{m.FPUs >= 1, "fp units >= 1"},
+		{m.MemPorts >= 1, "mem ports >= 1"},
+		{m.IntMulLatency >= 1, "int mul latency >= 1"},
+		{m.IntDivLatency >= 1, "int div latency >= 1"},
+		{m.FPAddLatency >= 1, "fp add latency >= 1"},
+		{m.FPMulLatency >= 1, "fp mul latency >= 1"},
+		{m.FMALatency >= 1, "fma latency >= 1"},
+		{m.FPDivLatency >= 1, "fp div latency >= 1"},
+		{m.LoadLatency >= 1, "load latency >= 1"},
+		{m.StoreLatency >= 1, "store latency >= 1"},
+		{m.AccelLatency >= 0, "accel latency >= 0"},
+	}
+	for _, ch := range checks {
+		if !ch.ok {
+			return fmt.Errorf("staticmodel: machine requires %s", ch.msg)
+		}
+	}
+	return nil
+}
+
+// Latency maps a class to this machine's cycle count.
+func (m Machine) Latency(c LatClass) float64 {
+	switch c {
+	case LatIntMul:
+		return float64(m.IntMulLatency)
+	case LatIntDiv:
+		return float64(m.IntDivLatency)
+	case LatFPAdd:
+		return float64(m.FPAddLatency)
+	case LatFPMul:
+		return float64(m.FPMulLatency)
+	case LatFMA:
+		return float64(m.FMALatency)
+	case LatFPDiv:
+		return float64(m.FPDivLatency)
+	case LatLoad:
+		return m.LoadLatency
+	case LatStore:
+		return m.StoreLatency
+	case LatAccel:
+		return m.AccelLatency
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,229 @@
+package staticmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/interval"
+)
+
+// DefaultAccelFactor is the acceleration factor A assumed when a
+// workload provides neither an explicit accelerator latency nor a
+// factor — the paper's representative A=3 point.
+const DefaultAccelFactor = 3
+
+// Input bundles everything Predict needs about one workload. The
+// profiles come from NewProfile; the counts are the workload's known
+// region metadata (the same values interval analysis feeds the paper's
+// model), so the static tier predicts from exactly the information an
+// architect has before any simulation.
+type Input struct {
+	// Baseline is the software-only program's profile (required).
+	Baseline *Profile
+	// Accelerated is the accelerated program's profile (optional; when
+	// present its evaluation is reported for cross-checking).
+	Accelerated *Profile
+
+	// Acceleratable and Invocations are the baseline dynamic instruction
+	// counts covered by accelerated regions and the number of
+	// invocations replacing them (a·N and v·N).
+	Acceleratable uint64
+	Invocations   uint64
+	// BaselineInstructions is the baseline program's dynamic instruction
+	// count N. For straight-line programs it equals the static count;
+	// for looped programs it scales the static steady-state IPC to run
+	// cycles.
+	BaselineInstructions uint64
+
+	// AccelLatency, when positive, is the known per-invocation
+	// accelerator service time in cycles. Zero falls back to
+	// AccelFactor.
+	AccelLatency float64
+	// AccelFactor, when positive, is the assumed acceleration factor A
+	// used when no latency is known. Zero selects DefaultAccelFactor.
+	AccelFactor float64
+}
+
+// Validate reports input errors.
+func (in Input) Validate() error {
+	switch {
+	case in.Baseline == nil:
+		return fmt.Errorf("staticmodel: input requires a baseline profile")
+	case in.BaselineInstructions == 0:
+		return fmt.Errorf("staticmodel: input requires baseline instruction count")
+	case in.Acceleratable >= in.BaselineInstructions:
+		return fmt.Errorf("staticmodel: acceleratable %d must be < baseline instructions %d",
+			in.Acceleratable, in.BaselineInstructions)
+	case in.Invocations > in.Acceleratable:
+		return fmt.Errorf("staticmodel: invocations %d exceed acceleratable instructions %d",
+			in.Invocations, in.Acceleratable)
+	case in.AccelLatency < 0:
+		return fmt.Errorf("staticmodel: accel latency %v must be >= 0", in.AccelLatency)
+	}
+	return nil
+}
+
+// ModePrediction is the static tier's verdict for one TCA mode.
+type ModePrediction struct {
+	Mode accel.Mode
+	// Speedup is the predicted whole-program speedup over baseline.
+	Speedup float64
+	// PredictedCycles is the predicted accelerated run time.
+	PredictedCycles float64
+}
+
+// Prediction is the full static verdict for one (workload, machine)
+// point: both structural reports, the derived interval-model
+// parameters, and per-mode speedups in accel.AllModes order. All fields
+// are plain values — it clones, compares, and serializes cleanly.
+type Prediction struct {
+	Baseline    Report
+	Accelerated Report // zero when no accelerated profile was given
+
+	// BaselineCycles is the predicted baseline run time:
+	// BaselineInstructions over the statically predicted IPC.
+	BaselineCycles float64
+
+	// Params are the interval-model parameters the mode deltas came
+	// from — the paper's Table I, fed with static predictions instead
+	// of measurements.
+	Params core.Params
+
+	Modes []ModePrediction
+}
+
+// estimateOccupancy predicts the mean in-flight instruction count that
+// calibrates the model's window-drain time (the simulator measures
+// AvgROBOccupancy; the static tier estimates it). Little's law gives
+// occupancy = IPC × residence; mean residence is the mix-weighted mean
+// op latency plus the commit delay, stretched by how far the critical
+// path outruns the throughput bound (latency-starved windows back up
+// toward the full ROB).
+func estimateOccupancy(r Report, m Machine) float64 {
+	residence := r.MeanLatency + float64(m.CommitDelay)
+	stretch := 1.0
+	if r.ThroughputCycles > 0 && r.CritPathCycles > r.ThroughputCycles {
+		stretch = r.CritPathCycles / r.ThroughputCycles
+	}
+	occ := r.PredictedIPC * residence * stretch
+	if occ > float64(m.ROBSize) {
+		occ = float64(m.ROBSize)
+	}
+	return occ
+}
+
+// Predict runs the full static pipeline for one machine: evaluate the
+// baseline profile, derive interval-model parameters from the
+// prediction (reusing internal/interval's calibration so the static
+// tier and the measured tier share one formula), and emit per-mode
+// speedups. Pure and deterministic: same inputs, same bytes.
+func Predict(in Input, m Machine) (*Prediction, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+
+	p := &Prediction{Baseline: in.Baseline.Evaluate(m)}
+	p.BaselineCycles = float64(in.BaselineInstructions) / p.Baseline.PredictedIPC
+	if in.Accelerated != nil {
+		p.Accelerated = in.Accelerated.Evaluate(m)
+	}
+
+	factor := in.AccelFactor
+	if factor <= 0 {
+		factor = DefaultAccelFactor
+	}
+	meas := interval.BaselineMeasurement{
+		Cycles:                    int64(p.BaselineCycles) + 1, // ceil: Validate needs > 0; IPC is overridden below
+		Instructions:              in.BaselineInstructions,
+		AcceleratableInstructions: in.Acceleratable,
+		Invocations:               in.Invocations,
+		AvgROBOccupancy:           estimateOccupancy(p.Baseline, m),
+	}
+	arch := core.CoreParams{
+		ROBSize:     m.ROBSize,
+		IssueWidth:  m.DispatchWidth,
+		CommitStall: float64(m.CommitDelay),
+	}
+	params, err := interval.Calibrate(meas, arch, factor, in.AccelLatency)
+	if err != nil {
+		return nil, fmt.Errorf("staticmodel: %w", err)
+	}
+	// Calibrate derives IPC from the rounded cycle count; restore the
+	// exact static prediction and the drain time that depends on it.
+	params.IPC = p.Baseline.PredictedIPC
+	if meas.AvgROBOccupancy > 0 {
+		params.DrainTime = meas.AvgROBOccupancy / params.IPC
+	}
+	p.Params = params
+
+	model, err := params.Speedups()
+	if err != nil {
+		return nil, fmt.Errorf("staticmodel: %w", err)
+	}
+	p.Modes = make([]ModePrediction, 0, len(accel.AllModes))
+	for _, mo := range accel.AllModes {
+		sp := model.Get(mo)
+		p.Modes = append(p.Modes, ModePrediction{
+			Mode:            mo,
+			Speedup:         sp,
+			PredictedCycles: p.BaselineCycles / sp,
+		})
+	}
+	return p, nil
+}
+
+// Clone returns an independent deep copy.
+func (p *Prediction) Clone() *Prediction {
+	if p == nil {
+		return nil
+	}
+	out := *p
+	out.Modes = append([]ModePrediction(nil), p.Modes...)
+	return &out
+}
+
+// Mode returns the prediction for one mode, or nil if absent.
+func (p *Prediction) Mode(m accel.Mode) *ModePrediction {
+	for i := range p.Modes {
+		if p.Modes[i].Mode == m {
+			return &p.Modes[i]
+		}
+	}
+	return nil
+}
+
+// BestMode returns the mode with the highest predicted speedup. Ties
+// keep the earliest mode in accel.AllModes order (strictly-greater
+// comparison), so the choice is deterministic.
+func (p *Prediction) BestMode() accel.Mode {
+	best := p.Modes[0]
+	for _, mp := range p.Modes[1:] {
+		if mp.Speedup > best.Speedup {
+			best = mp
+		}
+	}
+	return best.Mode
+}
+
+// String renders the prediction deterministically (golden tests pin
+// it byte-for-byte).
+func (p *Prediction) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline: ipc=%.4f cycles=%.1f bound=%s cp=%.1f\n",
+		p.Baseline.PredictedIPC, p.BaselineCycles, p.Baseline.Bound, p.Baseline.CritPathCycles)
+	if p.Accelerated.Instructions > 0 {
+		fmt.Fprintf(&b, "accel:    ipc=%.4f bound=%s cp=%.1f\n",
+			p.Accelerated.PredictedIPC, p.Accelerated.Bound, p.Accelerated.CritPathCycles)
+	}
+	fmt.Fprintf(&b, "params:   a=%.4f v=%.6f ipc=%.4f drain=%.2f\n",
+		p.Params.AcceleratableFrac, p.Params.InvocationFreq, p.Params.IPC, p.Params.DrainTime)
+	for _, mp := range p.Modes {
+		fmt.Fprintf(&b, "%-6s speedup=%.4f cycles=%.1f\n", mp.Mode, mp.Speedup, mp.PredictedCycles)
+	}
+	return b.String()
+}

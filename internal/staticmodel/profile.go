@@ -1,0 +1,296 @@
+package staticmodel
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// nominalLat weighs latency classes during the single profile walk. The
+// walk must pick one predecessor per DAG node before any Machine is
+// known, so chains are compared under these representative weights and
+// re-weighted exactly at Evaluate time. A machine whose latencies
+// diverge wildly from these ratios may see a slightly sub-maximal path
+// reported — the documented divergence from OSACA's per-machine
+// analysis (DESIGN.md "Analytical fast-path tier").
+var nominalLat = [NumLatClasses]float64{
+	LatUnit:   1,
+	LatIntMul: 3,
+	LatIntDiv: 12,
+	LatFPAdd:  3,
+	LatFPMul:  4,
+	LatFMA:    4,
+	LatFPDiv:  12,
+	LatLoad:   3,
+	LatStore:  1,
+	LatAccel:  10,
+}
+
+// latClassOf maps an opcode to its latency class.
+func latClassOf(op isa.Op) LatClass {
+	switch op {
+	case isa.OpMul:
+		return LatIntMul
+	case isa.OpDiv, isa.OpRem:
+		return LatIntDiv
+	case isa.OpFAdd, isa.OpFSub, isa.OpFMovI:
+		return LatFPAdd
+	case isa.OpFMul:
+		return LatFPMul
+	case isa.OpFMA:
+		return LatFMA
+	case isa.OpFDiv:
+		return LatFPDiv
+	case isa.OpLoad, isa.OpFLoad:
+		return LatLoad
+	case isa.OpStore, isa.OpFStore:
+		return LatStore
+	case isa.OpAccel:
+		return LatAccel
+	default:
+		return LatUnit
+	}
+}
+
+// Mix is the instruction-class census of a code region, the input to
+// the port-pressure bound.
+type Mix struct {
+	Total uint64 // every instruction, nops included (they occupy dispatch slots)
+
+	ALU   uint64 // single-cycle integer ops, branches included
+	Mul   uint64 // pipelined integer multiplies
+	Div   uint64 // unpipelined integer divide/remainder
+	FP    uint64 // pipelined FP (add/sub/movi/mul/fma)
+	FPDiv uint64 // unpipelined FP divide
+	Load  uint64
+	Store uint64
+	Accel uint64
+
+	Branches     uint64
+	CondBranches uint64
+}
+
+// add counts one instruction.
+func (mx *Mix) add(in isa.Instruction) {
+	mx.Total++
+	if in.Op.IsBranch() {
+		mx.Branches++
+		if in.Op.IsCondBranch() {
+			mx.CondBranches++
+		}
+	}
+	switch latClassOf(in.Op) {
+	case LatIntMul:
+		mx.Mul++
+	case LatIntDiv:
+		mx.Div++
+	case LatFPAdd, LatFPMul, LatFMA:
+		mx.FP++
+	case LatFPDiv:
+		mx.FPDiv++
+	case LatLoad:
+		mx.Load++
+	case LatStore:
+		mx.Store++
+	case LatAccel:
+		mx.Accel++
+	default:
+		mx.ALU++
+	}
+}
+
+// LoopProfile captures one backward branch's body: its instruction mix
+// and the loop-carried recurrence — the per-iteration growth of the
+// slowest register dependence chain, as a latency-class vector.
+type LoopProfile struct {
+	// Head and Branch delimit the body Code[Head..Branch] inclusive.
+	Head   int
+	Branch int
+
+	Body Mix
+
+	// Recurrence is the latency-class vector of the per-iteration
+	// dependence growth. Zero means no loop-carried chain was detected.
+	Recurrence PathVec
+}
+
+// Profile is the machine-independent result of one analysis walk over a
+// program. It is immutable after NewProfile returns; Evaluate and
+// Predict only read it, so one Profile may serve many goroutines.
+type Profile struct {
+	Mix Mix
+
+	// CritPath is the longest register/memory dependence chain of a
+	// single linear pass, as class counts (weights applied per machine).
+	CritPath PathVec
+
+	// Loops lists every backward branch in program order.
+	Loops []LoopProfile
+}
+
+// chain is a dependence-DAG node's cost: scalar depth under the nominal
+// weights (used only to pick predecessors) plus the exact class vector.
+type chain struct {
+	depth float64
+	vec   PathVec
+}
+
+// extend returns the chain grown by one node of class c.
+func (ch chain) extend(c LatClass) chain {
+	ch.depth += nominalLat[c]
+	ch.vec[c]++
+	return ch
+}
+
+// memKey names a memory word statically: the SSA-style version of the
+// base register at the access plus the immediate offset. Two accesses
+// with the same key provably reference the same address; accesses with
+// different keys are assumed disjoint (the optimistic counterpart of
+// the simulator's decoupled store-AGU disambiguation).
+type memKey struct {
+	baseVer int32
+	off     int64
+}
+
+// memEnv resolves store chains with an optional copy-on-write overlay,
+// so the loop-recurrence re-walk can not corrupt the linear pass.
+type memEnv struct {
+	base  map[memKey]chain
+	local map[memKey]chain // nil outside loop re-walks
+}
+
+func (e *memEnv) get(k memKey) (chain, bool) {
+	if e.local != nil {
+		if ch, ok := e.local[k]; ok {
+			return ch, true
+		}
+	}
+	ch, ok := e.base[k]
+	return ch, ok
+}
+
+func (e *memEnv) put(k memKey, ch chain) {
+	if e.local != nil {
+		e.local[k] = ch
+	} else {
+		e.base[k] = ch
+	}
+}
+
+// walkState carries the dataflow facts of a linear pass: per-register
+// chain and definition version, the store environment, and a monotonic
+// version counter shared across passes so every definition is unique.
+type walkState struct {
+	regs [isa.NumRegs]chain
+	vers [isa.NumRegs]int32
+	mem  memEnv
+	next *int32
+}
+
+// step folds one instruction into the state and returns its completion
+// chain. Predecessor choice is by strictly-greater nominal depth, so
+// ties resolve to the earliest source operand — deterministic by
+// construction (no map iteration anywhere on the walk).
+func (st *walkState) step(in isa.Instruction, srcBuf []isa.Reg) chain {
+	cls := latClassOf(in.Op)
+	var start chain
+	for _, r := range in.SourcesInto(srcBuf) {
+		if st.regs[r].depth > start.depth {
+			start = st.regs[r]
+		}
+	}
+	if in.Op.IsLoad() {
+		k := memKey{baseVer: st.vers[in.Src1], off: in.Imm}
+		if ch, ok := st.mem.get(k); ok && ch.depth > start.depth {
+			start = ch
+		}
+	}
+	done := start.extend(cls)
+	if in.Op.IsStore() {
+		st.mem.put(memKey{baseVer: st.vers[in.Src1], off: in.Imm}, done)
+	}
+	if in.HasDst() {
+		st.regs[in.Dst] = done
+		*st.next++
+		st.vers[in.Dst] = *st.next
+	}
+	return done
+}
+
+// NewProfile analyzes a program in one O(instructions) linear pass:
+// instruction mix, register/memory dependence critical path, and — for
+// every backward branch — the loop body's mix and carried recurrence
+// (the body is re-walked once against the first pass's state; the depth
+// growth of the fastest-growing register is the per-iteration
+// recurrence). The walk is linear program order: exact for the
+// straight-line microbenchmarks the paper sweeps, a steady-state
+// approximation (every instruction counted once per pass, both branch
+// directions' code included) for looped programs.
+func NewProfile(p *isa.Program) (*Profile, error) {
+	if p == nil || len(p.Code) == 0 {
+		return nil, fmt.Errorf("staticmodel: empty program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("staticmodel: %w", err)
+	}
+
+	prof := &Profile{}
+	var verCounter int32
+	st := walkState{mem: memEnv{base: make(map[memKey]chain)}, next: &verCounter}
+	// Initial register values are distinct unknowns: give each register
+	// a unique negative version so stores through different uninitialized
+	// bases never alias.
+	for r := range st.vers {
+		st.vers[r] = int32(-1 - r)
+	}
+
+	srcBuf := make([]isa.Reg, 0, 3)
+	var crit chain
+	for i, in := range p.Code {
+		prof.Mix.add(in)
+		done := st.step(in, srcBuf)
+		if done.depth > crit.depth {
+			crit = done
+		}
+		if in.Op.IsBranch() && in.Imm >= 0 && in.Imm <= int64(i) {
+			prof.Loops = append(prof.Loops, loopProfile(p, int(in.Imm), i, &st, srcBuf))
+		}
+	}
+	prof.CritPath = crit.vec
+	return prof, nil
+}
+
+// loopProfile re-walks body Code[head..branch] once, starting from the
+// linear pass's current state, and reports the body mix plus the
+// per-iteration recurrence: the largest depth growth across registers,
+// with its chain-vector delta (clamped at zero per class — a chain that
+// switches shape between iterations keeps only its growth).
+func loopProfile(p *isa.Program, head, branch int, st *walkState, srcBuf []isa.Reg) LoopProfile {
+	lp := LoopProfile{Head: head, Branch: branch}
+
+	// Copy-on-write snapshot: arrays copy by value, stores overlay.
+	re := *st
+	re.mem = memEnv{base: st.mem.base, local: make(map[memKey]chain)}
+
+	for _, in := range p.Code[head : branch+1] {
+		lp.Body.add(in)
+		re.step(in, srcBuf)
+	}
+
+	growth := 0.0
+	bestReg := -1
+	for r := 0; r < isa.NumRegs; r++ {
+		if g := re.regs[r].depth - st.regs[r].depth; g > growth {
+			growth = g
+			bestReg = r
+		}
+	}
+	if bestReg >= 0 {
+		for c := LatClass(0); c < NumLatClasses; c++ {
+			if d := re.regs[bestReg].vec[c] - st.regs[bestReg].vec[c]; d > 0 {
+				lp.Recurrence[c] = d
+			}
+		}
+	}
+	return lp
+}

@@ -1,0 +1,144 @@
+package staticmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one profile evaluated against one machine: the
+// throughput-bound (port pressure), the latency-bound (critical path),
+// their combination, and the resource that binds.
+type Report struct {
+	// Instructions is the static instruction count of the analyzed pass.
+	Instructions uint64
+
+	// ThroughputCycles is the port-pressure lower bound for one pass:
+	// the busiest resource's occupancy at full overlap.
+	ThroughputCycles float64
+	// Bound names that resource: dispatch, alu, mul, fp, mem, or tca.
+	Bound string
+
+	// CritPathCycles is the dependence-DAG critical path re-weighted
+	// with this machine's latencies.
+	CritPathCycles float64
+
+	// LoopIPC is the tightest loop's steady-state IPC bound — body size
+	// over max(carried recurrence, body port pressure) — or 0 when the
+	// program has no backward branches.
+	LoopIPC float64
+
+	// PredictedIPC combines the bounds: the one-pass IPC (instructions
+	// over max(throughput, critical path) plus pipeline fill/drain),
+	// further capped by LoopIPC when loops exist.
+	PredictedIPC float64
+	// PredictedCycles is Instructions/PredictedIPC — the predicted run
+	// time of one static pass. For looped programs, divide the dynamic
+	// instruction count by PredictedIPC instead (Predict does).
+	PredictedCycles float64
+
+	// MeanLatency is the mix-weighted mean operation latency; Predict's
+	// window-occupancy estimate consumes it.
+	MeanLatency float64
+}
+
+// pressure returns the port-pressure bound of a mix on m in cycles,
+// plus the binding resource. Unpipelined ops occupy their unit for the
+// full latency; everything else for one cycle. Comparison order is
+// fixed and strictly-greater, so ties bind to the earlier resource —
+// deterministic output.
+func pressure(mx Mix, m Machine) (float64, string) {
+	terms := []struct {
+		name   string
+		cycles float64
+	}{
+		{"dispatch", float64(mx.Total) / float64(m.DispatchWidth)},
+		{"alu", float64(mx.ALU) / float64(m.IntALUs)},
+		{"mul", (float64(mx.Mul) + float64(mx.Div)*float64(m.IntDivLatency)) / float64(m.IntMuls)},
+		{"fp", (float64(mx.FP) + float64(mx.FPDiv)*float64(m.FPDivLatency)) / float64(m.FPUs)},
+		{"mem", float64(mx.Load+mx.Store) / float64(m.MemPorts)},
+		{"tca", float64(mx.Accel) * m.AccelLatency},
+	}
+	best := terms[0]
+	for _, t := range terms[1:] {
+		if t.cycles > best.cycles {
+			best = t
+		}
+	}
+	return best.cycles, best.name
+}
+
+// meanLatency is the mix-weighted mean op latency on m.
+func meanLatency(mx Mix, m Machine) float64 {
+	if mx.Total == 0 {
+		return 0
+	}
+	sum := float64(mx.ALU) // single-cycle ops, branches included
+	// Pipelined FP is a blend of add/mul/fma; weigh it with the mul
+	// latency as the representative middle value.
+	sum += float64(mx.Mul) * float64(m.IntMulLatency)
+	sum += float64(mx.Div) * float64(m.IntDivLatency)
+	sum += float64(mx.FP) * float64(m.FPMulLatency)
+	sum += float64(mx.FPDiv) * float64(m.FPDivLatency)
+	sum += float64(mx.Load) * m.LoadLatency
+	sum += float64(mx.Store) * m.StoreLatency
+	sum += float64(mx.Accel) * m.AccelLatency
+	return sum / float64(mx.Total)
+}
+
+// Evaluate re-weights the profile with one machine's widths and
+// latencies. It is O(latency classes + loops) — sub-microsecond — and
+// read-only on the profile, so one profile serves any number of
+// concurrent evaluations.
+func (p *Profile) Evaluate(m Machine) Report {
+	r := Report{Instructions: p.Mix.Total}
+	r.ThroughputCycles, r.Bound = pressure(p.Mix, m)
+	r.CritPathCycles = m.Dot(p.CritPath)
+	r.MeanLatency = meanLatency(p.Mix, m)
+
+	passCycles := r.ThroughputCycles
+	if r.CritPathCycles > passCycles {
+		passCycles = r.CritPathCycles
+	}
+	passCycles += float64(m.FrontEndDepth) + float64(m.CommitDelay)
+	flatIPC := float64(p.Mix.Total) / passCycles
+
+	for _, lp := range p.Loops {
+		bodyCycles, _ := pressure(lp.Body, m)
+		if rec := m.Dot(lp.Recurrence); rec > bodyCycles {
+			bodyCycles = rec
+		}
+		if bodyCycles < 1 {
+			bodyCycles = 1
+		}
+		ipc := float64(lp.Body.Total) / bodyCycles
+		if r.LoopIPC <= 0 || ipc < r.LoopIPC {
+			r.LoopIPC = ipc
+		}
+	}
+
+	// Straight-line programs are bounded by the one-pass combination of
+	// pressure and critical path. Looped programs execute their bodies
+	// many times, so the tightest loop's steady state — where the
+	// dynamic instructions actually come from — is the predictor
+	// (OSACA's steady-state kernel assumption); the one-pass bound with
+	// its unamortized pipeline fill would be far too pessimistic there.
+	r.PredictedIPC = flatIPC
+	if r.LoopIPC > 0 {
+		r.PredictedIPC = r.LoopIPC
+	}
+	r.PredictedCycles = float64(p.Mix.Total) / r.PredictedIPC
+	return r
+}
+
+// String renders the report deterministically (golden tests pin it).
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instructions:  %d\n", r.Instructions)
+	fmt.Fprintf(&b, "throughput:    %.4f cycles (bound: %s)\n", r.ThroughputCycles, r.Bound)
+	fmt.Fprintf(&b, "critical-path: %.4f cycles\n", r.CritPathCycles)
+	if r.LoopIPC > 0 {
+		fmt.Fprintf(&b, "loop-ipc:      %.4f\n", r.LoopIPC)
+	}
+	fmt.Fprintf(&b, "predicted:     %.4f IPC, %.1f cycles\n", r.PredictedIPC, r.PredictedCycles)
+	return b.String()
+}

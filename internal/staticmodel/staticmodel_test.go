@@ -1,0 +1,374 @@
+package staticmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+)
+
+// testMachine mirrors the high-performance core preset's timing
+// constants (kept literal here: staticmodel cannot import internal/sim,
+// by simlint R11).
+func testMachine() Machine {
+	return Machine{
+		DispatchWidth: 4, IssueWidth: 4, CommitWidth: 4, ROBSize: 256,
+		FrontEndDepth: 8, CommitDelay: 3,
+		IntALUs: 4, IntMuls: 2, FPUs: 2, MemPorts: 2,
+		IntMulLatency: 3, IntDivLatency: 12,
+		FPAddLatency: 3, FPMulLatency: 4, FMALatency: 4, FPDivLatency: 12,
+		LoadLatency: 3, StoreLatency: 1, AccelLatency: 10,
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	if err := testMachine().Validate(); err != nil {
+		t.Fatalf("valid machine rejected: %v", err)
+	}
+	bad := testMachine()
+	bad.MemPorts = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero mem ports accepted")
+	}
+	bad = testMachine()
+	bad.LoadLatency = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero load latency accepted")
+	}
+}
+
+func TestSerialChainCriticalPath(t *testing.T) {
+	b := isa.NewBuilder()
+	b.MovI(isa.R(1), 1)
+	const k = 20
+	for i := 0; i < k; i++ {
+		b.Add(isa.R(1), isa.R(1), isa.R(1))
+	}
+	b.Halt()
+	prof, err := NewProfile(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.CritPath[LatUnit]; got != k+1 {
+		t.Errorf("critical path units = %d, want %d", got, k+1)
+	}
+	r := prof.Evaluate(testMachine())
+	if r.CritPathCycles != float64(k+1) {
+		t.Errorf("critical path cycles = %v, want %d", r.CritPathCycles, k+1)
+	}
+	// A serial chain is latency-bound: CP dominates the pressure of
+	// (k+2) instructions over a 4-wide machine.
+	if r.CritPathCycles <= r.ThroughputCycles {
+		t.Errorf("expected latency-bound: cp=%v throughput=%v", r.CritPathCycles, r.ThroughputCycles)
+	}
+}
+
+func TestPortPressureBound(t *testing.T) {
+	b := isa.NewBuilder()
+	// Eight independent multiplies (sources are the zero register, so
+	// no dependence chains form).
+	for i := 1; i <= 8; i++ {
+		b.Mul(isa.R(i), isa.RZero, isa.RZero)
+	}
+	b.Halt()
+	prof, err := NewProfile(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Mix.Mul != 8 || prof.Mix.Total != 9 {
+		t.Fatalf("mix = %+v", prof.Mix)
+	}
+	r := prof.Evaluate(testMachine())
+	if r.Bound != "mul" {
+		t.Errorf("bound = %q, want mul", r.Bound)
+	}
+	if r.ThroughputCycles != 4 { // 8 muls over 2 units
+		t.Errorf("throughput = %v, want 4", r.ThroughputCycles)
+	}
+}
+
+func TestStoreLoadDependence(t *testing.T) {
+	chained := func(off int64) float64 {
+		b := isa.NewBuilder()
+		b.MovI(isa.R(15), 0x1000)
+		b.MovI(isa.R(1), 7)
+		b.Mul(isa.R(2), isa.R(1), isa.R(1)) // long producer
+		b.Store(isa.R(2), isa.R(15), 8)     // store depends on mul
+		b.Load(isa.R(3), isa.R(15), off)    // aliases iff off == 8
+		b.Add(isa.R(4), isa.R(3), isa.R(3))
+		b.Halt()
+		prof, err := NewProfile(b.MustBuild())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof.Evaluate(testMachine()).CritPathCycles
+	}
+	alias, disjoint := chained(8), chained(16)
+	if alias <= disjoint {
+		t.Errorf("store-to-load dependence not observed: alias cp=%v disjoint cp=%v", alias, disjoint)
+	}
+}
+
+func TestLoopRecurrence(t *testing.T) {
+	b := isa.NewBuilder()
+	b.MovI(isa.R(1), 0)
+	b.MovI(isa.R(2), 100)
+	b.MovI(isa.R(3), 3)
+	b.Label("loop")
+	b.AddI(isa.R(1), isa.R(1), 1)
+	b.Mul(isa.R(3), isa.R(3), isa.R(3)) // loop-carried multiply chain
+	b.Bne(isa.R(1), isa.R(2), "loop")
+	b.Halt()
+	prof, err := NewProfile(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(prof.Loops))
+	}
+	lp := prof.Loops[0]
+	if lp.Head != 3 || lp.Branch != 5 {
+		t.Errorf("loop body = [%d,%d], want [3,5]", lp.Head, lp.Branch)
+	}
+	if lp.Recurrence[LatIntMul] != 1 {
+		t.Errorf("recurrence = %v, want one imul", lp.Recurrence)
+	}
+	r := prof.Evaluate(testMachine())
+	// Steady state: 3 body instructions per 3-cycle multiply recurrence.
+	if r.LoopIPC != 1 {
+		t.Errorf("loop IPC = %v, want 1", r.LoopIPC)
+	}
+	if r.PredictedIPC != 1 {
+		t.Errorf("predicted IPC = %v, want loop-limited 1", r.PredictedIPC)
+	}
+}
+
+func TestStraightLineHasNoLoops(t *testing.T) {
+	b := isa.NewBuilder()
+	b.MovI(isa.R(1), 1)
+	b.Add(isa.R(2), isa.R(1), isa.R(1))
+	b.Halt()
+	prof, err := NewProfile(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Loops) != 0 {
+		t.Errorf("loops = %d, want 0", len(prof.Loops))
+	}
+	if r := prof.Evaluate(testMachine()); r.LoopIPC != 0 {
+		t.Errorf("loop IPC = %v, want 0", r.LoopIPC)
+	}
+}
+
+// testProgram builds a deterministic pseudo-random straight-line
+// program with an accelerator call, exercising every latency class.
+func testProgram(t *testing.T, seed int64, n int) *isa.Program {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder()
+	b.MovI(isa.R(15), 0x4000)
+	for i := 1; i <= 8; i++ {
+		b.MovI(isa.R(15+i), int64(i*3+1))
+		b.FMovI(isa.F(i), float64(i)+0.5)
+	}
+	reg := func() isa.Reg { return isa.R(16 + rng.Intn(8)) }
+	freg := func() isa.Reg { return isa.F(1 + rng.Intn(8)) }
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			b.Mul(reg(), reg(), reg())
+		case 1:
+			b.Div(reg(), reg(), reg())
+		case 2:
+			b.FAdd(freg(), freg(), freg())
+		case 3:
+			b.FMA(freg(), freg(), freg(), freg())
+		case 4:
+			b.Load(reg(), isa.R(15), int64(rng.Intn(64))*8)
+		case 5:
+			b.Store(reg(), isa.R(15), int64(rng.Intn(64))*8)
+		case 6:
+			b.FDiv(freg(), freg(), freg())
+		default:
+			b.Add(reg(), reg(), reg())
+		}
+	}
+	b.Accel(isa.R(24), 1, isa.R(15))
+	b.Halt()
+	return b.MustBuild()
+}
+
+func testInput(t *testing.T, prof *Profile) Input {
+	t.Helper()
+	n := prof.Mix.Total
+	return Input{
+		Baseline:             prof,
+		Accelerated:          prof,
+		Acceleratable:        n / 3,
+		Invocations:          n / 60,
+		BaselineInstructions: n,
+		AccelLatency:         12,
+	}
+}
+
+func TestPredictModes(t *testing.T) {
+	prof, err := NewProfile(testProgram(t, 1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Predict(testInput(t, prof), testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Modes) != len(accel.AllModes) {
+		t.Fatalf("modes = %d, want %d", len(pred.Modes), len(accel.AllModes))
+	}
+	for i, m := range accel.AllModes {
+		if pred.Modes[i].Mode != m {
+			t.Errorf("mode[%d] = %v, want %v", i, pred.Modes[i].Mode, m)
+		}
+		if pred.Modes[i].Speedup <= 0 {
+			t.Errorf("%v speedup = %v, want > 0", m, pred.Modes[i].Speedup)
+		}
+	}
+	// The model's structure guarantees L_T is never slower than the
+	// stall-bearing modes for the same parameters.
+	lt := pred.Mode(accel.LT).Speedup
+	for _, m := range []accel.Mode{accel.NLT, accel.LNT, accel.NLNT} {
+		if sp := pred.Mode(m).Speedup; sp > lt+1e-12 {
+			t.Errorf("%v speedup %v exceeds L_T %v", m, sp, lt)
+		}
+	}
+	if got := pred.BestMode(); got != accel.LT {
+		t.Errorf("best mode = %v, want %v", got, accel.LT)
+	}
+	if pred.Mode(accel.Mode(99)) != nil {
+		t.Error("unknown mode lookup should return nil")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	prof, err := NewProfile(testProgram(t, 2, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testInput(t, prof)
+	cases := []struct {
+		name string
+		mut  func(*Input)
+	}{
+		{"nil baseline", func(in *Input) { in.Baseline = nil }},
+		{"zero instructions", func(in *Input) { in.BaselineInstructions = 0 }},
+		{"acceleratable too large", func(in *Input) { in.Acceleratable = in.BaselineInstructions }},
+		{"invocations exceed acceleratable", func(in *Input) { in.Invocations = in.Acceleratable + 1 }},
+		{"negative latency", func(in *Input) { in.AccelLatency = -1 }},
+	}
+	for _, tc := range cases {
+		in := good
+		tc.mut(&in)
+		if _, err := Predict(in, testMachine()); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	if _, err := Predict(good, Machine{}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestPredictFactorFallback(t *testing.T) {
+	prof, err := NewProfile(testProgram(t, 3, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInput(t, prof)
+	in.AccelLatency = 0 // no known latency: fall back to A=DefaultAccelFactor
+	pred, err := Predict(in, testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Params.AccelFactor != DefaultAccelFactor {
+		t.Errorf("accel factor = %v, want %v", pred.Params.AccelFactor, DefaultAccelFactor)
+	}
+	in.AccelFactor = 5
+	pred, err = Predict(in, testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Params.AccelFactor != 5 {
+		t.Errorf("accel factor = %v, want 5", pred.Params.AccelFactor)
+	}
+}
+
+// TestPurity: same inputs, byte-identical reports — the package's core
+// contract (the scenario layer caches predictions by content address,
+// so any nondeterminism would poison the cache).
+func TestPurity(t *testing.T) {
+	prog := testProgram(t, 4, 2000)
+	p1, err := NewProfile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewProfile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine()
+	if a, b := p1.Evaluate(m).String(), p2.Evaluate(m).String(); a != b {
+		t.Errorf("two walks disagree:\n%s\nvs\n%s", a, b)
+	}
+	pr1, err := Predict(testInput(t, p1), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := Predict(testInput(t, p2), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := pr1.String(), pr2.String(); a != b {
+		t.Errorf("two predictions disagree:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestPredictionClone(t *testing.T) {
+	prof, err := NewProfile(testProgram(t, 5, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Predict(testInput(t, prof), testMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := pred.Clone()
+	cl.Modes[0].Speedup = -1
+	if pred.Modes[0].Speedup == cl.Modes[0].Speedup {
+		t.Error("clone shares the modes slice")
+	}
+	var nilPred *Prediction
+	if nilPred.Clone() != nil {
+		t.Error("nil clone should be nil")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	prof, err := NewProfile(testProgram(t, 6, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prof.Evaluate(testMachine()).String()
+	for _, want := range []string{"instructions:", "throughput:", "critical-path:", "predicted:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEmptyProgramRejected(t *testing.T) {
+	if _, err := NewProfile(nil); err == nil {
+		t.Error("nil program accepted")
+	}
+	if _, err := NewProfile(&isa.Program{}); err == nil {
+		t.Error("empty program accepted")
+	}
+}

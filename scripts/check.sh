@@ -40,4 +40,11 @@ cmp "$tmp/off.txt" "$tmp/cold.txt"
 cmp "$tmp/cold.txt" "$tmp/warm.txt"
 cmp "$tmp/cold.txt" "$tmp/nofork.txt"
 
+# The static-prune contract: the flag is opt-in, so a run with
+# -static-prune explicitly disabled must be byte-identical to a run
+# where the flag was never mentioned (the stock artifact above).
+echo "==> figure byte-identity: -static-prune=false vs flag absent"
+"$tmp/figures" -fig all -quick -parallel 8 -no-cache -static-prune=false >"$tmp/pruneoff.txt"
+cmp "$tmp/off.txt" "$tmp/pruneoff.txt"
+
 echo "OK"
