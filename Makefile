@@ -23,10 +23,11 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x .
 
 # Machine-readable benchmark summary (ns/op, B/op, allocs/op per bench)
-# across the figure suite, the simulator's per-stage microbenchmarks, and
-# the scenario store's cached-vs-uncached and forked-vs-direct pairs.
+# across the figure suite, the simulator's per-stage microbenchmarks, the
+# scenario store's cached-vs-uncached and forked-vs-direct pairs, and the
+# scenariod cold/warm/duplicate-heavy request regimes.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR8.json
 
 figures:
 	$(GO) run ./cmd/figures -fig all

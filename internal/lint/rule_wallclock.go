@@ -12,17 +12,19 @@ var wallClockFuncs = map[string]bool{
 }
 
 // ruleWallClock (R2) forbids wall-clock reads outside the experiment
-// runner and the CLI layer. Simulated time is the core's cycle counter;
-// a time.Now in a model path either leaks host timing into results or
-// tempts someone to seed randomness from it. Only internal/runner (which
-// reports per-job wall timing) and cmd/ (which prints it) may look at the
-// host clock.
+// runner, the serving layer, and the CLI layer. Simulated time is the
+// core's cycle counter; a time.Now in a model path either leaks host
+// timing into results or tempts someone to seed randomness from it.
+// Only internal/runner (which reports per-job wall timing),
+// internal/serve (request latency and load-phase observability — never
+// simulation inputs; results always come out of the scenario store),
+// and cmd/ (which prints it) may look at the host clock.
 var ruleWallClock = &Rule{
 	ID:   "R2",
 	Name: "no-wallclock-in-sim",
-	Doc:  "time.Now/Since/Until only in internal/runner and cmd/; simulation code keeps to simulated cycles",
+	Doc:  "time.Now/Since/Until only in internal/runner, internal/serve and cmd/; simulation code keeps to simulated cycles",
 	Applies: func(rel string) bool {
-		return !underAny(rel, "internal/runner", "cmd")
+		return !underAny(rel, "internal/runner", "internal/serve", "cmd")
 	},
 	Check: func(pass *Pass) {
 		pass.eachFile(func(f *ast.File) {

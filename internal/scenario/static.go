@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/staticmodel"
 )
@@ -9,6 +10,7 @@ import (
 // staticEntry singleflights one static-model prediction.
 type staticEntry struct {
 	once sync.Once
+	done atomic.Bool
 	pred *staticmodel.Prediction
 	err  error
 }
@@ -42,14 +44,20 @@ func (s *Store) StaticPrediction(spec MeasureSpec, compute func() (*staticmodel.
 	}
 	s.mu.Unlock()
 
+	joined := ok && !e.done.Load()
 	ran := false
 	e.once.Do(func() {
 		ran = true
 		s.staticMisses.Add(1)
 		e.pred, e.err = compute()
 	})
+	e.done.Store(true)
 	if !ran {
-		s.staticHits.Add(1)
+		if joined {
+			s.staticCoalesced.Add(1)
+		} else {
+			s.staticHits.Add(1)
+		}
 	}
 	return e.pred.Clone(), e.err
 }

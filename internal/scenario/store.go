@@ -43,21 +43,23 @@ type Store struct {
 
 	// Counters are atomics so Metrics can snapshot without the map
 	// lock.
-	runHits, runMisses, runDiskHits, runUncacheable     atomic.Int64
-	measHits, measMisses, measDiskHits, measUncacheable atomic.Int64
-	ckptForks, ckptWarmups, ckptDiskHits                atomic.Int64
-	staticHits, staticMisses, staticUncacheable         atomic.Int64
-	bytesRead, bytesWritten                             atomic.Int64
+	runHits, runMisses, runDiskHits, runUncacheable, runCoalesced      atomic.Int64
+	measHits, measMisses, measDiskHits, measUncacheable, measCoalesced atomic.Int64
+	ckptForks, ckptWarmups, ckptDiskHits                               atomic.Int64
+	staticHits, staticMisses, staticUncacheable, staticCoalesced       atomic.Int64
+	bytesRead, bytesWritten                                            atomic.Int64
 }
 
 type runEntry struct {
 	once  sync.Once
+	done  atomic.Bool
 	stats sim.Stats
 	err   error
 }
 
 type measureEntry struct {
 	once sync.Once
+	done atomic.Bool
 	rec  MeasureRecord
 	err  error
 }
@@ -116,6 +118,12 @@ func (s *Store) RunStats(spec Spec) (sim.Stats, error) {
 	}
 	s.mu.Unlock()
 
+	// A pre-existing entry that has not completed means this caller is
+	// about to block on someone else's in-flight execution — that is a
+	// coalesced request, not a plain memory hit. Sampled before the
+	// once.Do so the classification reflects what the caller actually
+	// waited on.
+	joined := ok && !e.done.Load()
 	ran := false
 	e.once.Do(func() {
 		ran = true
@@ -130,8 +138,13 @@ func (s *Store) RunStats(spec Spec) (sim.Stats, error) {
 			s.saveRunBlob(d, e.stats)
 		}
 	})
+	e.done.Store(true)
 	if !ran {
-		s.runHits.Add(1)
+		if joined {
+			s.runCoalesced.Add(1)
+		} else {
+			s.runHits.Add(1)
+		}
 	}
 	return cloneStats(e.stats), e.err
 }
@@ -157,6 +170,7 @@ func (s *Store) Measure(spec MeasureSpec, compute func() (MeasureRecord, error))
 	}
 	s.mu.Unlock()
 
+	joined := ok && !e.done.Load()
 	ran := false
 	e.once.Do(func() {
 		ran = true
@@ -171,8 +185,13 @@ func (s *Store) Measure(spec MeasureSpec, compute func() (MeasureRecord, error))
 			s.saveMeasureBlob(d, e.rec)
 		}
 	})
+	e.done.Store(true)
 	if !ran {
-		s.measHits.Add(1)
+		if joined {
+			s.measCoalesced.Add(1)
+		} else {
+			s.measHits.Add(1)
+		}
 	}
 	return e.rec.Clone(), e.err
 }
@@ -232,21 +251,26 @@ func cloneStats(st sim.Stats) sim.Stats {
 	return out
 }
 
-// Metrics is a point-in-time snapshot of store activity.
+// Metrics is a point-in-time snapshot of store activity. It is the one
+// source of truth for cache observability: cmd/figures' stderr line and
+// scenariod's /metrics endpoint both render this snapshot.
 type Metrics struct {
-	// Run-level counters. Hits are served from memory, DiskHits from
-	// the blob directory, Misses executed the simulator, Uncacheable
-	// runs bypassed the cache (device without a canonical key).
-	RunHits, RunMisses, RunDiskHits, RunUncacheable int64
+	// Run-level counters. Hits are served from completed memory
+	// entries, Coalesced joined an execution that was still in flight
+	// (the singleflight dedup — under a multi-client daemon this is the
+	// cross-client sharing), DiskHits loaded the blob directory, Misses
+	// executed the simulator, Uncacheable runs bypassed the cache
+	// (device without a canonical key).
+	RunHits, RunMisses, RunDiskHits, RunUncacheable, RunCoalesced int64
 	// Measure-level counters, same meaning.
-	MeasureHits, MeasureMisses, MeasureDiskHits, MeasureUncacheable int64
+	MeasureHits, MeasureMisses, MeasureDiskHits, MeasureUncacheable, MeasureCoalesced int64
 	// Checkpoint counters: Forks resumed from a shared warm snapshot,
 	// Warmups executed a warmup prefix to produce (or probe for) one,
 	// DiskHits loaded one from the blob directory.
 	CkptForks, CkptWarmups, CkptDiskHits int64
 	// Static-prediction counters (memory-only level, see
 	// Store.StaticPrediction).
-	StaticHits, StaticMisses, StaticUncacheable int64
+	StaticHits, StaticMisses, StaticUncacheable, StaticCoalesced int64
 	// BytesRead/BytesWritten count disk-blob traffic.
 	BytesRead, BytesWritten int64
 }
@@ -261,26 +285,31 @@ func (s *Store) Metrics() Metrics {
 		RunMisses:          s.runMisses.Load(),
 		RunDiskHits:        s.runDiskHits.Load(),
 		RunUncacheable:     s.runUncacheable.Load(),
+		RunCoalesced:       s.runCoalesced.Load(),
 		MeasureHits:        s.measHits.Load(),
 		MeasureMisses:      s.measMisses.Load(),
 		MeasureDiskHits:    s.measDiskHits.Load(),
 		MeasureUncacheable: s.measUncacheable.Load(),
+		MeasureCoalesced:   s.measCoalesced.Load(),
 		CkptForks:          s.ckptForks.Load(),
 		CkptWarmups:        s.ckptWarmups.Load(),
 		CkptDiskHits:       s.ckptDiskHits.Load(),
 		StaticHits:         s.staticHits.Load(),
 		StaticMisses:       s.staticMisses.Load(),
 		StaticUncacheable:  s.staticUncacheable.Load(),
+		StaticCoalesced:    s.staticCoalesced.Load(),
 		BytesRead:          s.bytesRead.Load(),
 		BytesWritten:       s.bytesWritten.Load(),
 	}
 }
 
 // DedupRatio is the fraction of cacheable requests served without
-// executing the simulator: (hits + disk hits) / all cacheable
-// requests, across both levels. Zero when nothing was requested.
+// executing the simulator: (hits + coalesced + disk hits) / all
+// cacheable requests, across both levels. Zero when nothing was
+// requested.
 func (m Metrics) DedupRatio() float64 {
-	served := m.RunHits + m.RunDiskHits + m.MeasureHits + m.MeasureDiskHits
+	served := m.RunHits + m.RunCoalesced + m.RunDiskHits +
+		m.MeasureHits + m.MeasureCoalesced + m.MeasureDiskHits
 	total := served + m.RunMisses + m.MeasureMisses
 	if total == 0 {
 		return 0
@@ -288,14 +317,41 @@ func (m Metrics) DedupRatio() float64 {
 	return float64(served) / float64(total)
 }
 
+// Sub returns the counter-wise difference m - prev, for reporting the
+// activity of one request phase against a running store (scenarioload
+// samples /metrics before and after each phase).
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{
+		RunHits:            m.RunHits - prev.RunHits,
+		RunMisses:          m.RunMisses - prev.RunMisses,
+		RunDiskHits:        m.RunDiskHits - prev.RunDiskHits,
+		RunUncacheable:     m.RunUncacheable - prev.RunUncacheable,
+		RunCoalesced:       m.RunCoalesced - prev.RunCoalesced,
+		MeasureHits:        m.MeasureHits - prev.MeasureHits,
+		MeasureMisses:      m.MeasureMisses - prev.MeasureMisses,
+		MeasureDiskHits:    m.MeasureDiskHits - prev.MeasureDiskHits,
+		MeasureUncacheable: m.MeasureUncacheable - prev.MeasureUncacheable,
+		MeasureCoalesced:   m.MeasureCoalesced - prev.MeasureCoalesced,
+		CkptForks:          m.CkptForks - prev.CkptForks,
+		CkptWarmups:        m.CkptWarmups - prev.CkptWarmups,
+		CkptDiskHits:       m.CkptDiskHits - prev.CkptDiskHits,
+		StaticHits:         m.StaticHits - prev.StaticHits,
+		StaticMisses:       m.StaticMisses - prev.StaticMisses,
+		StaticUncacheable:  m.StaticUncacheable - prev.StaticUncacheable,
+		StaticCoalesced:    m.StaticCoalesced - prev.StaticCoalesced,
+		BytesRead:          m.BytesRead - prev.BytesRead,
+		BytesWritten:       m.BytesWritten - prev.BytesWritten,
+	}
+}
+
 // String renders the one-line report cmd/figures prints to stderr.
 func (m Metrics) String() string {
 	return fmt.Sprintf(
-		"scenario store: runs %d hit / %d disk / %d miss / %d uncacheable | measures %d hit / %d disk / %d miss / %d uncacheable | ckpt %d fork / %d warmup / %d disk | static %d hit / %d miss / %d uncacheable | %d B read, %d B written | dedup %.1f%%",
-		m.RunHits, m.RunDiskHits, m.RunMisses, m.RunUncacheable,
-		m.MeasureHits, m.MeasureDiskHits, m.MeasureMisses, m.MeasureUncacheable,
+		"scenario store: runs %d hit / %d coalesced / %d disk / %d miss / %d uncacheable | measures %d hit / %d coalesced / %d disk / %d miss / %d uncacheable | ckpt %d fork / %d warmup / %d disk | static %d hit / %d coalesced / %d miss / %d uncacheable | %d B read, %d B written | dedup %.1f%%",
+		m.RunHits, m.RunCoalesced, m.RunDiskHits, m.RunMisses, m.RunUncacheable,
+		m.MeasureHits, m.MeasureCoalesced, m.MeasureDiskHits, m.MeasureMisses, m.MeasureUncacheable,
 		m.CkptForks, m.CkptWarmups, m.CkptDiskHits,
-		m.StaticHits, m.StaticMisses, m.StaticUncacheable,
+		m.StaticHits, m.StaticCoalesced, m.StaticMisses, m.StaticUncacheable,
 		m.BytesRead, m.BytesWritten, 100*m.DedupRatio())
 }
 
@@ -313,16 +369,37 @@ type diskBlob struct {
 	Ckpt []byte `json:"ckpt,omitempty"`
 }
 
+// blobPath is the sharded location of one envelope: blobs spread over
+// 256 subdirectories named by the first two hex digits of the digest.
+// A warm fleet-serving store accumulates one file per distinct (kind,
+// digest); a flat directory degrades on lookup and temp-file creation
+// long before the cache itself is large (classic dirent scaling), so
+// the digest prefix — uniform by construction, SHA-256 — spreads the
+// load. Blobs written by pre-shard revisions sit directly in dir; they
+// are still found via legacyBlobPath, so an upgrade invalidates
+// nothing.
 func (s *Store) blobPath(kind string, d Digest) string {
+	h := d.String()
+	return filepath.Join(s.dir, h[:2], kind+"-"+h+".json")
+}
+
+// legacyBlobPath is the pre-shard flat location, read (never written)
+// for transparent cache carry-over across the layout upgrade.
+func (s *Store) legacyBlobPath(kind string, d Digest) string {
 	return filepath.Join(s.dir, kind+"-"+d.String()+".json")
 }
 
-// loadBlob reads and verifies one envelope. Any failure is a miss.
+// loadBlob reads and verifies one envelope, checking the sharded
+// location first and falling back to the legacy flat layout. Any
+// failure is a miss.
 func (s *Store) loadBlob(kind string, d Digest) (diskBlob, bool) {
 	if s.dir == "" {
 		return diskBlob{}, false
 	}
 	data, err := os.ReadFile(s.blobPath(kind, d))
+	if err != nil {
+		data, err = os.ReadFile(s.legacyBlobPath(kind, d))
+	}
 	if err != nil {
 		return diskBlob{}, false
 	}
@@ -338,7 +415,9 @@ func (s *Store) loadBlob(kind string, d Digest) (diskBlob, bool) {
 }
 
 // saveBlob writes one envelope via temp-file + rename so concurrent
-// processes never observe partial blobs. Failures are silently
+// processes never observe partial blobs. The temp file lives in the
+// destination shard directory so the rename stays within one
+// filesystem directory (atomic everywhere). Failures are silently
 // ignored: the disk layer is an optimization, not a requirement.
 func (s *Store) saveBlob(kind string, d Digest, b diskBlob) {
 	if s.dir == "" {
@@ -351,7 +430,11 @@ func (s *Store) saveBlob(kind string, d Digest, b diskBlob) {
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(s.dir, kind+"-*.tmp")
+	shard := filepath.Dir(s.blobPath(kind, d))
+	if os.MkdirAll(shard, 0o755) != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(shard, kind+"-*.tmp")
 	if err != nil {
 		return
 	}

@@ -1,0 +1,113 @@
+package serve_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// The differential suite pins the service layer's core guarantee:
+// routing a figure sweep through a loopback scenariod produces
+// byte-identical rendered artifacts (Render and CSV) to local
+// no-store execution. The daemon may coalesce, batch, checkpoint-fork,
+// and cache however it likes — the bytes that reach the figure files
+// must not move.
+
+// quickFig4 is cmd/figures' -quick Fig 4 sweep.
+func quickFig4() experiments.Fig4Config {
+	cfg := experiments.DefaultFig4()
+	cfg.RegionCounts = []int{5, 40, 320}
+	cfg.Parallel = 1
+	return cfg
+}
+
+// quickFig5 is cmd/figures' -quick Fig 5 sweep.
+func quickFig5() experiments.Fig5Config {
+	cfg := experiments.DefaultFig5()
+	cfg.Operations = 200
+	cfg.FillerCounts = []int{0, 20, 160}
+	cfg.Parallel = 1
+	return cfg
+}
+
+func TestFig4ThroughDaemonByteIdentical(t *testing.T) {
+	cfg := quickFig4()
+	local, err := experiments.Fig4(cfg) // Store nil: the -no-cache path
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, cl := startDaemon(t, serve.Options{Workers: 2})
+	ctx := context.Background()
+	remote := &experiments.Fig4Result{}
+	for i, n := range cfg.RegionCounts {
+		wcfg := workload.SyntheticConfig{
+			Units:        cfg.Units,
+			UnitLen:      cfg.UnitLen,
+			Regions:      n,
+			RegionLen:    cfg.RegionLen,
+			AccelLatency: cfg.AccelLatency,
+			Seed:         cfg.Seed + int64(i),
+		}
+		resp, err := cl.Measure(ctx, serve.MeasureRequest{
+			Config:   cfg.Core,
+			Workload: serve.WorkloadSpec{Kind: "synthetic", Synthetic: &wcfg},
+		})
+		if err != nil {
+			t.Fatalf("point %d: %v", n, err)
+		}
+		remote.Rows = append(remote.Rows, experiments.Fig4Row{
+			AccelInstructions: n,
+			Result:            &experiments.WorkloadResult{MeasureRecord: resp.Record},
+		})
+	}
+
+	if got, want := remote.Render(), local.Render(); got != want {
+		t.Errorf("Fig4 Render differs through daemon:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := remote.CSV(), local.CSV(); got != want {
+		t.Errorf("Fig4 CSV differs through daemon:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFig5ThroughDaemonByteIdentical(t *testing.T) {
+	cfg := quickFig5()
+	local, err := experiments.Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, cl := startDaemon(t, serve.Options{Workers: 2})
+	ctx := context.Background()
+	remote := &experiments.Fig5Result{}
+	for _, filler := range cfg.FillerCounts {
+		wcfg := workload.HeapConfig{
+			Operations:    cfg.Operations,
+			FillerPerCall: filler,
+			Prefill:       cfg.Prefill,
+			Seed:          cfg.Seed,
+			WarmupFiller:  cfg.WarmupFiller,
+		}
+		resp, err := cl.Measure(ctx, serve.MeasureRequest{
+			Config:   cfg.Core,
+			Workload: serve.WorkloadSpec{Kind: "heap", Heap: &wcfg},
+		})
+		if err != nil {
+			t.Fatalf("point %d: %v", filler, err)
+		}
+		remote.Rows = append(remote.Rows, experiments.Fig5Row{
+			FillerPerCall: filler,
+			Result:        &experiments.WorkloadResult{MeasureRecord: resp.Record},
+		})
+	}
+
+	if got, want := remote.Render(), local.Render(); got != want {
+		t.Errorf("Fig5 Render differs through daemon:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := remote.CSV(), local.CSV(); got != want {
+		t.Errorf("Fig5 CSV differs through daemon:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

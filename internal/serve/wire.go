@@ -1,0 +1,175 @@
+// Package serve is the simulation-as-a-service layer: a long-running
+// HTTP/JSON daemon (cmd/scenariod) that accepts scenario submissions
+// from many clients, coalesces duplicate in-flight work across them,
+// batches compatible jobs onto a shared runner.Pool behind a bounded
+// admission queue, and serves everything out of one warm
+// scenario.Store — so a sweep submitted by a fleet of clients costs
+// one warmup, one simulation per distinct point, and cache reads for
+// everyone else.
+//
+// The wire protocol does not ship programs or device closures. A
+// request names a workload *generator* and its configuration
+// (WorkloadSpec); the server regenerates the workload, which is
+// deterministic in its config, so the server-side scenario digests —
+// and therefore the returned results — are bit-identical to what the
+// client would have computed locally. The differential suite pins
+// that: a figure sweep routed through a loopback daemon renders
+// byte-identical artifacts to local -no-cache execution.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/staticmodel"
+	"repro/internal/workload"
+)
+
+// DefaultMaxCycles bounds a run when the request leaves MaxCycles
+// zero. It matches the bound the experiments harness uses for every
+// figure simulation, so daemon-served runs and locally-swept runs
+// digest identically.
+const DefaultMaxCycles = 4_000_000_000
+
+// WorkloadSpec names one deterministic workload generator plus its
+// configuration — the wire form of a workload. Kind selects the
+// generator; exactly the matching config field must be set. Building
+// the same spec twice yields behaviorally identical workloads (the
+// generators are deterministic in their seeds), which is what lets
+// digests computed server-side stand for the client's intent.
+type WorkloadSpec struct {
+	// Kind is one of "synthetic", "heap", "matmul", "kvstore",
+	// "stringmatch", "regexmatch", "multitca".
+	Kind string `json:"kind"`
+
+	Synthetic   *workload.SyntheticConfig   `json:"synthetic,omitempty"`
+	Heap        *workload.HeapConfig        `json:"heap,omitempty"`
+	MatMul      *workload.MatMulConfig      `json:"matmul,omitempty"`
+	KVStore     *workload.KVStoreConfig     `json:"kvstore,omitempty"`
+	StringMatch *workload.StringMatchConfig `json:"stringmatch,omitempty"`
+	RegexMatch  *workload.RegexMatchConfig  `json:"regexmatch,omitempty"`
+	MultiTCA    *workload.MultiTCAConfig    `json:"multitca,omitempty"`
+}
+
+// Build regenerates the workload the spec names.
+func (ws WorkloadSpec) Build() (*workload.Workload, error) {
+	switch ws.Kind {
+	case "synthetic":
+		if ws.Synthetic == nil {
+			return nil, fmt.Errorf("serve: workload kind %q without config", ws.Kind)
+		}
+		return workload.Synthetic(*ws.Synthetic)
+	case "heap":
+		if ws.Heap == nil {
+			return nil, fmt.Errorf("serve: workload kind %q without config", ws.Kind)
+		}
+		return workload.Heap(*ws.Heap)
+	case "matmul":
+		if ws.MatMul == nil {
+			return nil, fmt.Errorf("serve: workload kind %q without config", ws.Kind)
+		}
+		return workload.MatMul(*ws.MatMul)
+	case "kvstore":
+		if ws.KVStore == nil {
+			return nil, fmt.Errorf("serve: workload kind %q without config", ws.Kind)
+		}
+		return workload.KVStore(*ws.KVStore)
+	case "stringmatch":
+		if ws.StringMatch == nil {
+			return nil, fmt.Errorf("serve: workload kind %q without config", ws.Kind)
+		}
+		return workload.StringMatch(*ws.StringMatch)
+	case "regexmatch":
+		if ws.RegexMatch == nil {
+			return nil, fmt.Errorf("serve: workload kind %q without config", ws.Kind)
+		}
+		return workload.RegexMatch(*ws.RegexMatch)
+	case "multitca":
+		if ws.MultiTCA == nil {
+			return nil, fmt.Errorf("serve: workload kind %q without config", ws.Kind)
+		}
+		return workload.MultiTCA(*ws.MultiTCA)
+	default:
+		return nil, fmt.Errorf("serve: unknown workload kind %q", ws.Kind)
+	}
+}
+
+// cacheKey is the canonical string form of the spec, keying the
+// server's built-workload cache. Re-marshaling the parsed struct (not
+// the request's raw bytes) normalizes field order and whitespace, so
+// every spelling of the same spec shares one built workload — and
+// therefore one program pointer, which keeps the scenario layer's
+// per-pointer program-digest memoization effective and bounded in a
+// long-running daemon.
+func (ws WorkloadSpec) cacheKey() (string, error) {
+	b, err := json.Marshal(ws)
+	if err != nil {
+		return "", fmt.Errorf("serve: workload spec: %w", err)
+	}
+	return string(b), nil
+}
+
+// RunRequest submits one simulator run: a core configuration, a
+// workload, and which of its matched pair of programs to execute.
+type RunRequest struct {
+	Config   sim.Config   `json:"config"`
+	Workload WorkloadSpec `json:"workload"`
+	// Program selects "baseline" or "accelerated" (the default). The
+	// accelerated program runs with the workload's device; the baseline
+	// runs deviceless.
+	Program string `json:"program,omitempty"`
+	// MaxCycles bounds the run; zero selects DefaultMaxCycles.
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// Priority orders admission: higher values run first, FIFO within
+	// one value. Zero is the default class.
+	Priority int `json:"priority,omitempty"`
+}
+
+// RunResponse carries the run's Stats. Digest is the scenario content
+// address the result is cached under ("" for uncacheable specs);
+// Coalesced reports that this request joined an execution or queue
+// entry another client started.
+type RunResponse struct {
+	Stats     sim.Stats `json:"stats"`
+	Digest    string    `json:"digest,omitempty"`
+	Coalesced bool      `json:"coalesced,omitempty"`
+}
+
+// MeasureRequest submits one full measure-workload evaluation —
+// baseline plus all four accelerated modes, reduced to a
+// MeasureRecord, exactly the record the figure sweeps cache. The run
+// bound is the harness's own (DefaultMaxCycles); it is part of the
+// measure methodology, not a per-request knob.
+type MeasureRequest struct {
+	Config   sim.Config   `json:"config"`
+	Workload WorkloadSpec `json:"workload"`
+	Priority int          `json:"priority,omitempty"`
+}
+
+// MeasureResponse carries the measurement record.
+type MeasureResponse struct {
+	Record    scenario.MeasureRecord `json:"record"`
+	Digest    string                 `json:"digest,omitempty"`
+	Coalesced bool                   `json:"coalesced,omitempty"`
+}
+
+// StaticRequest asks for an analytical fast-path prediction — no cycle
+// simulation. Served inline (microseconds), bypassing the admission
+// queue.
+type StaticRequest struct {
+	Config   sim.Config   `json:"config"`
+	Workload WorkloadSpec `json:"workload"`
+}
+
+// StaticResponse carries the prediction.
+type StaticResponse struct {
+	Prediction *staticmodel.Prediction `json:"prediction"`
+	Digest     string                  `json:"digest,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

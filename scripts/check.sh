@@ -47,4 +47,11 @@ echo "==> figure byte-identity: -static-prune=false vs flag absent"
 "$tmp/figures" -fig all -quick -parallel 8 -no-cache -static-prune=false >"$tmp/pruneoff.txt"
 cmp "$tmp/off.txt" "$tmp/pruneoff.txt"
 
+# The scenario-service contract: a spawned loopback daemon survives the
+# three-phase load mix with zero request errors, and the duplicate-heavy
+# mix beats per-client direct execution by at least 5x aggregate
+# throughput (cross-client coalescing + shared store doing their job).
+echo "==> scenariod smoke: spawned daemon, duplicate-heavy >= 5x direct"
+go run ./cmd/scenarioload -spawn -quick -min-speedup 5
+
 echo "OK"

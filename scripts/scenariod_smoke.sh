@@ -1,0 +1,47 @@
+#!/bin/sh
+# scenariod_smoke.sh — the real two-process flow: build the daemon (race
+# detector on, so handler races surface) and the load generator, start
+# the daemon on an ephemeral loopback port, drive it through the
+# three-phase quick mix with a direct-execution comparison, and shut it
+# down with SIGTERM to exercise graceful drain. CI runs this; check.sh
+# covers the faster in-process -spawn variant.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+sd_pid=""
+cleanup() {
+    [ -n "$sd_pid" ] && kill "$sd_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "==> building scenariod (-race) and scenarioload"
+go build -race -o "$tmp/scenariod" ./cmd/scenariod
+go build -o "$tmp/scenarioload" ./cmd/scenarioload
+
+echo "==> starting scenariod on an ephemeral loopback port"
+"$tmp/scenariod" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -cache-dir "$tmp/blobs" &
+sd_pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "scenariod never wrote its address file" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+addr=$(cat "$tmp/addr")
+
+echo "==> scenarioload -quick -compare against http://$addr"
+"$tmp/scenarioload" -server "http://$addr" -quick -compare
+
+echo "==> graceful shutdown (SIGTERM)"
+kill -TERM "$sd_pid"
+wait "$sd_pid"
+sd_pid=""
+
+echo "OK"
