@@ -27,7 +27,7 @@ bench:
 # scenario store's cached-vs-uncached and forked-vs-direct pairs, and the
 # scenariod cold/warm/duplicate-heavy request regimes.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR9.json
 
 figures:
 	$(GO) run ./cmd/figures -fig all

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-fig all|2|3|4|5|6|7|8|staticerr] [-out DIR] [-matmul-n N] [-quick] [-parallel N]
+//	figures [-fig all|2|3|4|5|6|7|8|staticerr|devcross] [-out DIR] [-matmul-n N] [-quick] [-parallel N]
 //	        [-cache-dir DIR] [-no-cache] [-no-ckpt-fork]
 //	        [-static-prune] [-prune-topk K] [-prune-audit N] [-prune-seed S]
 //
@@ -33,6 +33,8 @@
 // run with the flag absent. The prune report goes to stderr.
 // -fig staticerr (never part of "all") emits the static-vs-simulated
 // accuracy table that justifies the oracle.
+// -fig devcross (never part of "all") emits the device-engine mode
+// crossover for the DAE and loop-accelerator families.
 package main
 
 import (
@@ -60,7 +62,7 @@ func main() {
 
 func realMain() int {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: all, 2, 3, 4, 5, 6, 7, 8, e1, e2, e3, e4, e5, a1, a2, staticerr")
+		fig      = flag.String("fig", "all", "figure to regenerate: all, 2, 3, 4, 5, 6, 7, 8, e1, e2, e3, e4, e5, a1, a2, staticerr, devcross")
 		out      = flag.String("out", "", "directory for CSV output (default: none, stdout only)")
 		matmulN  = flag.Int("matmul-n", 64, "matrix edge for Fig 6 (paper: 512)")
 		quick    = flag.Bool("quick", false, "shrink simulated sweeps for a fast smoke run")
@@ -394,6 +396,30 @@ func run(fig, out string, matmulN int, quick bool, parallel int, store *scenario
 		}
 		fmt.Print(res.Render())
 		if err := saveCSV("staticerr.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+
+	// The device-family crossover is on-demand only (fig == "devcross",
+	// never part of "all"), like staticerr: keeping new studies out of
+	// "all" keeps the stock artifact byte-stable.
+	if fig == "devcross" {
+		section("Device engine — DAE and loop-accelerator mode crossover (simulated)")
+		cfg := experiments.DefaultDevCross()
+		cfg.Parallel = parallel
+		cfg.Store = store
+		if quick {
+			cfg.DAE.Streams = 6
+			cfg.DAEWords = []int{4, 64}
+			cfg.Loop.Calls = 6
+			cfg.LoopTrips = []int{2, 8}
+		}
+		res, err := experiments.DevCross(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if err := saveCSV("devcross.csv", res.CSV()); err != nil {
 			return err
 		}
 	}

@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	tcasim -workload synthetic|heap|matmul [-mode L_T|NL_T|L_NT|NL_NT|baseline]
-//	       [-core hp|lp|a72] [workload flags...]
+//	tcasim -workload synthetic|heap|matmul|daestream|loopnest
+//	       [-mode L_T|NL_T|L_NT|NL_NT|baseline] [-core hp|lp|a72]
+//	       [workload flags...]
 //
 // Examples:
 //
 //	tcasim -workload heap -mode L_T -heap-filler 20
 //	tcasim -workload matmul -mode NL_NT -matmul-n 64 -matmul-tile 4
 //	tcasim -workload synthetic -mode baseline
+//	tcasim -workload daestream -mode L_T -dae-words 64
+//	tcasim -workload loopnest -mode L_T -loop-trips 8 -loop-depth 2
 //
 // -dump-scenario prints the canonical scenario description and
 // content digest of the run the flags select — the identity the
@@ -32,7 +35,7 @@ import (
 
 func main() {
 	var (
-		wl      = flag.String("workload", "synthetic", "workload: synthetic, heap, matmul")
+		wl      = flag.String("workload", "synthetic", "workload: synthetic, heap, matmul, daestream, loopnest")
 		mode    = flag.String("mode", "L_T", "TCA mode (L_T, NL_T, L_NT, NL_NT) or 'baseline'")
 		coreSel = flag.String("core", "hp", "core preset: hp, lp, a72")
 		seed    = flag.Int64("seed", 1, "workload seed")
@@ -50,6 +53,14 @@ func main() {
 		matN    = flag.Int("matmul-n", 64, "matmul: matrix edge")
 		matBlk  = flag.Int("matmul-block", 32, "matmul: blocking factor")
 		matTile = flag.Int("matmul-tile", 4, "matmul: TCA tile (2, 4, 8)")
+
+		daeStreams = flag.Int("dae-streams", 12, "daestream: reductions (one invocation each)")
+		daeWords   = flag.Int("dae-words", 32, "daestream: words per reduced array")
+		daeChunk   = flag.Int("dae-chunk", 8, "daestream: burst length in words (1..8)")
+
+		loopCalls = flag.Int("loop-calls", 12, "loopnest: nest executions (one invocation each)")
+		loopTrips = flag.Int("loop-trips", 8, "loopnest: trip count per nest level")
+		loopDepth = flag.Int("loop-depth", 2, "loopnest: nest depth")
 	)
 	flag.Parse()
 
@@ -72,6 +83,16 @@ func main() {
 	case "matmul":
 		w, err = workload.MatMul(workload.MatMulConfig{
 			N: *matN, Block: *matBlk, Tile: *matTile, Seed: *seed,
+		})
+	case "daestream":
+		w, err = workload.DAEStream(workload.DAEStreamConfig{
+			Streams: *daeStreams, WordsPerStream: *daeWords, FillerPerOp: 30,
+			ChunkWords: *daeChunk, ComputePerChunk: 4, Startup: 40, Seed: *seed,
+		})
+	case "loopnest":
+		w, err = workload.LoopNest(workload.LoopNestConfig{
+			Calls: *loopCalls, FillerPerOp: 25, Trips: *loopTrips, Depth: *loopDepth,
+			IterLatency: 1, ConfigLatency: 20, Seed: *seed,
 		})
 	default:
 		err = fmt.Errorf("unknown workload %q", *wl)

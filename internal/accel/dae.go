@@ -1,0 +1,104 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// DAE call kind.
+const DAEReduce int64 = 0
+
+// DAE is a decoupled access/execute streaming accelerator: an access slice
+// that issues contiguous burst loads runs ahead of an execute slice that
+// reduces the loaded words. It is the first device family to use the engine
+// contract's multi-phase schedules — a scalar latency cannot express "the
+// loads of chunk i+1 stream under the compute of chunk i", which is exactly
+// what makes a DAE organization worth building.
+//
+// One invocation reduces Args[1] contiguous 8-byte words starting at Args[0]
+// (a sum modulo 2^64) and returns the sum. The timing schedule is one
+// pipeline-fill phase of Startup cycles followed by one Overlap stream
+// phase: the access slice issues every chunk as a contiguous burst of up to
+// ChunkWords words (<= 64 bytes, the paper's maximum request width) at the
+// head of the phase — running arbitrarily far ahead of the execute slice,
+// so outstanding misses overlap through the hierarchy's MSHRs — while the
+// execute slice charges ComputePerChunk cycles per chunk. The phase costs
+// whichever slice is slower, never the sum; the cycles the faster slice
+// hides surface in the simulator's AccelOverlapCycles statistic.
+type DAE struct {
+	// ChunkWords is the access-slice burst length in 8-byte words (1..8,
+	// keeping each burst within one 64-byte request).
+	ChunkWords int
+	// ComputePerChunk is the execute slice's occupancy per chunk in cycles.
+	ComputePerChunk int
+	// Startup is the one-time pipeline-fill cost per invocation, charged
+	// before the first chunk.
+	Startup int
+
+	// Invocations and WordsStreamed count calls and reduced words
+	// (diagnostics).
+	Invocations   uint64
+	WordsStreamed uint64
+}
+
+// NewDAE returns a streaming reducer with the given burst length, per-chunk
+// execute occupancy and startup cost.
+func NewDAE(chunkWords, computePerChunk, startup int) *DAE {
+	if chunkWords < 1 || chunkWords > 8 {
+		panic(fmt.Sprintf("accel: dae chunk of %d words exceeds one 64B request (want 1..8)", chunkWords))
+	}
+	if computePerChunk < 1 {
+		panic(fmt.Sprintf("accel: dae compute %d per chunk must be >= 1", computePerChunk))
+	}
+	if startup < 0 {
+		panic(fmt.Sprintf("accel: dae startup %d must be >= 0", startup))
+	}
+	return &DAE{ChunkWords: chunkWords, ComputePerChunk: computePerChunk, Startup: startup}
+}
+
+// Name implements isa.AccelDevice.
+func (d *DAE) Name() string { return fmt.Sprintf("dae-%dw", d.ChunkWords) }
+
+// UsesProgramMemory implements isa.AccelMemoryUser: the access slice streams
+// program memory.
+func (d *DAE) UsesProgramMemory() bool { return true }
+
+// Invoke implements isa.AccelDevice. Args[0] is the 8-byte-aligned base
+// address, Args[1] the number of words to reduce.
+func (d *DAE) Invoke(call isa.AccelCall, mem isa.WordReader) isa.AccelResult {
+	if call.Kind != DAEReduce {
+		panic(fmt.Sprintf("accel: dae kind %d unknown", call.Kind))
+	}
+	base, words := call.Args[0], int(call.Args[1])
+	if words < 1 {
+		panic(fmt.Sprintf("accel: dae invoked over %d words", words))
+	}
+	d.Invocations++
+	d.WordsStreamed += uint64(words)
+
+	var sum uint64
+	chunks := (words + d.ChunkWords - 1) / d.ChunkWords
+	sched := make([]isa.AccelPhase, 0, 2)
+	if d.Startup > 0 {
+		sched = append(sched, isa.AccelPhase{Compute: d.Startup})
+	}
+	ops := make([]isa.AccelMemOp, 0, chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * d.ChunkWords
+		hi := lo + d.ChunkWords
+		if hi > words {
+			hi = words
+		}
+		for w := lo; w < hi; w++ {
+			sum += mem.Load(base + uint64(w)*8)
+		}
+		ops = append(ops, isa.AccelMemOp{Addr: base + uint64(lo)*8, Size: (hi - lo) * 8})
+	}
+	sched = append(sched, isa.AccelPhase{
+		Compute: chunks * d.ComputePerChunk,
+		Overlap: true,
+		MemOps:  ops,
+	})
+	return isa.AccelResult{Value: sum, Schedule: sched}
+}

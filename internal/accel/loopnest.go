@@ -1,0 +1,95 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// LoopNest call kind.
+const LoopNestRun int64 = 0
+
+// loopNestMaxIterations bounds one invocation's functional work; workloads
+// stay far below it (it exists to fail fast on a bad trip count, not to be
+// approached).
+const loopNestMaxIterations = 1 << 20
+
+// LoopNest is a loop accelerator: a hardware loop nest of fixed depth whose
+// one-time configuration cost (programming bounds, strides and the datapath)
+// amortizes over the trips^Depth innermost iterations it then executes
+// back-to-back. It is the second engine-contract device family: the schedule
+// is a configuration phase followed by an execution phase, so the invocation
+// granularity visible to the core is decoupled from the iteration
+// granularity the datapath runs at — the crossover against a monolithic TCA
+// of equal per-iteration throughput moves with the trip count.
+//
+// One invocation runs a depth-Depth nest with Args[0] trips per level,
+// iterating a 64-bit mixing function from seed Args[1] once per innermost
+// iteration, and returns the final value. The device is register-only: no
+// program-memory traffic, so (like the heap TCA) invocations skip LSQ
+// ordering.
+type LoopNest struct {
+	// Depth is the nest depth (>= 1).
+	Depth int
+	// IterLatency is the datapath's cycles per innermost iteration.
+	IterLatency int
+	// ConfigLatency is the one-time nest-configuration cost per invocation.
+	ConfigLatency int
+
+	// Invocations and Iterations count calls and executed innermost
+	// iterations (diagnostics).
+	Invocations uint64
+	Iterations  uint64
+}
+
+// NewLoopNest returns a loop accelerator of the given nest depth,
+// per-iteration latency and configuration cost.
+func NewLoopNest(depth, iterLatency, configLatency int) *LoopNest {
+	if depth < 1 {
+		panic(fmt.Sprintf("accel: loop nest depth %d must be >= 1", depth))
+	}
+	if iterLatency < 1 {
+		panic(fmt.Sprintf("accel: loop nest iteration latency %d must be >= 1", iterLatency))
+	}
+	if configLatency < 0 {
+		panic(fmt.Sprintf("accel: loop nest config latency %d must be >= 0", configLatency))
+	}
+	return &LoopNest{Depth: depth, IterLatency: iterLatency, ConfigLatency: configLatency}
+}
+
+// Name implements isa.AccelDevice.
+func (d *LoopNest) Name() string { return fmt.Sprintf("loopnest-d%d", d.Depth) }
+
+// Invoke implements isa.AccelDevice. Args[0] is the trip count per nest
+// level, Args[1] the seed value threaded through the datapath.
+func (d *LoopNest) Invoke(call isa.AccelCall, _ isa.WordReader) isa.AccelResult {
+	if call.Kind != LoopNestRun {
+		panic(fmt.Sprintf("accel: loop nest kind %d unknown", call.Kind))
+	}
+	trips := call.Args[0]
+	if trips < 1 {
+		panic(fmt.Sprintf("accel: loop nest trip count %d must be >= 1", trips))
+	}
+	iters := uint64(1)
+	for l := 0; l < d.Depth; l++ {
+		iters *= trips
+		if iters > loopNestMaxIterations {
+			panic(fmt.Sprintf("accel: loop nest %d^%d iterations exceeds bound %d", trips, d.Depth, loopNestMaxIterations))
+		}
+	}
+	d.Invocations++
+	d.Iterations += iters
+
+	// The datapath: one 64-bit LCG step per innermost iteration.
+	x := call.Args[1]
+	for i := uint64(0); i < iters; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+
+	sched := make([]isa.AccelPhase, 0, 2)
+	if d.ConfigLatency > 0 {
+		sched = append(sched, isa.AccelPhase{Compute: d.ConfigLatency})
+	}
+	sched = append(sched, isa.AccelPhase{Compute: int(iters) * d.IterLatency})
+	return isa.AccelResult{Value: x, Schedule: sched}
+}

@@ -235,6 +235,38 @@ func (d *StrCmp) RestoreState(data []byte) error {
 	return f.done("strcmp")
 }
 
+// SnapshotState implements isa.AccelSnapshotter.
+func (d *DAE) SnapshotState() []byte {
+	var f devFrame
+	f.putU64(d.Invocations)
+	f.putU64(d.WordsStreamed)
+	return f.buf
+}
+
+// RestoreState implements isa.AccelSnapshotter.
+func (d *DAE) RestoreState(data []byte) error {
+	f := devFrame{buf: data}
+	d.Invocations = f.getU64()
+	d.WordsStreamed = f.getU64()
+	return f.done("dae")
+}
+
+// SnapshotState implements isa.AccelSnapshotter.
+func (d *LoopNest) SnapshotState() []byte {
+	var f devFrame
+	f.putU64(d.Invocations)
+	f.putU64(d.Iterations)
+	return f.buf
+}
+
+// RestoreState implements isa.AccelSnapshotter.
+func (d *LoopNest) RestoreState(data []byte) error {
+	f := devFrame{buf: data}
+	d.Invocations = f.getU64()
+	d.Iterations = f.getU64()
+	return f.done("loopnest")
+}
+
 // SnapshotState implements isa.AccelSnapshotter: the mux's own fields are
 // either configuration (devices, usesMemory) or per-invocation scratch
 // (lastStorer), so the frame is just the sub-device frames in order.

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/scenario"
+)
+
+// devCrossTestConfig shrinks the default study to a two-point sweep per
+// family so the test exercises the full pipeline quickly.
+func devCrossTestConfig() DevCrossConfig {
+	cfg := DefaultDevCross()
+	cfg.DAE.Streams = 6
+	cfg.DAEWords = []int{4, 64}
+	cfg.Loop.Calls = 6
+	cfg.LoopTrips = []int{2, 8}
+	return cfg
+}
+
+func TestDevCross(t *testing.T) {
+	res, err := DevCross(devCrossTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(res.Rows))
+	}
+	byFamily := map[string][]DevCrossRow{}
+	for _, row := range res.Rows {
+		if len(row.Modes) != len(accel.AllModes) {
+			t.Fatalf("%s/%d: %d modes", row.Family, row.Point, len(row.Modes))
+		}
+		for _, m := range row.Modes {
+			if m.Speedup <= 0 {
+				t.Errorf("%s/%d %s: speedup %v", row.Family, row.Point, m.Mode, m.Speedup)
+			}
+		}
+		if row.StaticOccupancy <= 0 {
+			t.Errorf("%s/%d: static occupancy %v", row.Family, row.Point, row.StaticOccupancy)
+		}
+		byFamily[row.Family] = append(byFamily[row.Family], row)
+	}
+
+	// The crossover structure: within each family, growing the invocation
+	// granularity amortizes the per-invocation overhead, so the best mode's
+	// speedup strictly improves from the small point to the large one, and
+	// the static occupancy term grows with the schedule.
+	for fam, rows := range byFamily {
+		if len(rows) != 2 {
+			t.Fatalf("family %s has %d rows", fam, len(rows))
+		}
+		small, large := rows[0], rows[1]
+		if small.Point > large.Point {
+			small, large = large, small
+		}
+		bestOf := func(r DevCrossRow) float64 {
+			var best float64
+			for _, m := range r.Modes {
+				if m.Speedup > best {
+					best = m.Speedup
+				}
+			}
+			return best
+		}
+		if bestOf(large) <= bestOf(small) {
+			t.Errorf("%s: best speedup %v at point %d not above %v at point %d — no amortization",
+				fam, bestOf(large), large.Point, bestOf(small), small.Point)
+		}
+		if large.StaticOccupancy <= small.StaticOccupancy {
+			t.Errorf("%s: occupancy %v at point %d not above %v at point %d",
+				fam, large.StaticOccupancy, large.Point, small.StaticOccupancy, small.Point)
+		}
+		if large.Granularity <= small.Granularity {
+			t.Errorf("%s: granularity did not grow with the sweep", fam)
+		}
+	}
+
+	out := res.Render()
+	for _, want := range []string{"dae", "loopnest", "static occ", "L_T"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	csv := res.CSV()
+	if lines := strings.Count(csv, "\n"); lines != 1+4*len(accel.AllModes) {
+		t.Errorf("csv has %d lines, want %d", lines, 1+4*len(accel.AllModes))
+	}
+}
+
+// TestDevCrossStoreMatchesDirect pins the cache contract for the new device
+// families end-to-end: a cold store, a warm store, and no store at all must
+// produce identical tables — DeviceKeys make DAE and loop-nest runs
+// cacheable without cross-contamination.
+func TestDevCrossStoreMatchesDirect(t *testing.T) {
+	cfg := devCrossTestConfig()
+	direct, err := DevCross(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := scenario.NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store
+	cold, err := DevCross(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := DevCross(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Render() != cold.Render() || cold.Render() != warm.Render() {
+		t.Error("store state changed the crossover table")
+	}
+	if direct.CSV() != warm.CSV() {
+		t.Error("store state changed the CSV")
+	}
+	// The warm pass is served at measure level: the whole five-run record
+	// keyed by the canonical (config, workload, device-key) digest.
+	m := store.Metrics()
+	if m.MeasureHits == 0 {
+		t.Errorf("warm pass recorded no measure hits (metrics %+v)", m)
+	}
+}

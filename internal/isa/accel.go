@@ -4,9 +4,10 @@ package isa
 // tightly-coupled accelerator device that services them. Both the functional
 // interpreter and the cycle simulator call the same device, so functional
 // behaviour is defined once; the simulator additionally charges the timing
-// reported in AccelResult (compute latency plus the memory operations routed
-// through the core's LSQ and cache hierarchy, arbitrated by age as in the
-// paper's methodology).
+// reported in AccelResult — either a scalar compute latency plus memory
+// traffic, or a multi-phase device-engine schedule (AccelPhase) — with every
+// memory operation routed through the core's LSQ and cache hierarchy,
+// arbitrated by age as in the paper's methodology.
 
 // AccelMemOp is one memory word access performed by an accelerator
 // invocation. Size is in bytes (at most 64, the paper's assumed maximum
@@ -24,17 +25,57 @@ type AccelMemOp struct {
 	Serial bool
 }
 
-// AccelResult describes one accelerator invocation: the value written to the
-// destination register, the pure compute latency in cycles (excluding memory
-// time, which the simulator derives from MemOps), and the memory traffic.
+// AccelPhase is one step of a device engine's occupancy schedule. The
+// simulator executes a schedule's phases strictly in order; within one phase
+// it issues the phase's loads at the phase start (each one arbitrated
+// through the shared memory ports, Serial loads chaining behind their
+// predecessor), charges Compute cycles, then issues the phase's stores, and
+// the next phase begins when everything in this one has finished.
 //
-// The device performs its stores on the Memory passed to Invoke; MemOps is
-// the timing-visible trace of those accesses. Functional callers may ignore
-// MemOps entirely.
+// Overlap decouples the phase's memory time from its compute time: the
+// phase ends at max(loads done, start + Compute) instead of
+// loadsDone + Compute. This is how a decoupled access/execute device
+// expresses its access slice running ahead of the execute slice — the
+// loads of chunk i+1 stream under the compute of chunk i, so a phase costs
+// whichever slice is slower, never the sum. Stores still wait for both
+// (they carry results the execute slice produced from the loaded data).
+type AccelPhase struct {
+	// Compute is the phase's pure compute occupancy in cycles.
+	Compute int
+	// Overlap, when set, lets the phase's memory time hide under Compute
+	// (and vice versa) instead of serializing after it.
+	Overlap bool
+	// MemOps is the phase's memory traffic, issued through the same
+	// port/MSHR arbitration as scalar-contract traffic.
+	MemOps []AccelMemOp
+}
+
+// AccelResult describes one accelerator invocation: the value written to the
+// destination register, and its timing under one of two contracts.
+//
+// Scalar contract (the paper's monolithic TCA): Latency is the pure compute
+// time in cycles and MemOps the memory traffic; the simulator issues all
+// loads at invocation start, charges Latency, then issues the stores. A
+// scalar result is exactly equivalent to the one-phase schedule
+// {{Compute: Latency, MemOps: MemOps}} — the simulator executes both
+// through the same engine path, bit-identically (pinned by the engine
+// differential suite in internal/sim).
+//
+// Engine contract: Schedule, when non-nil, is a deterministic multi-phase
+// occupancy schedule and takes precedence; Latency and MemOps are then
+// ignored by the simulator. Schedules let a device express structure a
+// scalar latency cannot: decoupled access/execute streaming (loads of the
+// next chunk hidden under compute of the current one), one-time
+// configuration cost amortized over a loop nest, staged writeback.
+//
+// Under either contract the device performs its stores via AccelStorer, not
+// on the memory passed to Invoke; MemOps entries are the timing-visible
+// trace of the accesses. Functional callers may ignore timing entirely.
 type AccelResult struct {
-	Value   uint64
-	Latency int
-	MemOps  []AccelMemOp
+	Value    uint64
+	Latency  int
+	MemOps   []AccelMemOp
+	Schedule []AccelPhase
 }
 
 // AccelCall carries the operand values of an OpAccel instruction to the

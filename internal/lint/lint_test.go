@@ -79,6 +79,8 @@ func TestRuleFixtures(t *testing.T) {
 		{name: "R8R9-checkpoint-out-of-scope", file: "r8ckpt.go", as: "internal/experiments/fixtureckpt", ignores: true},
 		{name: "R9-in-scope", file: "r9.go", as: "internal/sim/fixture9"},
 		{name: "R9-out-of-scope", file: "r9.go", as: "internal/textplot/fixture9", ignores: true},
+		{name: "R9-devsnap-in-scope", file: "rdevsnap.go", as: "internal/accel/fixturedev"},
+		{name: "R9-devsnap-out-of-scope", file: "rdevsnap.go", as: "internal/workload/fixturedev", ignores: true},
 		{name: "R10-everywhere", file: "r10.go", as: "internal/anything/fixture10"},
 		{name: "R11-in-staticmodel", file: "r11.go", as: "internal/staticmodel/fixture11"},
 		{name: "R11-in-interval", file: "r11.go", as: "internal/interval/fixture11"},

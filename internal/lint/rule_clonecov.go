@@ -36,17 +36,23 @@ var cloneEmitRoots = []struct{ pkgSuffix, name string }{
 //     and without a whole-struct copy every field must be assigned.
 //     Deep-copy correctness is never exemptible; //lint:ignore remains
 //     the (visible, counted) escape hatch.
+//
+// A fourth sub-check, device snapshot coverage, runs under internal/accel
+// (see rule_devsnap.go): runtime state a snapshottable device mutates must
+// be captured by SnapshotState and restored by RestoreState, or carry an
+// exemption manifest — the checkpoint-side mirror of clone coverage.
 var ruleCloneCov = &Rule{
 	ID:   "R9",
 	Name: "clone-and-emit-coverage",
-	Doc:  "cached result types (sim.Stats, sim.Checkpoint, scenario.MeasureRecord) must be JSON-serializable, deep-copied field-exhaustively by Clone, and fully read by their reporting methods",
+	Doc:  "cached result types (sim.Stats, sim.Checkpoint, scenario.MeasureRecord) must be JSON-serializable, deep-copied field-exhaustively by Clone, and fully read by their reporting methods; device runtime state must be snapshot/restore-covered",
 	Applies: func(rel string) bool {
-		return underAny(rel, "internal/sim", "internal/scenario")
+		return underAny(rel, "internal/sim", "internal/scenario", "internal/accel")
 	},
 	Check: checkCloneCoverage,
 }
 
 func checkCloneCoverage(pass *Pass) {
+	checkDeviceSnapshots(pass)
 	for _, rt := range cloneEmitRoots {
 		root := lookupNamed(pass, rt.pkgSuffix, rt.name)
 		if root == nil {

@@ -42,14 +42,14 @@ func TestGoldenDigests(t *testing.T) {
 		mode accel.Mode
 		want string
 	}{
-		{"hp", accel.LT, "74ae3a0be330ef6de713a50c137b4a3587352f2b9e8b41d0cb6646b0e5562e1d"},
-		{"hp", accel.NLT, "f356f899ade4e7aa8f5cc4ccb37ef02bb6b2f0ba9ff14ca07dd5dc633be7af70"},
-		{"hp", accel.LNT, "a0ce65f8ddfa8dd10fabe562d069c0d7317be3ab5132594412915376f33142f1"},
-		{"hp", accel.NLNT, "b41c46f279fe15e79f91475e0e1277f9d772338a15087fc3d4e20bffcb1d2919"},
-		{"lp", accel.LT, "fd6ef71bfc88e2e85763260b5e5948a36ff31d6db0799daa79a6541cf5eebe9b"},
-		{"lp", accel.NLT, "f9ffc71b1db812b19be5bedb921cd671cd1a7db13aee66747e99d58255b2adb5"},
-		{"lp", accel.LNT, "5431180476f0516920fb9b32a8e2e8e757d8af94c29f47943932f2b3122d1297"},
-		{"lp", accel.NLNT, "851170fe7cd172dfbadcff8e78df898fb6b3f3f41a0a1335aaad32b264a82093"},
+		{"hp", accel.LT, "50a893eb1c7c21bf48c2261c62823768fef99bbd7a9e77e864bfb5b2b66cf357"},
+		{"hp", accel.NLT, "6bea2a10037e29a4022baa4097100af5fcfdea45921f12938b1793d0df1e7786"},
+		{"hp", accel.LNT, "d50b7f7ada54fd80fedc5852049576b21269ac59ce338b8a2d32bc969bcd97a0"},
+		{"hp", accel.NLNT, "73c408c94121c99a0f501997893cb4acabc2c169ca771a777bac93958b2a981d"},
+		{"lp", accel.LT, "edbaa0136519a2e320b4f36b6d9de0b098bacd6a4dab0c65a8801e2fa32c3f14"},
+		{"lp", accel.NLT, "b5864a7cbbcd623cffba6dcfcccbf9dca4d9c8c8ba862e76b017b983dec2b173"},
+		{"lp", accel.LNT, "1f2bb93c96f9a4d84ea97c1e7e576fa1d2801c6a9937dc9ac62062ebca194dea"},
+		{"lp", accel.NLNT, "41deb0297dc76630019d153a314371c0b2a4155e344cd23b8415a5f5118136b3"},
 	}
 	prog := goldenProgram(t)
 	for _, g := range golden {

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMetricsSubExhaustive pins Sub's field coverage by reflection:
+// every counter in Metrics must appear in the difference. A field added
+// to Metrics but forgotten in Sub would silently report zero activity
+// for that counter in every phase delta, which is exactly the kind of
+// quiet drop the phase reports exist to prevent.
+func TestMetricsSubExhaustive(t *testing.T) {
+	var m, prev Metrics
+	mv := reflect.ValueOf(&m).Elem()
+	pv := reflect.ValueOf(&prev).Elem()
+	for i := 0; i < mv.NumField(); i++ {
+		if mv.Field(i).Kind() != reflect.Int64 {
+			t.Fatalf("Metrics.%s is %s; this test assumes int64 counters",
+				mv.Type().Field(i).Name, mv.Field(i).Kind())
+		}
+		// Distinct per-field values so a swapped subtraction (field A
+		// reported under field B) cannot cancel out.
+		mv.Field(i).SetInt(int64(100 + 10*i))
+		pv.Field(i).SetInt(int64(1 + i))
+	}
+	d := m.Sub(prev)
+	dv := reflect.ValueOf(d)
+	for i := 0; i < dv.NumField(); i++ {
+		want := int64(100+10*i) - int64(1+i)
+		if got := dv.Field(i).Int(); got != want {
+			t.Errorf("Sub dropped or misrouted Metrics.%s: got %d, want %d",
+				dv.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestMetricsSubUnderflow: counters are signed, so a "later" sample
+// with smaller counters (two snapshots accidentally swapped, or taken
+// from different stores) yields negative deltas rather than wrapping to
+// huge positive ones — negative phase activity is visibly wrong where a
+// wrapped uint64 would masquerade as a busy phase.
+func TestMetricsSubUnderflow(t *testing.T) {
+	before := Metrics{RunHits: 7, BytesWritten: 4096}
+	after := Metrics{RunHits: 2, BytesWritten: 1024}
+	d := after.Sub(before)
+	if d.RunHits != -5 || d.BytesWritten != -3072 {
+		t.Errorf("swapped snapshots: delta %+v, want RunHits=-5 BytesWritten=-3072", d)
+	}
+}
+
+// TestMetricsSubLevelIsolation: run-level and measure-level counters
+// must not cross-contaminate in a delta — a phase that was served
+// entirely at measure level shows zero run activity, not run activity
+// borrowed from the other level's counters.
+func TestMetricsSubLevelIsolation(t *testing.T) {
+	before := Metrics{RunHits: 3, RunMisses: 1}
+	after := Metrics{RunHits: 3, RunMisses: 1, MeasureHits: 5, MeasureDiskHits: 2}
+	d := after.Sub(before)
+	if d.RunHits != 0 || d.RunMisses != 0 {
+		t.Errorf("measure-level phase leaked into run counters: %+v", d)
+	}
+	if d.MeasureHits != 5 || d.MeasureDiskHits != 2 {
+		t.Errorf("measure delta wrong: %+v", d)
+	}
+	if got := d.DedupRatio(); got != 1 {
+		t.Errorf("all-hit delta DedupRatio = %v, want 1", got)
+	}
+}

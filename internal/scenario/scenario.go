@@ -33,7 +33,11 @@ import (
 // encoding, the canonicalization rules, or the cached payload layout
 // change in any way: old disk blobs then read as misses instead of
 // serving stale bytes. The golden digest tests pin the current scheme.
-const SchemeVersion = 2
+//
+// v3: the device-engine refactor — checkpoint codec v2 (new stats frame
+// fields) and the first engine device families (DAE, loop nest) changed the
+// cached payload layout.
+const SchemeVersion = 3
 
 // Spec canonically describes one simulator run.
 type Spec struct {

@@ -1,0 +1,54 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPctEdgeCases pins the percentile reader on degenerate sample
+// counts: an errored-out phase (zero latencies) reports zero rather
+// than indexing out of bounds, and a single sample is every quantile.
+func TestPctEdgeCases(t *testing.T) {
+	if got := pct(nil, 0.99); got != 0 {
+		t.Errorf("pct(nil) = %v, want 0", got)
+	}
+	if got := pct([]time.Duration{}, 0.50); got != 0 {
+		t.Errorf("pct(empty) = %v, want 0", got)
+	}
+	one := []time.Duration{42 * time.Millisecond}
+	for _, q := range []float64{0, 0.50, 0.90, 0.99, 1} {
+		if got := pct(one, q); got != one[0] {
+			t.Errorf("pct(one sample, %v) = %v, want %v", q, got, one[0])
+		}
+	}
+}
+
+// TestPctRoundingAndBounds: the index rounds to nearest on the sorted
+// slice and stays in bounds at both extremes.
+func TestPctRoundingAndBounds(t *testing.T) {
+	two := []time.Duration{10, 20}
+	if got := pct(two, 0.50); got != 20 {
+		t.Errorf("pct(two, .50) = %v, want 20 (rounds up)", got)
+	}
+	if got := pct(two, 0); got != 10 {
+		t.Errorf("pct(two, 0) = %v, want the minimum", got)
+	}
+	if got := pct(two, 1); got != 20 {
+		t.Errorf("pct(two, 1) = %v, want the maximum", got)
+	}
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := pct(sorted, 0.50); got != 5 && got != 6 {
+		t.Errorf("pct(10 samples, .50) = %v, want a median element", got)
+	}
+	if got := pct(sorted, 0.99); got != 10 {
+		t.Errorf("pct(10 samples, .99) = %v, want 10", got)
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0, 0.25, 0.50, 0.75, 0.90, 0.99, 1} {
+		v := pct(sorted, q)
+		if v < prev {
+			t.Fatalf("pct not monotone in q: pct(%v) = %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -41,7 +41,7 @@ const DefaultMaxCycles = 4_000_000_000
 // digests computed server-side stand for the client's intent.
 type WorkloadSpec struct {
 	// Kind is one of "synthetic", "heap", "matmul", "kvstore",
-	// "stringmatch", "regexmatch", "multitca".
+	// "stringmatch", "regexmatch", "multitca", "daestream", "loopnest".
 	Kind string `json:"kind"`
 
 	Synthetic   *workload.SyntheticConfig   `json:"synthetic,omitempty"`
@@ -51,6 +51,8 @@ type WorkloadSpec struct {
 	StringMatch *workload.StringMatchConfig `json:"stringmatch,omitempty"`
 	RegexMatch  *workload.RegexMatchConfig  `json:"regexmatch,omitempty"`
 	MultiTCA    *workload.MultiTCAConfig    `json:"multitca,omitempty"`
+	DAEStream   *workload.DAEStreamConfig   `json:"daestream,omitempty"`
+	LoopNest    *workload.LoopNestConfig    `json:"loopnest,omitempty"`
 }
 
 // Build regenerates the workload the spec names.
@@ -91,6 +93,16 @@ func (ws WorkloadSpec) Build() (*workload.Workload, error) {
 			return nil, fmt.Errorf("serve: workload kind %q without config", ws.Kind)
 		}
 		return workload.MultiTCA(*ws.MultiTCA)
+	case "daestream":
+		if ws.DAEStream == nil {
+			return nil, fmt.Errorf("serve: workload kind %q without config", ws.Kind)
+		}
+		return workload.DAEStream(*ws.DAEStream)
+	case "loopnest":
+		if ws.LoopNest == nil {
+			return nil, fmt.Errorf("serve: workload kind %q without config", ws.Kind)
+		}
+		return workload.LoopNest(*ws.LoopNest)
 	default:
 		return nil, fmt.Errorf("serve: unknown workload kind %q", ws.Kind)
 	}

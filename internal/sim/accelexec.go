@@ -77,10 +77,11 @@ func (c *Core) buildOverlay(pos int) *overlayReader {
 //     memory-using devices, every older invocation started.
 //
 // On start the device is invoked functionally against the overlay view, its
-// state journal is marked for possible rollback, and its timing is
-// scheduled: loads through the shared ports, compute latency, then store
-// traffic. The invocation completes (becomes commit-eligible) when all of
-// its micro-operations have finished, as the paper's methodology requires.
+// state journal is marked for possible rollback, and its occupancy schedule
+// is executed by the device engine (runEngine): one phase per scalar-latency
+// device, arbitrary deterministic phase sequences for engine devices. The
+// invocation completes (becomes commit-eligible) when every phase's
+// micro-operations have finished, as the paper's methodology requires.
 func (c *Core) tryStartAccel(pos int, h *robHot, e *robEntry, olderStorePending, olderAccelPending, olderMemAccelPending, lowConfidencePath bool) bool {
 	if h.pendMask != 0 || olderAccelPending {
 		return false
@@ -132,49 +133,93 @@ func (c *Core) tryStartAccel(pos int, h *robHot, e *robEntry, olderStorePending,
 	if len(stores) > 0 {
 		c.liveStores++
 	}
-	e.accelMemOps = len(res.MemOps)
-	c.stats.AccelMemOps += uint64(len(res.MemOps))
-
-	// Schedule timing: loads first, then compute, then stores. Each
-	// memory operation is one arbitration through the shared ports into
-	// the data hierarchy (the paper: "all memory requests required by the
-	// accelerator pass through arbitration for shared access to the
-	// core's LSQ and memory hierarchy"). Independent loads overlap;
-	// Serial loads chain behind their predecessor (address dependence).
-	loadsDone := c.now
-	prevDone := c.now
-	for _, op := range res.MemOps {
-		if op.Store {
-			continue
-		}
-		earliest := c.now + 1
-		if op.Serial {
-			earliest = prevDone
-		}
-		g := c.portGrant(earliest)
-		done := c.hier.Access(g, op.Addr, false)
-		prevDone = done
-		if done > loadsDone {
-			loadsDone = done
-		}
+	// Run the device engine: a scalar result is the degenerate one-phase
+	// schedule, executed through the same path (runEngine) so the legacy
+	// contract and the phased contract cannot drift apart.
+	phases := res.Schedule
+	if phases == nil {
+		var one [1]isa.AccelPhase
+		one[0] = isa.AccelPhase{Compute: res.Latency, MemOps: res.MemOps}
+		phases = one[:]
+	} else {
+		c.stats.AccelPhases += uint64(len(phases))
 	}
-	valueReady := loadsDone + int64(res.Latency)
-	storesDone := valueReady
-	for _, op := range res.MemOps {
-		if !op.Store {
-			continue
-		}
-		g := c.portGrant(valueReady)
-		if done := c.hier.Access(g, op.Addr, true); done > storesDone {
-			storesDone = done
-		}
-	}
+	end, memOps := c.runEngine(phases)
+	e.accelMemOps = memOps
+	c.stats.AccelMemOps += uint64(memOps)
 
 	h.state = sIssued
-	h.readyCycle = storesDone
-	c.tcaBusyUntil = storesDone
-	c.stats.AccelBusyCycles += storesDone - c.now
+	h.readyCycle = end
+	c.tcaBusyUntil = end
+	c.stats.AccelBusyCycles += end - c.now
 	return true
+}
+
+// runEngine executes a device engine's occupancy schedule starting at the
+// current cycle and returns the completion cycle plus the total memory
+// operation count. Per phase: loads first, then compute, then stores. Each
+// memory operation is one arbitration through the shared ports into the
+// data hierarchy (the paper: "all memory requests required by the
+// accelerator pass through arbitration for shared access to the core's LSQ
+// and memory hierarchy"). Independent loads overlap; Serial loads chain
+// behind their predecessor (address dependence). An Overlap phase hides
+// memory time under compute (decoupled access/execute): it completes at
+// max(loads done, start + Compute) rather than loadsDone + Compute, and the
+// hidden cycles are tallied in Stats.AccelOverlapCycles.
+//
+// All port grants and hierarchy accesses are resolved now, at invocation
+// time, exactly as the scalar contract always did — the schedule is
+// deterministic given the invocation cycle, which is what keeps
+// tcaBusyUntil a valid event-horizon candidate (events.go) and the
+// checkpoint story unchanged (the engine holds no cross-cycle state beyond
+// tcaBusyUntil itself).
+func (c *Core) runEngine(phases []isa.AccelPhase) (end int64, memOps int) {
+	start := c.now
+	for _, ph := range phases {
+		memOps += len(ph.MemOps)
+		loadsDone := start
+		prevDone := start
+		for _, op := range ph.MemOps {
+			if op.Store {
+				continue
+			}
+			earliest := start + 1
+			if op.Serial {
+				earliest = prevDone
+			}
+			g := c.portGrant(earliest)
+			done := c.hier.Access(g, op.Addr, false)
+			prevDone = done
+			if done > loadsDone {
+				loadsDone = done
+			}
+		}
+		computeDone := loadsDone + int64(ph.Compute)
+		if ph.Overlap {
+			memTime := loadsDone - start
+			compTime := int64(ph.Compute)
+			hidden := memTime
+			if compTime < hidden {
+				hidden = compTime
+			}
+			if hidden > 0 {
+				c.stats.AccelOverlapCycles += hidden
+			}
+			computeDone -= hidden
+		}
+		storesDone := computeDone
+		for _, op := range ph.MemOps {
+			if !op.Store {
+				continue
+			}
+			g := c.portGrant(computeDone)
+			if done := c.hier.Access(g, op.Addr, true); done > storesDone {
+				storesDone = done
+			}
+		}
+		start = storesDone
+	}
+	return start, memOps
 }
 
 // fmaBits computes a fused multiply-add over float64 bit patterns.

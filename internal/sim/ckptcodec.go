@@ -23,7 +23,9 @@ const (
 	// ckptVersion bumps whenever the wire layout changes; the scenario
 	// store additionally embeds its SchemeVersion in the blob digest, so
 	// stale cached checkpoints are never decoded against a new layout.
-	ckptVersion = 1
+	// v2: device-engine statistics (Stats.AccelPhases,
+	// Stats.AccelOverlapCycles) joined the stats frame.
+	ckptVersion = 2
 )
 
 // encoder appends fixed-width little-endian primitives.
@@ -124,6 +126,8 @@ func (e *encoder) stats(s Stats) {
 	e.u64(s.AccelMemOps)
 	e.i64(s.AccelDrainWait)
 	e.i64(s.AccelConfidenceWait)
+	e.u64(s.AccelPhases)
+	e.i64(s.AccelOverlapCycles)
 	e.i64(s.DispatchStalls.Barrier)
 	e.i64(s.DispatchStalls.ROBFull)
 	e.i64(s.DispatchStalls.IQFull)
@@ -521,6 +525,8 @@ func (d *decoder) stats() Stats {
 	s.AccelMemOps = d.u64()
 	s.AccelDrainWait = d.i64()
 	s.AccelConfidenceWait = d.i64()
+	s.AccelPhases = d.u64()
+	s.AccelOverlapCycles = d.i64()
 	s.DispatchStalls.Barrier = d.i64()
 	s.DispatchStalls.ROBFull = d.i64()
 	s.DispatchStalls.IQFull = d.i64()

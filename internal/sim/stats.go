@@ -60,6 +60,17 @@ type Stats struct {
 	// partial-speculation confidence gate (Config.PartialSpeculation).
 	AccelConfidenceWait int64
 
+	// AccelPhases counts schedule phases executed by engine devices —
+	// devices returning an explicit AccelResult.Schedule. Scalar-latency
+	// devices run through the same engine as a synthesized single phase
+	// but leave this zero, keeping legacy Stats bit-identical.
+	AccelPhases uint64
+	// AccelOverlapCycles is memory time hidden under compute (or vice
+	// versa) by Overlap phases — the cycles a decoupled access/execute
+	// device saves over a monolithic TCA with the same traffic. Zero for
+	// scalar-latency devices.
+	AccelOverlapCycles int64
+
 	DispatchStalls StallBreakdown
 
 	// ROBOccupancySum accumulates per-cycle occupancy for averaging.
@@ -164,6 +175,10 @@ func (s Stats) String() string {
 	if s.AccelConfidenceWait > 0 {
 		fmt.Fprintf(&b, "accel conf-wait   %d cycles held by the partial-speculation confidence gate\n",
 			s.AccelConfidenceWait)
+	}
+	if s.AccelPhases > 0 || s.AccelOverlapCycles > 0 {
+		fmt.Fprintf(&b, "accel engine      %d schedule phases, %d overlap cycles hidden\n",
+			s.AccelPhases, s.AccelOverlapCycles)
 	}
 	if s.FastForwardJumps > 0 {
 		fmt.Fprintf(&b, "fast-forward      %d cycles skipped in %d jumps\n",

@@ -1,0 +1,58 @@
+package staticmodel
+
+import (
+	"math"
+
+	"repro/internal/isa"
+)
+
+// EngineOccupancy estimates the per-invocation occupancy in cycles of a
+// device-engine schedule on this machine — the analytical counterpart of the
+// simulator's engine executor, for the explicit-latency path of the model.
+// It mirrors the executor's structure phase by phase under a first-level-hit
+// assumption: loads issue one per memory port per cycle starting the cycle
+// after the phase begins and complete LoadLatency later (Serial loads chain
+// instead of overlapping), Overlap phases cost max(memory, compute) rather
+// than the sum, and stores retire through the same ports after compute.
+//
+// The simulator remains the ground truth — port contention with the core and
+// cache misses are invisible here — but for schedules over warm data the two
+// agree closely, which is what lets a device family plug into frontier-pruned
+// static sweeps without measuring every configuration.
+func (m Machine) EngineOccupancy(sched []isa.AccelPhase) float64 {
+	var total float64
+	for _, ph := range sched {
+		var indep, serial, stores int
+		for _, op := range ph.MemOps {
+			switch {
+			case op.Store:
+				stores++
+			case op.Serial:
+				serial++
+			default:
+				indep++
+			}
+		}
+		var memTime float64
+		if indep > 0 {
+			memTime = math.Ceil(float64(indep)/float64(m.MemPorts)) + m.LoadLatency
+		}
+		if serial > 0 {
+			if chain := 1 + float64(serial)*m.LoadLatency; chain > memTime {
+				memTime = chain
+			}
+		}
+		compute := float64(ph.Compute)
+		var phase float64
+		if ph.Overlap {
+			phase = math.Max(memTime, compute)
+		} else {
+			phase = memTime + compute
+		}
+		if stores > 0 {
+			phase += math.Ceil(float64(stores)/float64(m.MemPorts)) - 1 + m.StoreLatency
+		}
+		total += phase
+	}
+	return total
+}

@@ -1,0 +1,95 @@
+package staticmodel
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func occupancyTestMachine() Machine {
+	m := Machine{
+		DispatchWidth: 4, IssueWidth: 4, CommitWidth: 4, ROBSize: 128,
+		FrontEndDepth: 5, IntALUs: 4, IntMuls: 1, FPUs: 2, MemPorts: 2,
+		IntMulLatency: 3, IntDivLatency: 20, FPAddLatency: 3, FPMulLatency: 4,
+		FMALatency: 4, FPDivLatency: 20, LoadLatency: 4, StoreLatency: 1,
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestEngineOccupancy(t *testing.T) {
+	m := occupancyTestMachine()
+	cases := []struct {
+		name  string
+		sched []isa.AccelPhase
+		want  float64
+	}{
+		{"empty", nil, 0},
+		{"pure compute", []isa.AccelPhase{{Compute: 40}}, 40},
+		{"phases sum", []isa.AccelPhase{{Compute: 15}, {Compute: 25}}, 40},
+		{
+			// 4 independent loads over 2 ports: ceil(4/2) + 4 = 6, plus
+			// 10 compute serialized after.
+			"loads then compute",
+			[]isa.AccelPhase{{Compute: 10, MemOps: []isa.AccelMemOp{
+				{Addr: 0, Size: 8}, {Addr: 8, Size: 8}, {Addr: 16, Size: 8}, {Addr: 24, Size: 8},
+			}}},
+			16,
+		},
+		{
+			// Same traffic overlapped: max(6, 10) = 10 — memory hides.
+			"overlap hides memory",
+			[]isa.AccelPhase{{Compute: 10, Overlap: true, MemOps: []isa.AccelMemOp{
+				{Addr: 0, Size: 8}, {Addr: 8, Size: 8}, {Addr: 16, Size: 8}, {Addr: 24, Size: 8},
+			}}},
+			10,
+		},
+		{
+			// Overlap with slow memory: max(ceil(6/2)+4, 2) = 7 — compute hides.
+			"overlap hides compute",
+			[]isa.AccelPhase{{Compute: 2, Overlap: true, MemOps: []isa.AccelMemOp{
+				{Addr: 0, Size: 8}, {Addr: 8, Size: 8}, {Addr: 16, Size: 8},
+				{Addr: 24, Size: 8}, {Addr: 32, Size: 8}, {Addr: 40, Size: 8},
+			}}},
+			7,
+		},
+		{
+			// 3 serial loads chain: 1 + 3*4 = 13, plus 5 compute.
+			"serial chain",
+			[]isa.AccelPhase{{Compute: 5, MemOps: []isa.AccelMemOp{
+				{Addr: 0, Size: 8, Serial: true}, {Addr: 8, Size: 8, Serial: true}, {Addr: 16, Size: 8, Serial: true},
+			}}},
+			18,
+		},
+		{
+			// 3 stores over 2 ports after 6 compute: 6 + ceil(3/2)-1 + 1 = 8.
+			"stores after compute",
+			[]isa.AccelPhase{{Compute: 6, MemOps: []isa.AccelMemOp{
+				{Addr: 0, Size: 8, Store: true}, {Addr: 8, Size: 8, Store: true}, {Addr: 16, Size: 8, Store: true},
+			}}},
+			8,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := m.EngineOccupancy(c.sched); got != c.want {
+				t.Errorf("occupancy = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestEngineOccupancyScalarAgreement: a scalar-latency device's synthesized
+// one-phase memory-free schedule must cost exactly its latency — the
+// analytical term inherits the engine refactor's equivalence guarantee.
+func TestEngineOccupancyScalarAgreement(t *testing.T) {
+	m := occupancyTestMachine()
+	for _, lat := range []int{1, 12, 400} {
+		sched := []isa.AccelPhase{{Compute: lat}}
+		if got := m.EngineOccupancy(sched); got != float64(lat) {
+			t.Errorf("latency %d: occupancy = %v", lat, got)
+		}
+	}
+}

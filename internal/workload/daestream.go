@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+)
+
+// DAEStreamConfig parameterizes the decoupled access/execute streaming
+// benchmark: software reductions over in-memory arrays, accelerated by the
+// DAE device whose access slice streams burst loads under the execute
+// slice's compute (the first multi-phase engine-contract family).
+type DAEStreamConfig struct {
+	// Streams is the number of reductions (one TCA invocation each).
+	Streams int
+	// WordsPerStream is the length of each reduced array in 8-byte words.
+	WordsPerStream int
+	// FillerPerOp is the non-acceleratable instruction count between
+	// reductions.
+	FillerPerOp int
+	// ChunkWords, ComputePerChunk and Startup configure the device (see
+	// accel.DAE); ChunkWords is the burst length in words (1..8).
+	ChunkWords      int
+	ComputePerChunk int
+	Startup         int
+	// Seed drives the array contents and filler mix.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c DAEStreamConfig) Validate() error {
+	switch {
+	case c.Streams < 1:
+		return fmt.Errorf("workload: daestream needs streams >= 1")
+	case c.WordsPerStream < 1:
+		return fmt.Errorf("workload: daestream needs words per stream >= 1")
+	case c.FillerPerOp < 1:
+		return fmt.Errorf("workload: daestream needs filler >= 1")
+	case c.ChunkWords < 1 || c.ChunkWords > 8:
+		return fmt.Errorf("workload: daestream chunk of %d words exceeds one 64B burst", c.ChunkWords)
+	case c.ComputePerChunk < 1:
+		return fmt.Errorf("workload: daestream needs compute per chunk >= 1")
+	case c.Startup < 0:
+		return fmt.Errorf("workload: daestream needs startup >= 0")
+	}
+	return nil
+}
+
+// daeStreamBase is where the stream arrays live, clear of the filler's
+// scratch region at 0x6000.
+const daeStreamBase uint64 = 0x40000
+
+// DAEStream builds the streaming-reduction pair. The baseline reduces each
+// array in software (one load and one add per word, unrolled straight-line
+// like the synthetic microbenchmark, so dynamic == static); the accelerated
+// program replaces each reduction with one DAE invocation carrying the
+// array's base and length.
+func DAEStream(cfg DAEStreamConfig) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	streamAddr := func(s int) uint64 {
+		return daeStreamBase + uint64(s*cfg.WordsPerStream)*8
+	}
+
+	build := func(accelerated bool) *isa.Program {
+		mixRng := rand.New(rand.NewSource(cfg.Seed + 1))
+		dataRng := rand.New(rand.NewSource(cfg.Seed))
+		b := isa.NewBuilder()
+		for s := 0; s < cfg.Streams; s++ {
+			for w := 0; w < cfg.WordsPerStream; w++ {
+				b.InitWord(streamAddr(s)+uint64(w)*8, uint64(dataRng.Int63n(1<<40)))
+			}
+		}
+		emitPrologue(b)
+		b.MovI(isa.R(28), 0) // running total across streams
+		for s := 0; s < cfg.Streams; s++ {
+			emitFiller(mixRng, b, cfg.FillerPerOp)
+			if accelerated {
+				b.MovI(isa.R(25), int64(streamAddr(s)))
+				b.MovI(isa.R(26), int64(cfg.WordsPerStream))
+				b.Accel(isa.R(27), accel.DAEReduce, isa.R(25), isa.R(26))
+			} else {
+				b.MovI(isa.R(25), int64(streamAddr(s)))
+				b.MovI(isa.R(27), 0)
+				for w := 0; w < cfg.WordsPerStream; w++ {
+					b.Load(isa.R(26), isa.R(25), int64(w)*8)
+					b.Add(isa.R(27), isa.R(27), isa.R(26))
+				}
+			}
+			b.Add(isa.R(28), isa.R(28), isa.R(27))
+		}
+		b.Halt()
+		return b.MustBuild()
+	}
+
+	base := build(false)
+	acc := build(true)
+	// The acceleratable region is the software reduction: the base-address
+	// move, the accumulator clear, and load+add per word.
+	perStream := uint64(2 + 2*cfg.WordsPerStream)
+	w := &Workload{
+		Name: "daestream",
+		Description: fmt.Sprintf("decoupled access/execute streaming: %d streams x %d words, %dw bursts, %dcyc/chunk + %dcyc startup",
+			cfg.Streams, cfg.WordsPerStream, cfg.ChunkWords, cfg.ComputePerChunk, cfg.Startup),
+		Baseline:             base,
+		Accelerated:          acc,
+		Acceleratable:        uint64(cfg.Streams) * perStream,
+		Invocations:          uint64(cfg.Streams),
+		BaselineInstructions: uint64(len(base.Code)), // straight-line: dynamic == static
+		NewDevice: func() isa.AccelDevice {
+			return accel.NewDAE(cfg.ChunkWords, cfg.ComputePerChunk, cfg.Startup)
+		},
+		DeviceKey: fmt.Sprintf("dae:chunk=%d,comp=%d,start=%d", cfg.ChunkWords, cfg.ComputePerChunk, cfg.Startup),
+		// AccelLatency stays 0 (measure): invocation time depends on the
+		// cache behaviour of the streamed bursts, not a fixed constant.
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

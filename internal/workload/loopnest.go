@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/isa"
+)
+
+// The loop accelerator's datapath constants (one 64-bit LCG step per
+// innermost iteration); the software baseline inlines the same recurrence.
+const (
+	loopNestMulConst int64 = 6364136223846793005
+	loopNestAddConst int64 = 1442695040888963407
+)
+
+// LoopNestConfig parameterizes the loop-accelerator benchmark: repeated
+// fixed-trip loop nests iterating a 64-bit recurrence, accelerated by the
+// LoopNest device whose one-time configuration cost amortizes over the
+// trips^Depth iterations of each invocation.
+type LoopNestConfig struct {
+	// Calls is the number of nest executions (one TCA invocation each).
+	Calls int
+	// FillerPerOp is the non-acceleratable instruction count between nests.
+	FillerPerOp int
+	// Trips is the trip count per nest level and Depth the nest depth, so
+	// one call runs Trips^Depth innermost iterations.
+	Trips int
+	Depth int
+	// IterLatency and ConfigLatency configure the device (see
+	// accel.LoopNest).
+	IterLatency   int
+	ConfigLatency int
+	// Seed drives the per-call seeds and filler mix.
+	Seed int64
+}
+
+// loopNestMaxUnroll bounds the baseline's unrolled size (iterations per
+// call times calls).
+const loopNestMaxUnroll = 1 << 20
+
+// Validate reports configuration errors.
+func (c LoopNestConfig) Validate() error {
+	switch {
+	case c.Calls < 1:
+		return fmt.Errorf("workload: loopnest needs calls >= 1")
+	case c.FillerPerOp < 1:
+		return fmt.Errorf("workload: loopnest needs filler >= 1")
+	case c.Trips < 1 || c.Depth < 1:
+		return fmt.Errorf("workload: loopnest needs trips/depth >= 1")
+	case c.IterLatency < 1:
+		return fmt.Errorf("workload: loopnest needs iteration latency >= 1")
+	case c.ConfigLatency < 0:
+		return fmt.Errorf("workload: loopnest needs config latency >= 0")
+	}
+	iters := 1
+	for l := 0; l < c.Depth; l++ {
+		iters *= c.Trips
+		if iters > loopNestMaxUnroll/c.Calls {
+			return fmt.Errorf("workload: loopnest %d calls x %d^%d iterations too large",
+				c.Calls, c.Trips, c.Depth)
+		}
+	}
+	return nil
+}
+
+// Iterations returns the innermost iteration count of one call.
+func (c LoopNestConfig) Iterations() int {
+	iters := 1
+	for l := 0; l < c.Depth; l++ {
+		iters *= c.Trips
+	}
+	return iters
+}
+
+// LoopNest builds the loop-accelerator pair. The baseline runs each nest in
+// software — the recurrence fully unrolled (multiply and add per iteration,
+// straight-line like the synthetic microbenchmark, so dynamic == static);
+// the accelerated program replaces each nest with one LoopNest invocation
+// carrying the trip count and seed. The per-invocation device time has an
+// exact closed form (config cost plus iterations times the datapath
+// latency), so the workload reports it for the model's explicit-latency
+// path instead of requiring measurement.
+func LoopNest(cfg LoopNestConfig) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	iters := cfg.Iterations()
+
+	build := func(accelerated bool) *isa.Program {
+		mixRng := rand.New(rand.NewSource(cfg.Seed + 1))
+		seedRng := rand.New(rand.NewSource(cfg.Seed))
+		b := isa.NewBuilder()
+		emitPrologue(b)
+		b.MovI(isa.R(12), loopNestMulConst)
+		b.MovI(isa.R(13), loopNestAddConst)
+		b.MovI(isa.R(28), 0) // running total across calls
+		for call := 0; call < cfg.Calls; call++ {
+			seed := seedRng.Int63()
+			emitFiller(mixRng, b, cfg.FillerPerOp)
+			if accelerated {
+				b.MovI(isa.R(25), int64(cfg.Trips))
+				b.MovI(isa.R(26), seed)
+				b.Accel(isa.R(27), accel.LoopNestRun, isa.R(25), isa.R(26))
+			} else {
+				b.MovI(isa.R(25), 0) // matches the accelerated variant's length
+				b.MovI(isa.R(27), seed)
+				for i := 0; i < iters; i++ {
+					b.Mul(isa.R(27), isa.R(27), isa.R(12))
+					b.Add(isa.R(27), isa.R(27), isa.R(13))
+				}
+			}
+			b.Add(isa.R(28), isa.R(28), isa.R(27))
+		}
+		b.Halt()
+		return b.MustBuild()
+	}
+
+	base := build(false)
+	acc := build(true)
+	// The acceleratable region is the software nest: two moves plus the
+	// multiply-add recurrence per iteration.
+	perCall := uint64(2 + 2*iters)
+	w := &Workload{
+		Name: "loopnest",
+		Description: fmt.Sprintf("loop accelerator: %d calls x %d^%d iterations, %dcyc/iter + %dcyc config",
+			cfg.Calls, cfg.Trips, cfg.Depth, cfg.IterLatency, cfg.ConfigLatency),
+		Baseline:             base,
+		Accelerated:          acc,
+		Acceleratable:        uint64(cfg.Calls) * perCall,
+		Invocations:          uint64(cfg.Calls),
+		BaselineInstructions: uint64(len(base.Code)), // straight-line: dynamic == static
+		NewDevice: func() isa.AccelDevice {
+			return accel.NewLoopNest(cfg.Depth, cfg.IterLatency, cfg.ConfigLatency)
+		},
+		DeviceKey: fmt.Sprintf("loopnest:depth=%d,iter=%d,conf=%d",
+			cfg.Depth, cfg.IterLatency, cfg.ConfigLatency),
+		AccelLatency: float64(cfg.ConfigLatency + iters*cfg.IterLatency),
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

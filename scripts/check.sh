@@ -40,6 +40,16 @@ cmp "$tmp/off.txt" "$tmp/cold.txt"
 cmp "$tmp/cold.txt" "$tmp/warm.txt"
 cmp "$tmp/cold.txt" "$tmp/nofork.txt"
 
+# The device-engine contract: the devcross study (DAE + loop-accelerator
+# families, engine schedules, DeviceKey-cached runs) is byte-identical
+# with the cache off, cold, and warm.
+echo "==> devcross byte-identity: cache off / cold / warm"
+"$tmp/figures" -fig devcross -quick -parallel 8 -no-cache                 >"$tmp/dev-off.txt"
+"$tmp/figures" -fig devcross -quick -parallel 8 -cache-dir "$tmp/devblobs" >"$tmp/dev-cold.txt"
+"$tmp/figures" -fig devcross -quick -parallel 1 -cache-dir "$tmp/devblobs" >"$tmp/dev-warm.txt"
+cmp "$tmp/dev-off.txt" "$tmp/dev-cold.txt"
+cmp "$tmp/dev-cold.txt" "$tmp/dev-warm.txt"
+
 # The static-prune contract: the flag is opt-in, so a run with
 # -static-prune explicitly disabled must be byte-identical to a run
 # where the flag was never mentioned (the stock artifact above).
