@@ -24,10 +24,11 @@ bench:
 
 # Machine-readable benchmark summary (ns/op, B/op, allocs/op per bench)
 # across the figure suite, the simulator's per-stage microbenchmarks, the
-# scenario store's cached-vs-uncached and forked-vs-direct pairs, and the
-# scenariod cold/warm/duplicate-heavy request regimes.
+# scenario store's cached-vs-uncached and forked-vs-direct pairs, the
+# scenariod cold/warm/duplicate-heavy request regimes, and the analyzer's
+# full-repository run.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR9.json
+	$(GO) run ./cmd/benchjson -bench . -pkg ./... -benchtime 1x -out BENCH_PR10.json
 
 figures:
 	$(GO) run ./cmd/figures -fig all

@@ -1,12 +1,27 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/lint"
 )
+
+// TestMain lets the test binary impersonate the simlint executable: the
+// exit-code tests re-exec it with SIMLINT_MAIN=1 so os.Exit paths can be
+// observed without building a separate binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("SIMLINT_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // TestRunCleanPackage checks the happy path and the JSON summary shape on
 // a package that must be lint-clean (the analyzer's own package).
@@ -72,4 +87,116 @@ func TestRunRuleSelection(t *testing.T) {
 	if _, _, err := run([]string{"./internal/lint"}, "R99"); err == nil {
 		t.Error("unknown rule must be an error")
 	}
+}
+
+// execSimlint re-runs this test binary as simlint inside dir and returns
+// its combined output and exit code.
+func execSimlint(t *testing.T, dir string, args ...string) (string, int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "SIMLINT_MAIN=1")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err = cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), code
+}
+
+// writeTestModule lays out a throwaway module rooted at a temp dir.
+func writeTestModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestExitCodes pins the documented exit-code contract end to end:
+// 0 clean, 1 diagnostics, 2 load or usage errors.
+func TestExitCodes(t *testing.T) {
+	clean := map[string]string{
+		"go.mod":             "module tmpmod\n\ngo 1.22\n",
+		"internal/sim/ok.go": "package sim\n\n// Cycles is fine.\nfunc Cycles() int { return 1 }\n",
+	}
+	t.Run("clean-exits-0", func(t *testing.T) {
+		out, code := execSimlint(t, writeTestModule(t, clean), "./...")
+		if code != 0 {
+			t.Fatalf("exit %d, output:\n%s", code, out)
+		}
+	})
+	t.Run("diagnostics-exit-1", func(t *testing.T) {
+		dir := writeTestModule(t, map[string]string{
+			"go.mod": "module tmpmod\n\ngo 1.22\n",
+			"internal/sim/bad.go": "package sim\n\nimport \"time\"\n\n" +
+				"// Now leaks the wall clock.\nfunc Now() int64 { return time.Now().UnixNano() }\n",
+		})
+		out, code := execSimlint(t, dir, "./...")
+		if code != 1 {
+			t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+		}
+		if !strings.Contains(out, "[R2]") {
+			t.Errorf("output missing the R2 finding:\n%s", out)
+		}
+	})
+	t.Run("malformed-source-exits-2", func(t *testing.T) {
+		dir := writeTestModule(t, map[string]string{
+			"go.mod":              "module tmpmod\n\ngo 1.22\n",
+			"internal/sim/bad.go": "package sim\n\nfunc oops( {\n",
+		})
+		out, code := execSimlint(t, dir, "./...")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2; output:\n%s", code, out)
+		}
+		if !strings.Contains(out, "bad.go") {
+			t.Errorf("error output does not name the offending file:\n%s", out)
+		}
+	})
+	t.Run("unknown-rule-exits-2", func(t *testing.T) {
+		out, code := execSimlint(t, writeTestModule(t, clean), "-rules", "R99", "./...")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2; output:\n%s", code, out)
+		}
+		if !strings.Contains(out, "unknown rule") {
+			t.Errorf("error output does not mention the unknown rule:\n%s", out)
+		}
+	})
+	t.Run("baseline-drift-exits-1", func(t *testing.T) {
+		dir := writeTestModule(t, clean)
+		bl := filepath.Join(dir, "baseline.json")
+		if err := os.WriteFile(bl, []byte(`{"suppressions":{"total":3,"by_rule":{"R3":3}},"exemptions":{"total":0,"by_rule":{}}}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, code := execSimlint(t, dir, "-baseline", bl, "./...")
+		if code != 1 {
+			t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+		}
+		if !strings.Contains(out, "census drift") {
+			t.Errorf("output missing drift report:\n%s", out)
+		}
+	})
+	t.Run("missing-baseline-exits-2", func(t *testing.T) {
+		dir := writeTestModule(t, clean)
+		_, code := execSimlint(t, dir, "-baseline", filepath.Join(dir, "nope.json"), "./...")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2", code)
+		}
+	})
 }

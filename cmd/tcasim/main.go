@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	tcasim -workload synthetic|heap|matmul|daestream|loopnest
+//	tcasim -workload synthetic|heap|matmul|kvstore|stringmatch|regexmatch|
+//	                 multitca|daestream|loopnest
 //	       [-mode L_T|NL_T|L_NT|NL_NT|baseline] [-core hp|lp|a72]
 //	       [workload flags...]
 //
@@ -13,6 +14,10 @@
 //	tcasim -workload heap -mode L_T -heap-filler 20
 //	tcasim -workload matmul -mode NL_NT -matmul-n 64 -matmul-tile 4
 //	tcasim -workload synthetic -mode baseline
+//	tcasim -workload kvstore -mode L_T -kv-ops 400
+//	tcasim -workload stringmatch -mode NL_T -str-comparisons 300
+//	tcasim -workload regexmatch -mode L_T -re-pattern '[ab]*abb'
+//	tcasim -workload multitca -mode L_T -mtca-calls 120
 //	tcasim -workload daestream -mode L_T -dae-words 64
 //	tcasim -workload loopnest -mode L_T -loop-trips 8 -loop-depth 2
 //
@@ -35,7 +40,7 @@ import (
 
 func main() {
 	var (
-		wl      = flag.String("workload", "synthetic", "workload: synthetic, heap, matmul, daestream, loopnest")
+		wl      = flag.String("workload", "synthetic", "workload: synthetic, heap, matmul, kvstore, stringmatch, regexmatch, multitca, daestream, loopnest")
 		mode    = flag.String("mode", "L_T", "TCA mode (L_T, NL_T, L_NT, NL_NT) or 'baseline'")
 		coreSel = flag.String("core", "hp", "core preset: hp, lp, a72")
 		seed    = flag.Int64("seed", 1, "workload seed")
@@ -53,6 +58,19 @@ func main() {
 		matN    = flag.Int("matmul-n", 64, "matmul: matrix edge")
 		matBlk  = flag.Int("matmul-block", 32, "matmul: blocking factor")
 		matTile = flag.Int("matmul-tile", 4, "matmul: TCA tile (2, 4, 8)")
+
+		kvOps    = flag.Int("kv-ops", 400, "kvstore: insert/lookup operations")
+		kvFiller = flag.Int("kv-filler", 40, "kvstore: filler instructions per op")
+
+		strComparisons = flag.Int("str-comparisons", 300, "stringmatch: dictionary comparisons")
+		strFiller      = flag.Int("str-filler", 40, "stringmatch: filler instructions per comparison")
+
+		rePattern = flag.String("re-pattern", "[ab]*abb", "regexmatch: pattern to compile")
+		reMatches = flag.Int("re-matches", 300, "regexmatch: inputs matched")
+		reFiller  = flag.Int("re-filler", 40, "regexmatch: filler instructions per match")
+
+		mtcaCalls  = flag.Int("mtca-calls", 120, "multitca: accelerated calls across the GreenDroid function set")
+		mtcaFiller = flag.Int("mtca-filler", 200, "multitca: filler instructions per call")
 
 		daeStreams = flag.Int("dae-streams", 12, "daestream: reductions (one invocation each)")
 		daeWords   = flag.Int("dae-words", 32, "daestream: words per reduced array")
@@ -84,6 +102,27 @@ func main() {
 		w, err = workload.MatMul(workload.MatMulConfig{
 			N: *matN, Block: *matBlk, Tile: *matTile, Seed: *seed,
 		})
+	case "kvstore":
+		w, err = workload.KVStore(workload.KVStoreConfig{
+			Operations: *kvOps, FillerPerOp: *kvFiller,
+			Buckets: 256, Keys: 128, LookupPct: 70, KeyWords: 4, Seed: *seed,
+		})
+	case "stringmatch":
+		w, err = workload.StringMatch(workload.StringMatchConfig{
+			Comparisons: *strComparisons, FillerPerOp: *strFiller,
+			Dictionary: 32, MinWords: 4, MaxWords: 24, SharedPrefix: 3, Seed: *seed,
+		})
+	case "regexmatch":
+		w, err = workload.RegexMatch(workload.RegexMatchConfig{
+			Pattern: *rePattern, Matches: *reMatches, FillerPerOp: *reFiller,
+			Inputs: 32, MaxLen: 28, Seed: *seed,
+		})
+	case "multitca":
+		mcfg := workload.DefaultMultiTCA()
+		mcfg.Calls = *mtcaCalls
+		mcfg.FillerPerCall = *mtcaFiller
+		mcfg.Seed = *seed
+		w, err = workload.MultiTCA(mcfg)
 	case "daestream":
 		w, err = workload.DAEStream(workload.DAEStreamConfig{
 			Streams: *daeStreams, WordsPerStream: *daeWords, FillerPerOp: 30,

@@ -1,0 +1,32 @@
+package lint
+
+import "testing"
+
+// BenchmarkSimlint measures a full analyzer run over the repository —
+// loader construction, pattern expansion, parse + type-check of every
+// package, tier-3 index construction (call graph, SCCs, summaries) and
+// all rules. This is what `make lint` and the CI simlint job pay, so it
+// rides the benchmark ledger (BENCH_PR10.json) like the simulator does.
+func BenchmarkSimlint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loader, err := NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths, err := loader.Expand([]string{"./..."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pkgs []*Package
+		for _, p := range paths {
+			pkg, err := loader.Load(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		if diags := Run(pkgs, AllRules()); len(diags) != 0 {
+			b.Fatalf("repository must be lint-clean, got %d diagnostics", len(diags))
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the tier-3 call-graph engine: it indexes every function
+// declared in the analyzed module slice, resolves static call edges
+// between them, and condenses the graph into strongly connected
+// components so function summaries (summary.go) can be computed
+// bottom-up — callees before callers, cycles as a fixpoint. The graph
+// is deliberately static and may-miss: interface calls and function
+// values resolve to no edge, which makes the transitive rules (R1/R2
+// interprocedural, R12) under-approximate through dynamic dispatch but
+// never chase edges that cannot exist. The intra-procedural tiers keep
+// covering the direct sites either way.
+
+// Index is the module-wide call-graph + summary index, built once per
+// Run over the analysis universe: the target packages plus every
+// module-internal package reachable from them through imports.
+type Index struct {
+	pkgs  []*Package
+	byRel map[string]*Package
+	funcs map[*types.Func]*funcInfo
+	order []*funcInfo // deterministic: sorted packages, file order, decl order
+
+	// familySet holds every exported struct type declared in an
+	// "internal/accel" package that implements the device contract
+	// (Invoke(AccelCall, WordReader) AccelResult). R12/R13 audit these.
+	familySet map[*types.Named]bool
+}
+
+// funcInfo is one declared function with a body: its static call edges
+// and the bottom-up summary the rules consume.
+type funcInfo struct {
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	pkg   *Package
+	calls []callEdge
+	sum   summary
+}
+
+// callEdge is one statically resolved call site.
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// buildIndex constructs the tier-3 index for the given target packages.
+func buildIndex(targets []*Package) *Index {
+	ix := &Index{
+		byRel:     map[string]*Package{},
+		funcs:     map[*types.Func]*funcInfo{},
+		familySet: map[*types.Named]bool{},
+	}
+
+	// Analysis universe: targets plus transitively imported module
+	// packages. Walking imports (rather than dumping the loader cache)
+	// keeps fixture runs self-contained: a fixture package only drags
+	// in what it actually imports.
+	seen := map[string]bool{}
+	queue := append([]*Package{}, targets...)
+	for len(queue) > 0 {
+		pkg := queue[0]
+		queue = queue[1:]
+		if pkg == nil || seen[pkg.Path] {
+			continue
+		}
+		seen[pkg.Path] = true
+		ix.pkgs = append(ix.pkgs, pkg)
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if dep := pkg.Dep(path); dep != nil && !seen[dep.Path] {
+					queue = append(queue, dep)
+				}
+			}
+		}
+	}
+	sort.Slice(ix.pkgs, func(i, j int) bool { return ix.pkgs[i].Path < ix.pkgs[j].Path })
+	for _, pkg := range ix.pkgs {
+		ix.byRel[pkg.Rel] = pkg
+	}
+
+	// Device families must be known before the summary walk so family
+	// references can be attributed.
+	for _, pkg := range ix.pkgs {
+		if pkg.Rel != "internal/accel" {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || !tn.Exported() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, ok := named.Underlying().(*types.Struct); !ok {
+				continue
+			}
+			if deviceInvoke(named) != nil {
+				ix.familySet[named] = true
+			}
+		}
+	}
+
+	// Function declarations, in deterministic order.
+	for _, pkg := range ix.pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &funcInfo{fn: fn, decl: fd, pkg: pkg}
+				ix.funcs[fn] = fi
+				ix.order = append(ix.order, fi)
+			}
+		}
+	}
+
+	// Intra-procedural facts and call edges, then bottom-up closure.
+	supOf := map[*Package]suppressionSet{}
+	for _, fi := range ix.order {
+		sup, ok := supOf[fi.pkg]
+		if !ok {
+			sup, _ = suppressions(fi.pkg)
+			supOf[fi.pkg] = sup
+		}
+		ix.walkFunc(fi, sup)
+	}
+	ix.propagate()
+	return ix
+}
+
+// funcOf returns the index entry for a resolved function, or nil when
+// the function is outside the analyzed module slice (or bodiless).
+func (ix *Index) funcOf(fn *types.Func) *funcInfo {
+	if ix == nil || fn == nil {
+		return nil
+	}
+	return ix.funcs[fn]
+}
+
+// familiesIn returns the device families declared in pkg, sorted by
+// type name for deterministic rule output.
+func (ix *Index) familiesIn(pkg *Package) []*types.Named {
+	var out []*types.Named
+	for named := range ix.familySet {
+		if named.Obj().Pkg() == pkg.Types {
+			out = append(out, named)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj().Name() < out[j].Obj().Name() })
+	return out
+}
+
+// funcsIn returns the indexed functions declared in pkg, in index order.
+func (ix *Index) funcsIn(pkg *Package) []*funcInfo {
+	var out []*funcInfo
+	for _, fi := range ix.order {
+		if fi.pkg == pkg {
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// deviceInvoke returns the named type's Invoke method when it has the
+// device shape — Invoke(isa.AccelCall, isa.WordReader) isa.AccelResult —
+// and nil otherwise. Matching the isa package by path suffix keeps the
+// check independent of the module name, which fixture modules remap.
+func deviceInvoke(named *types.Named) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), "Invoke")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return nil
+	}
+	res, ok := sig.Results().At(0).Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	robj := res.Obj()
+	if robj.Name() != "AccelResult" || robj.Pkg() == nil || !pathHasSuffix(robj.Pkg().Path(), "internal/isa") {
+		return nil
+	}
+	return fn
+}
+
+// staticCallee resolves a call expression to the *types.Func it
+// statically invokes: a package-level function, a method on a concrete
+// receiver, or a generic instantiation of either. Interface method
+// calls and calls through function values return nil — the graph keeps
+// no edge for dynamic dispatch.
+func staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(x.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(x.X)
+	}
+	var id *ast.Ident
+	switch x := fun.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			return nil
+		}
+	}
+	return fn
+}
+
+// funcDisplay renders a function the way diagnostics name it:
+// pkgbase.Func or pkgbase.Type.Func for methods.
+func funcDisplay(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = pkgBase(fn.Pkg().Path()) + "." + name
+	}
+	return name
+}
+
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// sccs returns the strongly connected components of the call graph in
+// reverse-topological emission order: every component is emitted after
+// all components it calls into, which is exactly the order bottom-up
+// summary propagation needs. Standard Tarjan over the deterministic
+// node order.
+func (ix *Index) sccs() [][]*funcInfo {
+	index := map[*funcInfo]int{}
+	low := map[*funcInfo]int{}
+	onStack := map[*funcInfo]bool{}
+	var stack []*funcInfo
+	var out [][]*funcInfo
+	next := 0
+
+	var strong func(v *funcInfo)
+	strong = func(v *funcInfo) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range v.calls {
+			w := ix.funcs[e.callee]
+			if w == nil {
+				continue
+			}
+			if _, visited := index[w]; !visited {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*funcInfo
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	for _, fi := range ix.order {
+		if _, visited := index[fi]; !visited {
+			strong(fi)
+		}
+	}
+	return out
+}

@@ -28,11 +28,15 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, positioned for file:line:col output.
+// Diagnostic is one finding, positioned for file:line:col output. Chain
+// is non-nil for interprocedural findings: the call-graph witness from
+// the reported site down to the direct source (simlint -explain prints
+// it hop by hop; the compact form is already part of Message).
 type Diagnostic struct {
 	Rule    string
 	Pos     token.Position
 	Message string
+	Chain   []ChainHop
 }
 
 // String renders the conventional compiler-style line.
@@ -50,9 +54,11 @@ type Rule struct {
 	Check   func(pass *Pass)
 }
 
-// Pass gives a Rule access to one type-checked package and a reporter.
+// Pass gives a Rule access to one type-checked package, the module-wide
+// tier-3 index, and a reporter.
 type Pass struct {
 	Pkg    *Package
+	Idx    *Index
 	rule   *Rule
 	report func(Diagnostic)
 }
@@ -66,11 +72,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportChain records an interprocedural diagnostic carrying its
+// call-graph witness chain.
+func (p *Pass) ReportChain(pos token.Pos, chain []ChainHop, format string, args ...any) {
+	p.report(Diagnostic{
+		Rule:    p.rule.ID,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+		Chain:   chain,
+	})
+}
+
 // Run applies every rule to every package, drops suppressed findings, and
 // returns the remainder sorted by file, line, column, rule. The sort keeps
 // output stable no matter how packages or rules are ordered — the analyzer
 // holds itself to the determinism contract it enforces.
 func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
+	idx := buildIndex(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sup, supDiags := suppressions(pkg)
@@ -81,6 +99,7 @@ func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
 			}
 			pass := &Pass{
 				Pkg:  pkg,
+				Idx:  idx,
 				rule: r,
 				report: func(d Diagnostic) {
 					if !sup.covers(d.Rule, d.Pos) {
@@ -211,6 +230,56 @@ func IgnoreDirectives(pkgs []*Package) []Directive {
 						Rules:  rules,
 						Pos:    pkg.Fset.Position(c.Pos()),
 						Reason: reason,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+// ExemptDirective is one well-formed //lint:exempt-field manifest entry,
+// exposed for the same census tooling as IgnoreDirectives: every field
+// exemption is a standing claim ("this field legitimately never reaches
+// the digest/clone path") that needs the same drift watching as
+// suppressions.
+type ExemptDirective struct {
+	Rule   string // rule ID the exemption scopes to (R8, R9)
+	Type   string // "Type" or "pkg.Type" as written
+	Field  string
+	Pos    token.Position
+	Reason string
+}
+
+// ExemptDirectives collects every well-formed //lint:exempt-field
+// directive in the given packages, sorted by file then line. Malformed
+// directives are excluded — they appear as R0 diagnostics instead.
+func ExemptDirectives(pkgs []*Package) []ExemptDirective {
+	var out []ExemptDirective
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, exemptPrefix) {
+						continue
+					}
+					ef, ok := parseExemptField(c.Text)
+					if !ok {
+						continue
+					}
+					out = append(out, ExemptDirective{
+						Rule:   ef.Rule,
+						Type:   ef.Type,
+						Field:  ef.Field,
+						Pos:    pkg.Fset.Position(c.Pos()),
+						Reason: ef.Reason,
 					})
 				}
 			}

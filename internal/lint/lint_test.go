@@ -58,6 +58,7 @@ func TestRuleFixtures(t *testing.T) {
 		file    string
 		as      string // module-relative package path the fixture poses as
 		ignores bool   // expectations come from markers unless set: expect none
+		rules   string // comma-separated rule IDs to run (default: all)
 	}{
 		{name: "R1-in-scope", file: "r1.go", as: "internal/workload/fixture"},
 		{name: "R1-out-of-scope", file: "r1.go", as: "internal/textplot/fixture", ignores: true},
@@ -85,6 +86,11 @@ func TestRuleFixtures(t *testing.T) {
 		{name: "R11-in-staticmodel", file: "r11.go", as: "internal/staticmodel/fixture11"},
 		{name: "R11-in-interval", file: "r11.go", as: "internal/interval/fixture11"},
 		{name: "R11-out-of-scope", file: "r11.go", as: "internal/experiments/fixture11", ignores: true},
+		{name: "R1R2-interproc-in-scope", file: "interproc.go", as: "internal/sim/fixtureip"},
+		{name: "R1R2-interproc-out-of-scope", file: "interproc.go", as: "cmd/fixtureip", ignores: true},
+		{name: "R12-in-accel", file: "r12.go", as: "internal/accel", rules: "R12"},
+		{name: "R12-out-of-scope", file: "r12.go", as: "internal/workload/fixtureaccel", ignores: true, rules: "R12"},
+		{name: "R14-everywhere", file: "r14.go", as: "internal/experiments/fixture14"},
 	}
 	loader := fixtureLoader(t)
 	for _, tc := range cases {
@@ -94,7 +100,18 @@ func TestRuleFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags := Run([]*Package{pkg}, AllRules())
+			rules := AllRules()
+			if tc.rules != "" {
+				rules = nil
+				for _, id := range strings.Split(tc.rules, ",") {
+					r := RuleByID(id)
+					if r == nil {
+						t.Fatalf("unknown rule %q in case", id)
+					}
+					rules = append(rules, r)
+				}
+			}
+			diags := Run([]*Package{pkg}, rules)
 			var want []string
 			if !tc.ignores {
 				want = wantDiags(t, file)
@@ -148,7 +165,7 @@ func compareDiags(t *testing.T, want []string, diags []Diagnostic) {
 // TestRuleMetadata guards the published rule catalog: stable IDs, names
 // and docs that LINT.md documents.
 func TestRuleMetadata(t *testing.T) {
-	wantIDs := []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11"}
+	wantIDs := []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13", "R14"}
 	rules := AllRules()
 	if len(rules) != len(wantIDs) {
 		t.Fatalf("AllRules: got %d rules, want %d", len(rules), len(wantIDs))

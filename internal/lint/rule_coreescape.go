@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ruleCoreEscape (R14) is the interprocedural escape check LINT.md
+// promised alongside R10: no *sim.Core may be captured by a job closure
+// handed to runner.Map/Sweep. A core is mutable simulation scratch —
+// ROB slabs, cache state, the cycle heap — and the pool runs the same
+// closure concurrently for every index, so a shared core is a data race
+// that R10's write heuristics cannot always see (reads mutate caches
+// too). Two shapes are flagged:
+//
+//   - a job function literal whose body references a core declared
+//     outside it (direct capture);
+//   - a non-literal job argument built by a call like makeJob(core)
+//     where the tier-3 escape summary proves the callee stores that
+//     parameter inside a function literal it returns.
+//
+// The sanctioned pattern — constructing the core inside the job from
+// immutable inputs, as MeasureWorkload does — is untouched.
+var ruleCoreEscape = &Rule{
+	ID:   "R14",
+	Name: "core-escape",
+	Doc:  "*sim.Core must not escape into runner.Map/Sweep job closures; construct cores inside the job from immutable inputs",
+	Applies: func(rel string) bool {
+		return true
+	},
+	Check: checkCoreEscape,
+}
+
+func checkCoreEscape(pass *Pass) {
+	pass.eachFile(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := runnerPoolCall(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			switch job := call.Args[len(call.Args)-1].(type) {
+			case *ast.FuncLit:
+				reportCoreCaptures(pass, name, job)
+			case *ast.CallExpr:
+				reportCoreEscapeViaCall(pass, name, job)
+			}
+			return true
+		})
+	})
+}
+
+// isCoreType reports whether t is sim.Core or *sim.Core, matching the
+// defining package by path suffix so fixture modules work.
+func isCoreType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Core" && obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/sim")
+}
+
+// reportCoreCaptures flags free core-typed variables referenced inside
+// a job literal, once per variable at its first use.
+func reportCoreCaptures(pass *Pass, pool string, lit *ast.FuncLit) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.objOf(id)
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() || seen[obj] || !isCoreType(v.Type()) {
+			return true
+		}
+		// Declared outside the literal's extent: a capture, not a local.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		seen[obj] = true
+		pass.Reportf(id.Pos(),
+			"runner.%s job closure captures %q (*sim.Core): cores are mutable simulation state shared across concurrent jobs; construct the core inside the job", pool, obj.Name())
+		return true
+	})
+}
+
+// reportCoreEscapeViaCall flags runner.Map(ctx, p, jobs, makeJob(core))
+// when the tier-3 summary proves makeJob lets the core-typed argument
+// escape into a function literal (the closure it returns).
+func reportCoreEscapeViaCall(pass *Pass, pool string, job *ast.CallExpr) {
+	callee := staticCallee(pass.Pkg, job)
+	fi := pass.Idx.funcOf(callee)
+	if fi == nil {
+		return
+	}
+	report := func(argPos token.Pos, escapePos token.Pos, what string) {
+		pass.Reportf(argPos,
+			"runner.%s job builder %s lets %s (*sim.Core) escape into a closure (%s); cores are mutable simulation state shared across concurrent jobs",
+			pool, funcDisplay(callee), what, pass.Pkg.Fset.Position(escapePos))
+	}
+	if sel, ok := ast.Unparen(job.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := pass.Pkg.Info.Types[sel.X]; ok && isCoreType(tv.Type) {
+			if pos, ok := fi.sum.escaping[-1]; ok {
+				report(sel.X.Pos(), pos, "its receiver")
+			}
+		}
+	}
+	for i, arg := range job.Args {
+		tv, ok := pass.Pkg.Info.Types[arg]
+		if !ok || !isCoreType(tv.Type) {
+			continue
+		}
+		if pos, ok := fi.sum.escaping[i]; ok {
+			report(arg.Pos(), pos, "its argument")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+// ruleDevPurity (R12) holds every device family's Invoke tree — the
+// function the engine calls at the accel-fetch boundary, plus
+// everything it statically reaches — to absolute determinism: no
+// wall-clock read, no global-rand draw, and no map-iteration order
+// flowing to a return value. AccelResult is part of the architectural
+// contract (its Value lands in a register, its Schedule drives the
+// engine's phased occupancy), so any nondeterminism here corrupts
+// simulated state itself, not just an experiment artifact. Unlike R2,
+// there is no exempt zone: a device calling into runner/ or serve/
+// observability would be a layering bug as well as a purity one.
+//
+// The diagnostics anchor at the Invoke declaration with the full call
+// chain in the message: the device is what the reviewer audits, even
+// when the source sits two helpers away.
+var ruleDevPurity = &Rule{
+	ID:   "R12",
+	Name: "device-schedule-purity",
+	Doc:  "device Invoke paths must be transitively wallclock- and global-rand-free, and map order must not reach AccelResult values or schedules",
+	Applies: func(rel string) bool {
+		return rel == "internal/accel"
+	},
+	Check: checkDevicePurity,
+}
+
+func checkDevicePurity(pass *Pass) {
+	for _, named := range pass.Idx.familiesIn(pass.Pkg) {
+		invoke := deviceInvoke(named)
+		fi := pass.Idx.funcOf(invoke)
+		if fi == nil {
+			continue
+		}
+		name := named.Obj().Name()
+		pos := fi.decl.Name.Pos()
+		if fi.sum.wallAny.tainted {
+			hops := pass.Idx.taintChain(invoke, func(s *summary) taint { return s.wallAny })
+			pass.ReportChain(pos, hops,
+				"(%s).Invoke transitively reads the wall clock (%s); device results must be pure functions of the call and memory", name, chainText(invoke, hops))
+		}
+		if fi.sum.randAny.tainted {
+			hops := pass.Idx.taintChain(invoke, func(s *summary) taint { return s.randAny })
+			pass.ReportChain(pos, hops,
+				"(%s).Invoke transitively draws from the global math/rand generator (%s); device results must be pure functions of the call and memory", name, chainText(invoke, hops))
+		}
+		if fi.sum.mapRet.tainted {
+			hops := pass.Idx.taintChain(invoke, func(s *summary) taint { return s.mapRet })
+			pass.ReportChain(pos, hops,
+				"(%s).Invoke lets map iteration order reach a return value (%s); AccelResult values and schedules must be order-independent", name, chainText(invoke, hops))
+		}
+	}
+}

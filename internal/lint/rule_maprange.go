@@ -55,7 +55,12 @@ func checkMapRange(pass *Pass) {
 }
 
 func rangesOverMap(pass *Pass, rs *ast.RangeStmt) bool {
-	tv, ok := pass.Pkg.Info.Types[rs.X]
+	return rangesOverMapPkg(pass.Pkg, rs)
+}
+
+// rangesOverMapPkg is rangesOverMap without a Pass, for the tier-3 index.
+func rangesOverMapPkg(pkg *Package, rs *ast.RangeStmt) bool {
+	tv, ok := pkg.Info.Types[rs.X]
 	if !ok || tv.Type == nil {
 		return false
 	}

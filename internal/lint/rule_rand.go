@@ -19,10 +19,15 @@ var seededConstructors = map[string]bool{
 // shared mutable state: two sweep jobs drawing from it interleave
 // nondeterministically under the parallel runner, so every random stream
 // must come from an explicitly seeded *rand.Rand.
+//
+// Interprocedural (tier 3): a call from in-scope code to any module
+// function that transitively reaches the global generator is flagged at
+// the call site, with the call chain in the message — one level of
+// helper indirection must not launder a global draw past the audit.
 var ruleGlobalRand = &Rule{
 	ID:   "R1",
 	Name: "no-global-rand",
-	Doc:  "randomness in sim/workload/experiment code must flow through a seeded *rand.Rand, never the global math/rand functions",
+	Doc:  "randomness in sim/workload/experiment code must flow through a seeded *rand.Rand, never the global math/rand functions (directly or through any call chain)",
 	Applies: func(rel string) bool {
 		return underAny(rel, "internal/sim", "internal/workload", "internal/proggen", "internal/experiments")
 	},
@@ -37,6 +42,15 @@ var ruleGlobalRand = &Rule{
 				if ok && !seededConstructors[name] {
 					pass.Reportf(call.Pos(),
 						"rand.%s draws from the process-global generator; route randomness through a seeded *rand.Rand", name)
+					return true
+				}
+				if callee := staticCallee(pass.Pkg, call); callee != nil {
+					if fi := pass.Idx.funcOf(callee); fi != nil && fi.sum.randAny.tainted {
+						hops := pass.Idx.taintChain(callee, func(s *summary) taint { return s.randAny })
+						pass.ReportChain(call.Pos(), hops,
+							"call transitively draws from the process-global generator (%s); thread a seeded *rand.Rand through the chain",
+							chainText(callee, hops))
+					}
 				}
 				return true
 			})

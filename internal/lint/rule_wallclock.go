@@ -19,10 +19,17 @@ var wallClockFuncs = map[string]bool{
 // internal/serve (request latency and load-phase observability — never
 // simulation inputs; results always come out of the scenario store),
 // and cmd/ (which prints it) may look at the host clock.
+//
+// Interprocedural (tier 3): a call from in-scope code to any module
+// function that transitively reaches the wall clock is flagged at the
+// call site with the chain in the message. The taint is the strict
+// variant — functions declared in the exempt packages contribute
+// nothing, so calling runner.Map (whose per-job wall timing is
+// sanctioned observability) stays legal.
 var ruleWallClock = &Rule{
 	ID:   "R2",
 	Name: "no-wallclock-in-sim",
-	Doc:  "time.Now/Since/Until only in internal/runner, internal/serve and cmd/; simulation code keeps to simulated cycles",
+	Doc:  "time.Now/Since/Until only in internal/runner, internal/serve and cmd/; simulation code keeps to simulated cycles (directly or through any call chain)",
 	Applies: func(rel string) bool {
 		return !underAny(rel, "internal/runner", "internal/serve", "cmd")
 	},
@@ -36,6 +43,15 @@ var ruleWallClock = &Rule{
 				if name, ok := pkgFuncCall(pass, call, "time"); ok && wallClockFuncs[name] {
 					pass.Reportf(call.Pos(),
 						"time.%s reads the wall clock in simulation code; timing belongs to internal/runner or cmd/", name)
+					return true
+				}
+				if callee := staticCallee(pass.Pkg, call); callee != nil {
+					if fi := pass.Idx.funcOf(callee); fi != nil && fi.sum.wallStrict.tainted {
+						hops := pass.Idx.taintChain(callee, func(s *summary) taint { return s.wallStrict })
+						pass.ReportChain(call.Pos(), hops,
+							"call transitively reads the wall clock (%s); simulation code keeps to simulated cycles",
+							chainText(callee, hops))
+					}
 				}
 				return true
 			})

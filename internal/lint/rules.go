@@ -21,6 +21,9 @@ func AllRules() []*Rule {
 		ruleCloneCov,
 		ruleParClosure,
 		ruleLayering,
+		ruleDevPurity,
+		ruleRegistry,
+		ruleCoreEscape,
 	}
 }
 
@@ -49,6 +52,11 @@ func underAny(rel string, prefixes ...string) bool {
 // selector name when fun is pkg.Name with pkg resolving to an import of
 // one of the given paths.
 func pkgFuncCall(pass *Pass, call *ast.CallExpr, pkgPaths ...string) (string, bool) {
+	return pkgCallName(pass.Pkg, call, pkgPaths...)
+}
+
+// pkgCallName is pkgFuncCall without a Pass, for the tier-3 index.
+func pkgCallName(pkg *Package, call *ast.CallExpr, pkgPaths ...string) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
@@ -57,7 +65,7 @@ func pkgFuncCall(pass *Pass, call *ast.CallExpr, pkgPaths ...string) (string, bo
 	if !ok {
 		return "", false
 	}
-	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
 	if !ok {
 		return "", false
 	}
@@ -91,13 +99,18 @@ func namedPtrTo(t types.Type, pkgSuffix, name string) bool {
 
 // refsAnyObject reports whether node mentions any of the given objects.
 func refsAnyObject(pass *Pass, node ast.Node, objs map[types.Object]bool) bool {
+	return refsAnyObjectPkg(pass.Pkg, node, objs)
+}
+
+// refsAnyObjectPkg is refsAnyObject without a Pass, for the tier-3 index.
+func refsAnyObjectPkg(pkg *Package, node ast.Node, objs map[types.Object]bool) bool {
 	if node == nil || len(objs) == 0 {
 		return false
 	}
 	found := false
 	ast.Inspect(node, func(n ast.Node) bool {
 		if id, ok := n.(*ast.Ident); ok {
-			if obj := pass.Pkg.Info.Uses[id]; obj != nil && objs[obj] {
+			if obj := pkg.Info.Uses[id]; obj != nil && objs[obj] {
 				found = true
 			}
 		}

@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file computes the per-function summaries of the tier-3 engine:
+// one intra-procedural walk per declared function, then a bottom-up
+// closure over the SCC condensation (callgraph.go). Each summary
+// answers the questions the interprocedural rules ask — "does calling
+// this reach a wall clock / the global rand / a map-order-dependent
+// return", "which device families does it construct", "which of its
+// parameters escape into function literals" — with enough provenance
+// (taint witnesses) to print the offending call chain in a diagnostic.
+
+// taint is one transitive boolean fact with a witness: either a direct
+// source in the function's own body (what/pos), or the call edge it
+// arrived through (via/viaPos). Witnesses chain: following via from
+// summary to summary reconstructs caller → ... → source.
+type taint struct {
+	tainted bool
+	what    string      // direct source, e.g. "time.Now" — set iff via is nil
+	pos     token.Pos   // direct source position
+	via     *types.Func // callee the taint arrived through
+	viaPos  token.Pos   // call site of that callee
+}
+
+// summary is the bottom-up fact set for one function.
+type summary struct {
+	// wallAny: transitively reaches time.Now/Since/Until anywhere.
+	// R12 uses it — device purity is absolute, no package is excused.
+	wallAny taint
+	// wallStrict: like wallAny, but functions declared in the packages
+	// R2 exempts (internal/runner, internal/serve, cmd/) contribute
+	// nothing: their wall-clock reads are sanctioned observability, so
+	// calling into them must not taint simulation code.
+	wallStrict taint
+	// randAny: transitively draws from the global math/rand generator.
+	randAny taint
+	// mapRet: transitively lets map-iteration order flow to a return
+	// value (the R3 "returns a loop-derived value" shape).
+	mapRet taint
+
+	// escaping maps parameter index (receiver = -1) to the position
+	// where the parameter is first referenced inside a function
+	// literal — the R14 "stored in a returned closure" fact.
+	escaping map[int]token.Pos
+
+	// families are the device families (Index.familySet) whose type or
+	// constructor the function transitively references. R13's
+	// integration surfaces are defined in terms of this reachability.
+	families map[*types.Named]bool
+	// refsAccelPhase: transitively references isa.AccelPhase — the
+	// marker that a device family is an engine family (builds phased
+	// schedules) rather than a scalar-latency device.
+	refsAccelPhase bool
+	// refsDeviceKey: transitively writes or constructs a DeviceKey
+	// field — the canonical-identity surface of R13.
+	refsDeviceKey bool
+	// callsEngineOccupancy: transitively calls staticmodel's
+	// Machine.EngineOccupancy — the analytical-model surface of R13.
+	callsEngineOccupancy bool
+}
+
+// wallExemptPkg mirrors R2's Applies scope: packages whose wall-clock
+// reads are sanctioned and must not leak taint to callers.
+func wallExemptPkg(rel string) bool {
+	return underAny(rel, "internal/runner", "internal/serve", "cmd")
+}
+
+// walkFunc computes fi's intra-procedural facts and call edges in one
+// pass over the body. Function literals are walked as part of the
+// enclosing declaration: a closure's wall-clock read or family
+// reference belongs to the function that builds the closure.
+//
+// Suppression-aware seeding: a direct source carrying a well-formed
+// //lint:ignore for the matching intra rule (R1/R2/R3) does not seed
+// taint — the suppression's written proof covers transitive use, and
+// seeding anyway would make every caller un-fixably diagnosed.
+func (ix *Index) walkFunc(fi *funcInfo, sup suppressionSet) {
+	pkg := fi.pkg
+	s := &fi.sum
+	s.escaping = map[int]token.Pos{}
+	s.families = map[*types.Named]bool{}
+
+	params := paramObjects(pkg, fi.decl)
+	suppressed := func(rule string, p token.Pos) bool {
+		return sup.covers(rule, pkg.Fset.Position(p))
+	}
+
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if callee := staticCallee(pkg, x); callee != nil {
+				fi.calls = append(fi.calls, callEdge{callee: callee, pos: x.Pos()})
+				if callee.Name() == "EngineOccupancy" && callee.Pkg() != nil &&
+					pathHasSuffix(callee.Pkg().Path(), "internal/staticmodel") {
+					s.callsEngineOccupancy = true
+				}
+			}
+			if name, ok := pkgCallName(pkg, x, "math/rand", "math/rand/v2"); ok &&
+				!seededConstructors[name] && !s.randAny.tainted && !suppressed("R1", x.Pos()) {
+				s.randAny = taint{tainted: true, what: "rand." + name, pos: x.Pos()}
+			}
+			if name, ok := pkgCallName(pkg, x, "time"); ok && wallClockFuncs[name] &&
+				!suppressed("R2", x.Pos()) {
+				t := taint{tainted: true, what: "time." + name, pos: x.Pos()}
+				if !s.wallAny.tainted {
+					s.wallAny = t
+				}
+				if !s.wallStrict.tainted && !wallExemptPkg(pkg.Rel) {
+					s.wallStrict = t
+				}
+			}
+		case *ast.Ident:
+			switch o := pkg.Info.Uses[x].(type) {
+			case *types.TypeName:
+				if named, ok := o.Type().(*types.Named); ok && ix.familySet[named] {
+					s.families[named] = true
+				}
+				if o.Name() == "AccelPhase" && o.Pkg() != nil && pathHasSuffix(o.Pkg().Path(), "internal/isa") {
+					s.refsAccelPhase = true
+				}
+			case *types.Func:
+				// Referencing a constructor marks its result families:
+				// accel.NewDAE(...) reaches DAE even though the literal
+				// type name never appears at the call site.
+				if sig, ok := o.Type().(*types.Signature); ok {
+					for i := 0; i < sig.Results().Len(); i++ {
+						t := sig.Results().At(i).Type()
+						if p, ok := t.(*types.Pointer); ok {
+							t = p.Elem()
+						}
+						if named, ok := t.(*types.Named); ok && ix.familySet[named] {
+							s.families[named] = true
+						}
+					}
+				}
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := x.Key.(*ast.Ident); ok && id.Name == "DeviceKey" {
+				s.refsDeviceKey = true
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "DeviceKey" {
+				s.refsDeviceKey = true
+			}
+		case *ast.RangeStmt:
+			if !s.mapRet.tainted && rangesOverMapPkg(pkg, x) {
+				if pos, ok := mapOrderReturn(pkg, x, suppressed); ok {
+					s.mapRet = taint{tainted: true, what: "map-range return", pos: pos}
+				}
+			}
+		case *ast.FuncLit:
+			for _, nm := range paramIdentsIn(pkg, x.Body, params) {
+				i := params[pkg.Info.Uses[nm]]
+				if _, dup := s.escaping[i]; !dup {
+					s.escaping[i] = nm.Pos()
+				}
+			}
+		}
+		return true
+	})
+}
+
+// paramObjects maps the declaration's parameter objects to their index;
+// the receiver, when present, maps to -1.
+func paramObjects(pkg *Package, decl *ast.FuncDecl) map[types.Object]int {
+	out := map[types.Object]int{}
+	if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+		if obj := pkg.Info.Defs[decl.Recv.List[0].Names[0]]; obj != nil {
+			out[obj] = -1
+		}
+	}
+	idx := 0
+	if decl.Type.Params != nil {
+		for _, f := range decl.Type.Params.List {
+			if len(f.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, nm := range f.Names {
+				if obj := pkg.Info.Defs[nm]; obj != nil {
+					out[obj] = idx
+				}
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+// paramIdentsIn returns the identifiers inside body that resolve to one
+// of the given parameter objects, in source order.
+func paramIdentsIn(pkg *Package, body ast.Node, params map[types.Object]int) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				if _, isParam := params[obj]; isParam {
+					out = append(out, id)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mapOrderReturn reports whether the map-range loop returns a value
+// derived from its loop variables — R3's "picked by iteration order"
+// shape — skipping sites that carry an R3 suppression. Returns inside
+// nested literals count too: a closure returning a loop variable still
+// publishes iteration order.
+func mapOrderReturn(pkg *Package, rs *ast.RangeStmt, suppressed func(string, token.Pos) bool) (token.Pos, bool) {
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	var found token.Pos
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if refsAnyObjectPkg(pkg, res, loopVars) && !suppressed("R3", res.Pos()) {
+				found = res.Pos()
+				break
+			}
+		}
+		return true
+	})
+	return found, found.IsValid()
+}
+
+// propagate closes the summaries over the call graph bottom-up: SCCs in
+// reverse-topological order, each cycle iterated to fixpoint. All facts
+// are monotone booleans (or monotone sets), so the fixpoint is reached
+// in at most |SCC| rounds and witness assignment is first-wins.
+func (ix *Index) propagate() {
+	for _, scc := range ix.sccs() {
+		for changed := true; changed; {
+			changed = false
+			for _, fi := range scc {
+				s := &fi.sum
+				for _, e := range fi.calls {
+					cfi := ix.funcs[e.callee]
+					if cfi == nil {
+						continue
+					}
+					cs := &cfi.sum
+					if mergeTaint(&s.randAny, cs.randAny, e) {
+						changed = true
+					}
+					if mergeTaint(&s.wallAny, cs.wallAny, e) {
+						changed = true
+					}
+					if !wallExemptPkg(fi.pkg.Rel) && mergeTaint(&s.wallStrict, cs.wallStrict, e) {
+						changed = true
+					}
+					if mergeTaint(&s.mapRet, cs.mapRet, e) {
+						changed = true
+					}
+					for named := range cs.families {
+						if !s.families[named] {
+							s.families[named] = true
+							changed = true
+						}
+					}
+					if cs.refsAccelPhase && !s.refsAccelPhase {
+						s.refsAccelPhase = true
+						changed = true
+					}
+					if cs.refsDeviceKey && !s.refsDeviceKey {
+						s.refsDeviceKey = true
+						changed = true
+					}
+					if cs.callsEngineOccupancy && !s.callsEngineOccupancy {
+						s.callsEngineOccupancy = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func mergeTaint(dst *taint, src taint, e callEdge) bool {
+	if dst.tainted || !src.tainted {
+		return false
+	}
+	*dst = taint{tainted: true, via: e.callee, viaPos: e.pos}
+	return true
+}
+
+// ChainHop is one step of a reconstructed taint chain: the callee (or
+// terminal source like "time.Now") and the position of the call that
+// reaches it.
+type ChainHop struct {
+	Name string
+	Pos  token.Position
+}
+
+// taintChain reconstructs the witness chain from fn down to the direct
+// source, selecting the taint field with get. The first hop is fn's
+// witness; the last hop names the source itself.
+func (ix *Index) taintChain(fn *types.Func, get func(*summary) taint) []ChainHop {
+	var hops []ChainHop
+	seen := map[*types.Func]bool{}
+	for fn != nil && !seen[fn] {
+		seen[fn] = true
+		fi := ix.funcs[fn]
+		if fi == nil {
+			break
+		}
+		t := get(&fi.sum)
+		if !t.tainted {
+			break
+		}
+		if t.via == nil {
+			hops = append(hops, ChainHop{Name: t.what, Pos: fi.pkg.Fset.Position(t.pos)})
+			break
+		}
+		hops = append(hops, ChainHop{Name: funcDisplay(t.via), Pos: fi.pkg.Fset.Position(t.viaPos)})
+		fn = t.via
+	}
+	return hops
+}
+
+// chainText renders "callee → ... → source" for diagnostic messages.
+func chainText(fn *types.Func, hops []ChainHop) string {
+	parts := []string{funcDisplay(fn)}
+	for _, h := range hops {
+		parts = append(parts, h.Name)
+	}
+	return strings.Join(parts, " → ")
+}

@@ -1,0 +1,66 @@
+// Fixture for the tier-3 interprocedural upgrades of R1/R2: a scoped
+// package calling a module function that transitively reaches the wall
+// clock or the global rand is flagged at the call site, with the call
+// chain in the message. Loaded under an in-scope path (internal/sim/...)
+// where all markers apply, and under cmd/ where nothing may fire.
+package fixtureip
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// jitter reads the wall clock directly: the intra tier flags the site.
+func jitter() int64 {
+	return time.Now().UnixNano() // want:R2
+}
+
+// viaJitter launders the read through one call level; tier 3 flags the
+// call site with the chain (viaJitter → jitter → time.Now).
+func viaJitter() int64 {
+	return jitter() + 1 // want:R2
+}
+
+// twoLevels shows the taint is transitive, not one-hop.
+func twoLevels() int64 {
+	return viaJitter() * 2 // want:R2
+}
+
+// noise draws from the global generator directly.
+func noise() int {
+	return rand.Intn(6) // want:R1
+}
+
+// viaNoise is flagged at the call site with the chain.
+func viaNoise() int {
+	return noise() + 1 // want:R1
+}
+
+// seededHelper threads an explicit source; its callers stay clean.
+func seededHelper(r *rand.Rand) int { return r.Intn(6) }
+
+func viaSeeded(seed int64) int {
+	return seededHelper(rand.New(rand.NewSource(seed)))
+}
+
+// blessed carries a suppression: the written proof covers transitive
+// use, so the suppressed site must not seed taint in callers.
+func blessed() int64 {
+	//lint:ignore R2 fixture: proves suppressed sites do not seed taint
+	return time.Now().UnixNano()
+}
+
+func viaBlessed() int64 { return blessed() }
+
+// poolUser calls into the exempt runner package, whose per-job wall
+// timing is sanctioned observability: the strict taint cuts there, so
+// this stays clean even though runner.Sweep reads the clock.
+func poolUser(ctx context.Context) error {
+	_, _, err := runner.Sweep(ctx, 2, 4, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	})
+	return err
+}

@@ -1,0 +1,80 @@
+// Fixture for R12 device-schedule-purity: a device family's Invoke tree
+// must be transitively wallclock- and global-rand-free and must not let
+// map iteration order reach a return value. Diagnostics anchor at the
+// Invoke declaration with the chain in the message. Loaded as
+// internal/accel (the rule's exact scope) with the rule set restricted
+// to R12 — the helpers would otherwise also trip R1/R2/R3 at their own
+// sites, which is the intended double coverage in real runs but noise
+// for these markers.
+package fixtureaccel
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/isa"
+)
+
+// Clock reaches the wall clock through a helper: host timing would leak
+// into architectural state.
+type Clock struct{ base uint64 }
+
+func (d *Clock) Name() string { return "clock" }
+
+func hostLatency() int { return int(time.Now().UnixNano() & 7) }
+
+func (d *Clock) Invoke(call isa.AccelCall, mem isa.WordReader) isa.AccelResult { // want:R12
+	return isa.AccelResult{Value: call.Args[0] + d.base, Latency: hostLatency()}
+}
+
+// Dice reaches the global generator two helpers deep.
+type Dice struct{}
+
+func (d *Dice) Name() string { return "dice" }
+
+func draw() uint64    { return uint64(rand.Intn(64)) }
+func viaDraw() uint64 { return draw() + 1 }
+
+func (d *Dice) Invoke(call isa.AccelCall, mem isa.WordReader) isa.AccelResult { // want:R12
+	return isa.AccelResult{Value: viaDraw(), Latency: 4}
+}
+
+// Pick lets map iteration order choose the returned value.
+type Pick struct{ table map[uint64]uint64 }
+
+func (d *Pick) Name() string { return "pick" }
+
+func first(m map[uint64]uint64) uint64 {
+	for k := range m {
+		return k
+	}
+	return 0
+}
+
+func (d *Pick) Invoke(call isa.AccelCall, mem isa.WordReader) isa.AccelResult { // want:R12
+	return isa.AccelResult{Value: first(d.table), Latency: 2}
+}
+
+// Pure is the clean case: arithmetic over the call and memory only,
+// including a phased schedule, through a helper.
+type Pure struct{ chunk int }
+
+func (d *Pure) Name() string { return "pure" }
+
+func pureSchedule(words int, chunk int) []isa.AccelPhase {
+	var sched []isa.AccelPhase
+	for words > 0 {
+		n := chunk
+		if words < n {
+			n = words
+		}
+		sched = append(sched, isa.AccelPhase{Compute: n})
+		words -= n
+	}
+	return sched
+}
+
+func (d *Pure) Invoke(call isa.AccelCall, mem isa.WordReader) isa.AccelResult {
+	sum := mem.Load(call.Args[0]) + mem.Load(call.Args[1])
+	return isa.AccelResult{Value: sum, Schedule: pureSchedule(int(call.Args[2]), d.chunk)}
+}

@@ -1,0 +1,24 @@
+// Command tcasim mirrors the real CLI's registration switch — the
+// surface R13 requires every family to appear in.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"r13fix/internal/workload"
+)
+
+func main() {
+	var w *workload.Workload
+	switch os.Args[1] {
+	case "alpha":
+		w = workload.Alpha(8) // r13drop:alpha-tcasim
+	case "beta":
+		w = workload.Beta(4)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown workload")
+		os.Exit(2)
+	}
+	_ = w
+}

@@ -1,0 +1,3 @@
+module r13fix
+
+go 1.22

@@ -1,0 +1,5 @@
+// Package experiments pairs engine families with the analytical model,
+// mirroring the real module's sweep surface. The sweep itself lives in
+// sweep.go so the registry tests can delete that one file and watch R13
+// notice the missing EngineOccupancy pairing.
+package experiments

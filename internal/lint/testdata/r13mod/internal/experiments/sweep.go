@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"r13fix/internal/accel"
+	"r13fix/internal/isa"
+	"r13fix/internal/staticmodel"
+)
+
+// BetaSweep pairs the Beta engine family with the analytical model:
+// occupancy of a 16-word stream across chunk widths.
+func BetaSweep(width int) []float64 {
+	m := staticmodel.Machine{Width: width}
+	var out []float64
+	for chunk := 1; chunk <= 4; chunk++ {
+		dev := accel.NewBeta(chunk)
+		res := dev.Invoke(isa.AccelCall{Args: [3]uint64{0, 16, 0}}, nil)
+		out = append(out, m.EngineOccupancy(res.Schedule))
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Package isa mirrors the accelerator contract shapes the registry rule
+// keys on, so the fixture module is self-contained.
+package isa
+
+// AccelCall carries the operand values of an accelerated instruction.
+type AccelCall struct {
+	Kind int64
+	Args [3]uint64
+}
+
+// AccelPhase is one step of a device engine's occupancy schedule.
+type AccelPhase struct {
+	Compute int
+}
+
+// AccelResult describes one accelerator invocation.
+type AccelResult struct {
+	Value    uint64
+	Latency  int
+	Schedule []AccelPhase
+}
+
+// WordReader is the memory view a device reads during an invocation.
+type WordReader interface {
+	Load(addr uint64) uint64
+	LoadFloat(addr uint64) float64
+}
+
+// AccelDevice is a tightly-coupled accelerator.
+type AccelDevice interface {
+	Name() string
+	Invoke(call AccelCall, mem WordReader) AccelResult
+}

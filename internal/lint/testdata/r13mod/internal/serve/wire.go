@@ -1,0 +1,27 @@
+// Package serve mirrors the wire surface: Spec.Kind selects a workload
+// family by name, the way scenariod clients request devices.
+package serve
+
+import (
+	"fmt"
+
+	"r13fix/internal/workload"
+)
+
+// Spec is the wire request.
+type Spec struct {
+	Kind  string
+	Lat   uint64
+	Chunk int
+}
+
+// Build constructs the named workload.
+func (s Spec) Build() (*workload.Workload, error) {
+	switch s.Kind {
+	case "alpha":
+		return workload.Alpha(s.Lat), nil // r13drop:alpha-serve
+	case "beta":
+		return workload.Beta(s.Chunk), nil
+	}
+	return nil, fmt.Errorf("serve: unknown kind %q", s.Kind)
+}

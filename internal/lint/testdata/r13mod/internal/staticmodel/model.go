@@ -1,0 +1,20 @@
+// Package staticmodel mirrors the analytical model's engine-occupancy
+// surface, which R13 requires engine families to be paired with.
+package staticmodel
+
+import "r13fix/internal/isa"
+
+// Machine is the analytical machine description.
+type Machine struct {
+	Width int
+}
+
+// EngineOccupancy estimates the occupancy in cycles of an engine
+// schedule on this machine.
+func (m Machine) EngineOccupancy(sched []isa.AccelPhase) float64 {
+	var total float64
+	for _, ph := range sched {
+		total += float64(ph.Compute) / float64(m.Width)
+	}
+	return total
+}

@@ -1,0 +1,39 @@
+// Package workload pairs each device family with a canonical identity,
+// mirroring the real module's constructor surface.
+package workload
+
+import (
+	"fmt"
+
+	"r13fix/internal/accel"
+	"r13fix/internal/isa"
+)
+
+// Workload is the constructor product: a device factory plus the
+// canonical DeviceKey the scenario store caches under.
+type Workload struct {
+	Name      string
+	DeviceKey string
+	NewDevice func() isa.AccelDevice
+}
+
+func keyAlpha(lat uint64) string { return fmt.Sprintf("alpha:lat=%d", lat) }
+func keyBeta(chunk int) string   { return fmt.Sprintf("beta:chunk=%d", chunk) }
+
+// Alpha wires the scalar family.
+func Alpha(lat uint64) *Workload { // r13drop:alpha-workload
+	return &Workload{ // r13drop:alpha-workload
+		Name:      "alpha",                                               // r13drop:alpha-workload
+		DeviceKey: keyAlpha(lat),                                         // r13drop:alpha-key r13drop:alpha-workload
+		NewDevice: func() isa.AccelDevice { return accel.NewAlpha(lat) }, // r13drop:alpha-workload
+	} // r13drop:alpha-workload
+} // r13drop:alpha-workload
+
+// Beta wires the engine family.
+func Beta(chunk int) *Workload {
+	return &Workload{
+		Name:      "beta",
+		DeviceKey: keyBeta(chunk),
+		NewDevice: func() isa.AccelDevice { return accel.NewBeta(chunk) },
+	}
+}

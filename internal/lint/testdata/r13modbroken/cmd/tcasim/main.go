@@ -1,0 +1,9 @@
+// Command tcasim deliberately omits the Gamma registration: the CLI
+// surface R13 must report as missing.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("no workloads registered")
+}

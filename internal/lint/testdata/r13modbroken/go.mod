@@ -1,0 +1,3 @@
+module r13broken
+
+go 1.22

@@ -1,0 +1,22 @@
+// Package accel declares a half-wired device family: Gamma has a
+// workload constructor with a DeviceKey and a serve wire kind, but is
+// missing its RestoreState (so the snapshot pair is incomplete) and is
+// never registered in cmd/tcasim. R13 must report both gaps in one
+// diagnostic anchored at the type declaration.
+package accel
+
+import "r13broken/internal/isa"
+
+// Gamma is the half-wired family.
+type Gamma struct{ lat uint64 } // want:R13
+
+// NewGamma builds a Gamma with a fixed compute latency.
+func NewGamma(lat uint64) *Gamma { return &Gamma{lat: lat} }
+
+func (d *Gamma) Name() string { return "gamma" }
+
+func (d *Gamma) Invoke(call isa.AccelCall, mem isa.WordReader) isa.AccelResult {
+	return isa.AccelResult{Value: call.Args[0] + d.lat, Latency: int(d.lat)}
+}
+
+func (d *Gamma) SnapshotState() []uint64 { return []uint64{d.lat} }

@@ -1,0 +1,27 @@
+// Package isa mirrors the accelerator contract shapes for the broken
+// registry fixture module.
+package isa
+
+// AccelCall carries the operand values of an accelerated instruction.
+type AccelCall struct {
+	Kind int64
+	Args [3]uint64
+}
+
+// AccelResult describes one accelerator invocation.
+type AccelResult struct {
+	Value   uint64
+	Latency int
+}
+
+// WordReader is the memory view a device reads during an invocation.
+type WordReader interface {
+	Load(addr uint64) uint64
+	LoadFloat(addr uint64) float64
+}
+
+// AccelDevice is a tightly-coupled accelerator.
+type AccelDevice interface {
+	Name() string
+	Invoke(call AccelCall, mem WordReader) AccelResult
+}

@@ -1,0 +1,23 @@
+// Package serve wires Gamma into the wire format, so the serve surface
+// is present.
+package serve
+
+import (
+	"fmt"
+
+	"r13broken/internal/workload"
+)
+
+// Spec is the wire request.
+type Spec struct {
+	Kind string
+	Lat  uint64
+}
+
+// Build constructs the named workload.
+func (s Spec) Build() (*workload.Workload, error) {
+	if s.Kind == "gamma" {
+		return workload.Gamma(s.Lat), nil
+	}
+	return nil, fmt.Errorf("serve: unknown kind %q", s.Kind)
+}

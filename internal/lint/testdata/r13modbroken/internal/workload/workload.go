@@ -1,0 +1,27 @@
+// Package workload gives Gamma its constructor and canonical key —
+// these two surfaces are wired; the snapshot pair and the tcasim
+// registration are not.
+package workload
+
+import (
+	"fmt"
+
+	"r13broken/internal/accel"
+	"r13broken/internal/isa"
+)
+
+// Workload is the constructor product.
+type Workload struct {
+	Name      string
+	DeviceKey string
+	NewDevice func() isa.AccelDevice
+}
+
+// Gamma wires the half-finished family.
+func Gamma(lat uint64) *Workload {
+	return &Workload{
+		Name:      "gamma",
+		DeviceKey: fmt.Sprintf("gamma:lat=%d", lat),
+		NewDevice: func() isa.AccelDevice { return accel.NewGamma(lat) },
+	}
+}

@@ -1,0 +1,67 @@
+// Fixture for R14 core-escape: *sim.Core must not be captured by (or
+// escape into) runner.Map/Sweep job closures. Cores are mutable
+// simulation scratch; the pool runs every job concurrently. Negative
+// cases: constructing the core inside the job, and passing a core to a
+// helper that does not store it in a closure.
+package fixture14
+
+import (
+	"context"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// shared captures one core across all jobs: every invocation mutates
+// the same ROB/cache state concurrently.
+func shared(ctx context.Context, core *sim.Core) error {
+	_, _, err := runner.Sweep(ctx, 2, 4, func(ctx context.Context, i int) (int, error) {
+		_ = core // want:R14
+		return i, nil
+	})
+	return err
+}
+
+// makeJob stores its core parameter inside the closure it returns —
+// the escape the tier-3 summary records.
+func makeJob(core *sim.Core) func(context.Context, int) (int, error) {
+	return func(ctx context.Context, i int) (int, error) {
+		_ = core
+		return i, nil
+	}
+}
+
+// viaBuilder hands the pool a prebuilt job closing over the core; the
+// escape summary flags the argument at the builder call.
+func viaBuilder(ctx context.Context, core *sim.Core) error {
+	_, _, err := runner.Sweep(ctx, 2, 4, makeJob(core)) // want:R14
+	return err
+}
+
+// perJob is the sanctioned pattern: each job constructs its own core
+// from immutable inputs, so nothing shared escapes.
+func perJob(ctx context.Context, cfgs []sim.Config) error {
+	_, _, err := runner.Map(ctx, 2, cfgs, func(ctx context.Context, i int, cfg sim.Config) (int, error) {
+		var core *sim.Core // declared inside the job: not a capture
+		_ = core
+		return i, nil
+	})
+	return err
+}
+
+// jobCount reads the core outside any literal: passing a core to it is
+// fine, the parameter never escapes.
+func jobCount(core *sim.Core) int {
+	if core == nil {
+		return 2
+	}
+	return 4
+}
+
+func viaCount(ctx context.Context, core *sim.Core) error {
+	n := jobCount(core)
+	_, _, err := runner.Sweep(ctx, 2, n, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	})
+	return err
+}
